@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's ablation from the synthetic study.
+
+Runs the ablation experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/ablation.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, study, report):
+    result = benchmark.pedantic(ablation.run, args=(study,), rounds=1, iterations=1)
+    report("ablation", result)

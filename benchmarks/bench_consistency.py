@@ -1,0 +1,13 @@
+"""Benchmark: the consistency extension experiment.
+
+Runs the consistency experiment once on the shared benchmark-scale study,
+records the wall time, writes the result series to
+``benchmarks/output/consistency.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import consistency
+
+
+def test_consistency(benchmark, study, report):
+    result = benchmark.pedantic(consistency.run, args=(study,), rounds=1, iterations=1)
+    report("consistency", result)

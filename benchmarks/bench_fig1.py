@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig1 from the synthetic study.
+
+Runs the fig1 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig1.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, study, report):
+    result = benchmark.pedantic(fig1.run, args=(study,), rounds=1, iterations=1)
+    report("fig1", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig2 from the synthetic study.
+
+Runs the fig2 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig2.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, study, report):
+    result = benchmark.pedantic(fig2.run, args=(study,), rounds=1, iterations=1)
+    report("fig2", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig3 from the synthetic study.
+
+Runs the fig3 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig3.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, study, report):
+    result = benchmark.pedantic(fig3.run, args=(study,), rounds=1, iterations=1)
+    report("fig3", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig4 from the synthetic study.
+
+Runs the fig4 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig4.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, study, report):
+    result = benchmark.pedantic(fig4.run, args=(study,), rounds=1, iterations=1)
+    report("fig4", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig5 from the synthetic study.
+
+Runs the fig5 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig5.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, study, report):
+    result = benchmark.pedantic(fig5.run, args=(study,), rounds=1, iterations=1)
+    report("fig5", result)

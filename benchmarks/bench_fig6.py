@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig6 from the synthetic study.
+
+Runs the fig6 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig6.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, study, report):
+    result = benchmark.pedantic(fig6.run, args=(study,), rounds=1, iterations=1)
+    report("fig6", result)

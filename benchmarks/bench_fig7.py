@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig7 from the synthetic study.
+
+Runs the fig7 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig7.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, study, report):
+    result = benchmark.pedantic(fig7.run, args=(study,), rounds=1, iterations=1)
+    report("fig7", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig8 from the synthetic study.
+
+Runs the fig8 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/fig8.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, study, report):
+    result = benchmark.pedantic(fig8.run, args=(study,), rounds=1, iterations=1)
+    report("fig8", result)

@@ -1,0 +1,13 @@
+"""Benchmark: the generative extension experiment (paper §IV).
+
+Runs the generative experiment once on the shared benchmark-scale study,
+records the wall time, writes the result series to
+``benchmarks/output/generative.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import generative
+
+
+def test_generative(benchmark, study, report):
+    result = benchmark.pedantic(generative.run, args=(study,), rounds=1, iterations=1)
+    report("generative", result)

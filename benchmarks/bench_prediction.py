@@ -1,0 +1,13 @@
+"""Benchmark: the prediction extension experiment (paper §V).
+
+Runs the held-out forecasting experiment once on the shared
+benchmark-scale study, records the wall time, writes the result series to
+``benchmarks/output/prediction.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import prediction
+
+
+def test_prediction(benchmark, study, report):
+    result = benchmark.pedantic(prediction.run, args=(study,), rounds=1, iterations=1)
+    report("prediction", result)

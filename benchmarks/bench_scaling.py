@@ -1,0 +1,13 @@
+"""Benchmark: the scaling extension experiment (paper §IV).
+
+Runs the scaling experiment once on the shared benchmark-scale study,
+records the wall time, writes the result series to
+``benchmarks/output/scaling.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import scaling
+
+
+def test_scaling(benchmark, study, report):
+    result = benchmark.pedantic(scaling.run, args=(study,), rounds=1, iterations=1)
+    report("scaling", result)

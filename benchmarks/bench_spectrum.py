@@ -1,0 +1,13 @@
+"""Benchmark: the spectrum extension experiment.
+
+Runs the spectrum experiment once on the shared benchmark-scale study,
+records the wall time, writes the result series to
+``benchmarks/output/spectrum.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import spectrum
+
+
+def test_spectrum(benchmark, study, report):
+    result = benchmark.pedantic(spectrum.run, args=(study,), rounds=1, iterations=1)
+    report("spectrum", result)

@@ -1,0 +1,66 @@
+"""Performance benchmarks for the streaming analysis layer.
+
+The paper's lineage measures streaming update throughput (refs [33]-[35]:
+1.9e9 D4M updates/s, 75e9 GraphBLAS inserts/s on supercomputers).  These
+benchmarks measure the laptop-scale pure-NumPy streaming path: window
+analysis, online degree tracking and reservoir sampling, in packets/s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stream import OnlineDegreeTracker, ReservoirSampler, StreamingWindowAnalyzer
+from repro.traffic import Packets
+
+N = 1 << 19
+BATCH = 1 << 13
+
+
+@pytest.fixture(scope="module")
+def batches():
+    rng = np.random.default_rng(0)
+    time = np.sort(rng.uniform(0, 1000, N))
+    src = rng.integers(0, 2**32, N, dtype=np.uint64)
+    dst = rng.integers(0, 2**24, N, dtype=np.uint64)
+    p = Packets(time, src, dst)
+    return [p[i : i + BATCH] for i in range(0, N, BATCH)]
+
+
+def test_streaming_window_analysis(benchmark, batches):
+    """Full window analysis (matrix + Table II + distribution) per batch."""
+
+    def run():
+        analyzer = StreamingWindowAnalyzer(1 << 16)
+        emitted = 0
+        for b in batches:
+            emitted += len(analyzer.process(b))
+        return emitted
+
+    emitted = benchmark(run)
+    assert emitted == N // (1 << 16)
+
+
+def test_online_degree_tracking(benchmark, batches):
+    """Exact streaming per-source counts."""
+
+    def run():
+        tracker = OnlineDegreeTracker()
+        for b in batches:
+            tracker.update(b.src)
+        return tracker.n_keys
+
+    n_keys = benchmark(run)
+    assert n_keys > 0
+
+
+def test_reservoir_sampling(benchmark, batches):
+    """Bounded uniform packet sampling."""
+
+    def run():
+        r = ReservoirSampler(4096, seed=1)
+        for b in batches:
+            r.update(b)
+        return r.seen
+
+    seen = benchmark(run)
+    assert seen == N

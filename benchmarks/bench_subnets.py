@@ -1,0 +1,13 @@
+"""Benchmark: the subnets extension experiment (paper §I payoff).
+
+Runs the subnet-granularity correlation experiment once on the shared
+benchmark-scale study, records the wall time, writes the result series to
+``benchmarks/output/subnets.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import subnets
+
+
+def test_subnets(benchmark, study, report):
+    result = benchmark.pedantic(subnets.run, args=(study,), rounds=1, iterations=1)
+    report("subnets", result)

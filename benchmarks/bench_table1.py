@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's table1 from the synthetic study.
+
+Runs the table1 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/table1.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, study, report):
+    result = benchmark.pedantic(table1.run, args=(study,), rounds=1, iterations=1)
+    report("table1", result)

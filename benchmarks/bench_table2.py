@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's table2 from the synthetic study.
+
+Runs the table2 experiment once on the shared benchmark-scale study,
+records the wall time, writes the regenerated table/series to
+``benchmarks/output/table2.txt`` and asserts the paper-claim shape
+checks.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, study, report):
+    result = benchmark.pedantic(table2.run, args=(study,), rounds=1, iterations=1)
+    report("table2", result)

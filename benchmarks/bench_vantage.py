@@ -1,0 +1,13 @@
+"""Benchmark: the vantage extension experiment.
+
+Runs the vantage experiment once on the shared benchmark-scale study,
+records the wall time, writes the result series to
+``benchmarks/output/vantage.txt`` and asserts its shape checks.
+"""
+
+from repro.experiments import vantage
+
+
+def test_vantage(benchmark, study, report):
+    result = benchmark.pedantic(vantage.run, args=(study,), rounds=1, iterations=1)
+    report("vantage", result)

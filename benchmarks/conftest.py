@@ -1,0 +1,39 @@
+"""Benchmark-session fixtures.
+
+The study is built once per session at benchmark scale (env
+``REPRO_LOG2_NV``, default 2^18 against the paper's 2^30) and shared by
+every experiment benchmark.  Experiment outputs are written to
+``benchmarks/output/<name>.txt`` so the regenerated tables/series can be
+inspected — and diffed against EXPERIMENTS.md — after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_study, format_checks
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The shared benchmark-scale correlation study."""
+    return build_study()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: persist an experiment's table and checks, assert the checks."""
+
+    def _report(name: str, result) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        checks = result.checks()
+        text = result.format() + "\n\n" + format_checks(checks) + "\n"
+        (OUTPUT_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        failing = [c for c in checks if not c.ok]
+        assert not failing, f"{name}: " + "; ".join(c.claim for c in failing)
+
+    return _report

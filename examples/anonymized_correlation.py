@@ -1,0 +1,82 @@
+"""Cross-domain correlation under anonymization (paper §I).
+
+Neither CAIDA nor GreyNoise can hand out raw addresses.  This example
+walks the full trusted-sharing machinery the paper describes:
+
+1. each instrument publishes its source sets CryptoPAN-anonymized under
+   its own private key;
+2. the analyst correlates them through all three sharing modes —
+   return-to-source (the paper's choice), common scheme, and translation
+   table — and gets identical overlap counts;
+3. prefix preservation is demonstrated: an anonymized /16 stays a /16, so
+   subnet-level structure survives anonymization;
+4. the full Fig-4 measurement is repeated over the anonymized exchange
+   path and shown to match the direct measurement bit for bit.
+
+Run:  python examples/anonymized_correlation.py
+"""
+
+import numpy as np
+
+from repro.anonymize import AnonymizationDomain, correlate_anonymized
+from repro.core import CorrelationStudy
+from repro.ip import ints_to_ips
+from repro.synth import InternetModel, ModelConfig
+
+
+def main() -> None:
+    model = InternetModel(ModelConfig(log2_nv=16, n_sources=10_000, seed=31))
+    telescope_domain = AnonymizationDomain("telescope", b"caida-private-key")
+    honeyfarm_domain = AnonymizationDomain("honeyfarm", b"greynoise-private-key")
+
+    # Each instrument observes, then publishes anonymized source sets.
+    sample = model.telescope_sample(4.55)
+    month = model.honeyfarm_month(4)
+    tel_anon = telescope_domain.publish(sample.sources())
+    hf_anon = honeyfarm_domain.publish(month.sources)
+    print(
+        f"Telescope publishes {tel_anon.size} anonymized sources; "
+        f"honeyfarm publishes {hf_anon.size}."
+    )
+    example = sample.sources()[0]
+    print(
+        f"  e.g. {ints_to_ips([example])[0]} -> "
+        f"{ints_to_ips([telescope_domain.publish(np.asarray([example]))[0]])[0]}"
+    )
+
+    # Prefix preservation: a /16's worth of sources stays a coherent /16.
+    block16 = sample.sources() >> np.uint64(16)
+    anon16 = tel_anon >> np.uint64(16)
+    same_plain = block16[:-1] == block16[1:]
+    same_anon = anon16[:-1] == anon16[1:]
+    assert np.array_equal(same_plain, same_anon)
+    print("Prefix preservation: /16 co-membership identical before/after: OK")
+
+    # All three sharing modes agree on the overlap.
+    true_overlap = np.intersect1d(sample.sources(), month.sources).size
+    print(f"\nTrue coeval overlap: {true_overlap} sources")
+    for mode, label in [
+        (1, "return-to-source (the paper's approach)"),
+        (2, "common third scheme"),
+        (3, "translation table"),
+    ]:
+        overlap = correlate_anonymized(
+            telescope_domain, tel_anon, honeyfarm_domain, hf_anon, mode=mode
+        )
+        status = "OK" if overlap.size == true_overlap else "MISMATCH"
+        print(f"  mode {mode} ({label}): {overlap.size} — {status}")
+
+    # The whole Fig 4 measurement through the anonymized exchange path.
+    direct = CorrelationStudy(model)
+    shared = CorrelationStudy(model, use_anonymization=True)
+    d = direct.fig4_peak().nonempty()
+    s = shared.fig4_peak().nonempty()
+    assert np.array_equal(d.fractions(), s.fractions())
+    print("\nFig 4 via anonymized exchange == direct measurement, per bin:")
+    for b in s.bins[:6]:
+        print(f"  {b.bin.label:>12}: {b.fraction:.3f}")
+    print("  ... identical across all bins: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Honeyfarm metadata analysis with D4M associative arrays.
+
+The outpost side of the paper: monthly enriched source observations,
+queried and correlated with D4M idioms —
+
+1. observe two honeyfarm months and inspect the enrichment schema;
+2. explode string metadata into the ``field|value`` schema (val2col);
+3. select malicious scanners with comparison + logical operators;
+4. count label co-occurrence with ``sqin`` (A'A);
+5. track month-over-month source churn with row-set algebra.
+
+Run:  python examples/honeyfarm_enrichment.py
+"""
+
+import numpy as np
+
+from repro.d4m import val2col
+from repro.d4m.ops import row_overlap
+from repro.synth import HoneyfarmSimulator, ModelConfig, SourcePopulation
+
+
+def main() -> None:
+    population = SourcePopulation(ModelConfig(log2_nv=16, n_sources=10_000, seed=23))
+    farm = HoneyfarmSimulator(population)
+
+    june = farm.observe_month(4)  # 2020-06
+    july = farm.observe_month(5)  # 2020-07
+    print(
+        f"{june.label}: {june.n_sources} sources over {june.days} days; "
+        f"{july.label}: {july.n_sources} sources over {july.days} days"
+    )
+
+    # The enrichment is a string-valued associative array.
+    meta = june.enrichment
+    print(f"\nEnrichment array: {meta.shape[0]} rows x {meta.shape[1]} cols, "
+          f"{meta.nnz} entries")
+    sample_ip = meta.row[0]
+    print(f"  e.g. {sample_ip}: classification = "
+          f"{meta.get(sample_ip, 'classification')}, intent = "
+          f"{meta.get(sample_ip, 'intent')}")
+
+    # Malicious scanners: value comparisons select sub-arrays; the sources
+    # satisfying both live in the intersection of the row sets ((A == v)
+    # keeps the matching column, so `&` on entries would intersect
+    # *different* columns — row-set intersection is the D4M idiom here).
+    malicious = meta == "malicious"
+    scanners = meta == "scanner"
+    hot = np.intersect1d(malicious.row_set(), scanners.row_set())
+    print(f"\nMalicious scanners in {june.label}: {hot.size}")
+
+    # Exploded schema: one column per (field, value) pair.
+    exploded = val2col(meta)
+    print(f"Exploded schema columns: {[str(c) for c in exploded.col_set()[:6]]} ...")
+
+    # Label co-occurrence via sqin (A'A): how often does each
+    # classification appear with each intent?
+    cooc = exploded.sqin()
+    print("\nClassification x intent co-occurrence (counts):")
+    class_cols = [c for c in cooc.row.tolist() if c.startswith("classification|")]
+    intent_cols = [c for c in cooc.col.tolist() if c.startswith("intent|")]
+    for cc in class_cols:
+        for ic in intent_cols:
+            count = cooc.get(cc, ic, 0.0)
+            if count:
+                print(f"  {cc:30s} & {ic:22s}: {count:,.0f}")
+
+    # Month-over-month churn: what fraction of June's sources persist?
+    _, persist = row_overlap(june.enrichment, july.enrichment)
+    print(
+        f"\n{persist:.0%} of {june.label} sources also appear in {july.label} "
+        "(the drifting beam at one-month lag)"
+    )
+
+    # Weighted view: sensor hits for the persistent malicious scanners.
+    hits = june.hits
+    hot_hits = hits[hot, ":"]
+    if hot_hits.nnz:
+        _, _, vals = hot_hits.triples()
+        print(
+            f"Sensor hits among malicious scanners: median "
+            f"{np.median(vals):.0f}, max {vals.max():.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Telescope analysis workflow: packets → hypersparse matrices → statistics.
+
+The observatory side of the paper in isolation — the workload its §II
+performance machinery exists for:
+
+1. stream constant-packet windows from the darkspace telescope;
+2. build each window's traffic matrix by sharded *parallel hierarchical
+   accumulation* (the 2^17 → 2^30 structure of the real pipeline);
+3. compute every Table II network quantity;
+4. histogram source packets with log2 bins and fit the Zipf-Mandelbrot
+   distribution (Fig 3);
+5. anonymize with CryptoPAN and verify the quantities are unchanged.
+
+Run:  python examples/telescope_workflow.py
+"""
+
+import numpy as np
+
+from repro.anonymize import CryptoPan
+from repro.parallel import parallel_accumulate
+from repro.stats import differential_cumulative, fit_zipf_mandelbrot
+from repro.synth import ModelConfig, SourcePopulation, TelescopeSimulator
+from repro.traffic import constant_packet_windows, network_quantities
+from repro.traffic.matrix import build_traffic_matrix
+
+
+def main() -> None:
+    config = ModelConfig(log2_nv=16, n_sources=10_000, seed=11)
+    telescope = TelescopeSimulator(SourcePopulation(config))
+
+    # One capture session; cut it into four constant-packet analysis windows.
+    sample = telescope.sample(4.55)
+    window_nv = config.n_valid // 4
+    windows = constant_packet_windows(sample.packets, window_nv)
+    print(
+        f"Captured {sample.n_valid} valid packets over {sample.duration:.0f} s; "
+        f"cut into {len(windows)} windows of {window_nv} packets:"
+    )
+    for w in windows:
+        print(f"  window {w.index}: {w.duration:6.1f} s  (constant packets, variable time)")
+
+    # Build the first window's matrix two ways and verify equivalence.
+    w0 = windows[0].packets
+    direct = build_traffic_matrix(w0)
+    sharded = parallel_accumulate(w0, shard_size=window_nv // 16)
+    assert direct == sharded, "sharded hierarchical accumulation must match"
+    print("\nSharded hierarchical accumulation == direct construction: OK")
+
+    # Table II quantities.
+    q = network_quantities(direct)
+    print("\nTable II network quantities (window 0):")
+    for name, value in q.as_dict().items():
+        print(f"  {name:>24}: {value:,.0f}")
+
+    # Fig 3: source-packet distribution + Zipf-Mandelbrot fit.
+    degrees = direct.row_reduce().vals.astype(np.int64)
+    binned = differential_cumulative(degrees)
+    fit = fit_zipf_mandelbrot(degrees)
+    print("\nFig 3 — differential cumulative probability (log2 bins):")
+    model = fit.model().binned_prob(binned.edges)
+    for i, (c, p) in enumerate(zip(binned.centers, binned.prob)):
+        print(f"  d ~ {c:8.1f}: measured {p:.4f}  model {model[i]:.4f}")
+    print(
+        f"Zipf-Mandelbrot fit: alpha = {fit.alpha:.2f}, delta = {fit.delta:.1f} "
+        f"(p(d) ∝ 1/(d + delta)^alpha)"
+    )
+
+    # Anonymization invariance.
+    pan = CryptoPan(b"telescope-archive-key")
+    anonymized = direct.permute(pan.anonymize)
+    assert network_quantities(anonymized) == q
+    print("\nCryptoPAN-anonymized matrix reproduces every aggregate: OK")
+
+
+if __name__ == "__main__":
+    main()

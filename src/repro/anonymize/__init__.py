@@ -1,0 +1,36 @@
+"""Anonymization and trusted cross-domain correlation.
+
+The telescope's packets are archived as CryptoPAN-anonymized traffic
+matrices, and Section I of the paper lists the three trusted-sharing
+mechanisms by which anonymized subsets from different sources can be
+correlated (the paper uses the first).  This package provides:
+
+* :class:`CryptoPan` — a prefix-preserving, invertible address
+  anonymizer implementing the Fan et al. bit-by-bit scheme with a
+  splitmix-based keyed PRF (AES replaced by an openly specified mixer so
+  the package has zero crypto dependencies; the *structural* properties —
+  bijectivity and prefix preservation — are identical and property-tested);
+* :class:`AnonymizationDomain` — a data owner holding a private key, able
+  to anonymize outbound data and deanonymize returned subsets;
+* the three sharing workflows of Section I
+  (:func:`share_mode1_return_to_source`, :func:`share_mode2_common_scheme`,
+  :func:`share_mode3_translation_table`).
+"""
+
+from .cryptopan import CryptoPan
+from .sharing import (
+    AnonymizationDomain,
+    share_mode1_return_to_source,
+    share_mode2_common_scheme,
+    share_mode3_translation_table,
+    correlate_anonymized,
+)
+
+__all__ = [
+    "CryptoPan",
+    "AnonymizationDomain",
+    "share_mode1_return_to_source",
+    "share_mode2_common_scheme",
+    "share_mode3_translation_table",
+    "correlate_anonymized",
+]

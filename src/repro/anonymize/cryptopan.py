@@ -1,0 +1,121 @@
+"""Prefix-preserving IPv4 anonymization (CryptoPAN scheme).
+
+Fan, Xu, Ammar & Moon (2004): anonymize an address bit by bit, flipping
+bit ``i`` according to a pseudorandom function of the *original* bits
+``0..i-1`` (the more-significant prefix).  Two addresses sharing a k-bit
+prefix therefore share a k-bit anonymized prefix, and the map is a
+bijection on the 2^32 address space: bit ``i`` can be recovered once bits
+``0..i-1`` are known, so decryption walks the prefix tree top-down.
+
+The reference scheme instantiates the PRF with AES.  We have no crypto
+library in this environment, so the PRF is a keyed splitmix64-style integer
+mixer — openly documented, deterministic, vectorizable over NumPy arrays,
+and adequate for research-grade anonymization of *synthetic* data (this
+repository never touches real traffic).  Structural properties do not
+depend on PRF strength and are property-tested:
+
+* bijectivity (anonymize∘deanonymize == identity on random samples),
+* exact prefix preservation (common-prefix length is conserved),
+* avalanche (differing prefixes diverge immediately below the split).
+
+Both directions are O(32) vectorized passes over the input array; no
+per-address Python loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+from ..rand import splitmix64 as _splitmix64
+
+__all__ = ["CryptoPan"]
+
+_U64 = np.uint64
+
+
+class CryptoPan:
+    """Keyed prefix-preserving anonymizer for IPv4 integer addresses.
+
+    Parameters
+    ----------
+    key:
+        Secret key — bytes or string.  Expanded with BLAKE2b into 33
+        per-bit-position subkeys (one per prefix length 0..32) so that the
+        PRF at each tree level is independently keyed.
+    """
+
+    def __init__(self, key: Union[bytes, str]):
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        if not key:
+            raise ValueError("key must be non-empty")
+        # 33 subkeys: one per prefix length. BLAKE2b in counter mode.
+        self._subkeys = np.asarray(
+            [
+                int.from_bytes(
+                    hashlib.blake2b(key + bytes([i]), digest_size=8).digest(), "big"
+                )
+                for i in range(33)
+            ],
+            dtype=_U64,
+        )
+
+    # -- scalar conveniences ------------------------------------------------
+
+    def anonymize_one(self, addr: int) -> int:
+        """Anonymize a single integer address."""
+        return int(self.anonymize(np.asarray([addr], dtype=np.uint64))[0])
+
+    def deanonymize_one(self, addr: int) -> int:
+        """Deanonymize a single integer address."""
+        return int(self.deanonymize(np.asarray([addr], dtype=np.uint64))[0])
+
+    # -- vector interface ---------------------------------------------------
+
+    def anonymize(self, addrs: np.ndarray) -> np.ndarray:
+        """Anonymize an array of integer addresses (uint64 in, uint64 out)."""
+        a = self._check(addrs)
+        out = np.zeros_like(a)
+        for i in range(32):
+            # Original prefix of length i (the i most significant bits).
+            prefix = a >> np.uint64(32 - i) if i else np.zeros_like(a)
+            flip = self._prf_bit(prefix, i)
+            orig_bit = (a >> np.uint64(31 - i)) & np.uint64(1)
+            out |= (orig_bit ^ flip) << np.uint64(31 - i)
+        return out
+
+    def deanonymize(self, addrs: np.ndarray) -> np.ndarray:
+        """Invert :meth:`anonymize` — requires the same key (data owner)."""
+        a = self._check(addrs)
+        out = np.zeros_like(a)
+        for i in range(32):
+            # The recovered original prefix so far lives in out's top i bits.
+            prefix = out >> np.uint64(32 - i) if i else np.zeros_like(a)
+            flip = self._prf_bit(prefix, i)
+            anon_bit = (a >> np.uint64(31 - i)) & np.uint64(1)
+            out |= (anon_bit ^ flip) << np.uint64(31 - i)
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _prf_bit(self, prefix: np.ndarray, length: int) -> np.ndarray:
+        """One pseudorandom bit per element, keyed by (prefix, length)."""
+        mixed = _splitmix64(prefix ^ self._subkeys[length])
+        return mixed & np.uint64(1)
+
+    @staticmethod
+    def _check(addrs: np.ndarray) -> np.ndarray:
+        a = np.asarray(addrs)
+        if a.dtype.kind not in ("u", "i"):
+            raise TypeError("addresses must be integers")
+        a = a.astype(_U64)
+        if a.size and a.max() >= np.uint64(2**32):
+            raise ValueError("address outside IPv4 range")
+        return a
+
+    def as_row_map(self):
+        """This anonymizer as a coordinate map for ``HyperSparseMatrix.permute``."""
+        return self.anonymize

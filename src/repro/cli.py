@@ -1,0 +1,134 @@
+"""Command-line interface: run any experiment from the shell.
+
+::
+
+    repro list                      # available experiments
+    repro fig4                      # run one experiment, print its table
+    repro all                       # run everything
+    repro fig5 --log2-nv 16 --seed 7
+
+Exit status is non-zero when any shape check fails, so the CLI doubles as
+a reproduction smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, build_study, default_config, format_checks
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures from 'Temporal Correlation of "
+            "Internet Observatories and Outposts' (Kepner et al., 2022) "
+            "on a synthetic Internet."
+        ),
+    )
+    p.add_argument(
+        "experiment",
+        help="experiment name (see 'repro list'), 'all', 'report', or 'list'",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="for 'report': write the markdown report to this file "
+        "(default: print to stdout)",
+    )
+    p.add_argument(
+        "--log2-nv",
+        type=int,
+        default=None,
+        help="log2 of the telescope window size N_V (default: env "
+        "REPRO_LOG2_NV or 18; the paper used 30)",
+    )
+    p.add_argument(
+        "--sources",
+        type=int,
+        default=None,
+        help="population size (default scales with the window)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="master seed")
+    p.add_argument(
+        "--no-checks",
+        action="store_true",
+        help="skip the paper-claim shape checks",
+    )
+    p.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the figure as a terminal plot where available",
+    )
+    return p
+
+
+def _run_one(name: str, study, show_checks: bool, show_plot: bool) -> bool:
+    module = EXPERIMENTS[name]
+    result = module.run(study)
+    print(f"=== {name} ===")
+    print(result.format())
+    if show_plot and hasattr(module, "plot"):
+        print()
+        print(module.plot(result))
+    ok = True
+    if show_checks:
+        checks = result.checks()
+        print(format_checks(checks))
+        ok = all(c.ok for c in checks)
+    print()
+    return ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    if args.experiment == "report":
+        from .experiments.reportgen import generate_report
+
+        config = default_config(
+            log2_nv=args.log2_nv, n_sources=args.sources, seed=args.seed
+        )
+        text = generate_report(build_study(config), include_plots=args.plot)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}, all, list", file=sys.stderr)
+        return 2
+
+    config = default_config(
+        log2_nv=args.log2_nv, n_sources=args.sources, seed=args.seed
+    )
+    study = build_study(config)
+    ok = True
+    for name in names:
+        ok &= _run_one(
+            name, study, show_checks=not args.no_checks, show_plot=args.plot
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

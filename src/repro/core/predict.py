@@ -1,0 +1,179 @@
+"""Predicting future measurements from fitted laws (paper §V).
+
+The conclusions state that each observation "provides a basis for
+predictions for future measurements."  This module makes that concrete as
+a held-out forecasting protocol:
+
+* **train**: fit the modified-Cauchy parameters ``alpha(d)``, ``beta(d)``
+  per brightness bin on a set of telescope samples (Figs 6-8 machinery),
+  and take the coeval peak from the Fig 4 logarithmic law;
+* **predict**: for an unseen telescope sample at time ``t0``, the
+  predicted overlap curve of bin ``d`` is
+  ``peak(d) * beta(d) / (beta(d) + |t - t0|^alpha(d))``;
+* **score**: mean absolute error against the measured curves, compared to
+  a climatology baseline (the average training curve shifted to ``t0``).
+
+No information from the held-out sample is used beyond its timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fits import one_month_drop
+from ..fits.models import modified_cauchy
+from .correlation import DegreeBin
+from .empirical import empirical_log_law
+from .study import CorrelationStudy
+
+__all__ = ["CurvePredictor", "PredictionScore", "holdout_evaluation"]
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Per-bin forecast accuracy for one held-out sample."""
+
+    bin_label: str
+    n_sources: int
+    mae_model: float
+    mae_baseline: float
+
+    @property
+    def skill(self) -> float:
+        """1 - MAE ratio vs baseline (positive = model beats climatology)."""
+        if self.mae_baseline == 0:
+            return 0.0
+        return 1.0 - self.mae_model / self.mae_baseline
+
+
+class CurvePredictor:
+    """Forecast temporal-correlation curves from fitted per-bin laws.
+
+    Parameters
+    ----------
+    study:
+        The correlation study providing training data.
+    train_samples:
+        Indices of the telescope samples used for fitting.
+    bins:
+        Brightness bins; defaults to the study's Fig 6 bins.
+    """
+
+    def __init__(
+        self,
+        study: CorrelationStudy,
+        train_samples: Sequence[int],
+        *,
+        bins: Optional[Sequence[DegreeBin]] = None,
+    ):
+        self.study = study
+        self.train_samples = list(train_samples)
+        self.bins = list(bins) if bins is not None else study.default_bins()
+        self._params: Dict[str, Tuple[float, float]] = {}
+        self._climatology: Dict[str, np.ndarray] = {}
+        self._fit()
+
+    def _fit(self) -> None:
+        curves = self.study.fig6_curves(
+            sample_indices=self.train_samples, bins=self.bins
+        )
+        month_times = np.asarray(self.study.month_times)
+        for b in self.bins:
+            fits = []
+            lag_curves = []
+            for (si, label), (curve, fit) in curves.items():
+                if label != b.label:
+                    continue
+                fits.append(fit)
+                # Re-index the measured curve by lag for climatology.
+                lags = np.round(curve.times - curve.t0).astype(int)
+                lag_curves.append((lags, curve.fractions))
+            if not fits:
+                continue
+            alpha = float(np.mean([f.alpha for f in fits]))
+            beta = float(np.mean([f.beta for f in fits]))
+            self._params[b.label] = (alpha, beta)
+            # Climatology: mean measured overlap at each integer lag.
+            by_lag: Dict[int, List[float]] = {}
+            for lags, fracs in lag_curves:
+                for lag, frac in zip(lags.tolist(), fracs.tolist()):
+                    by_lag.setdefault(lag, []).append(frac)
+            max_lag = max(abs(l) for l in by_lag)
+            clim = np.zeros(2 * max_lag + 1)
+            for lag, vals in by_lag.items():
+                clim[lag + max_lag] = float(np.mean(vals))
+            self._climatology[b.label] = clim
+
+    @property
+    def fitted_bins(self) -> List[str]:
+        """Labels of bins with trained parameters."""
+        return [b.label for b in self.bins if b.label in self._params]
+
+    def parameters(self, bin: DegreeBin) -> Tuple[float, float]:
+        """Trained (alpha, beta) for a bin."""
+        return self._params[bin.label]
+
+    def predicted_drop(self, bin: DegreeBin) -> float:
+        """Predicted one-month drop for a bin (Fig 8 forward)."""
+        return one_month_drop(self._params[bin.label][1])
+
+    def predict_curve(
+        self, bin: DegreeBin, t0: float, times: np.ndarray
+    ) -> np.ndarray:
+        """Forecast a bin's overlap curve for a sample at time ``t0``."""
+        if bin.label not in self._params:
+            raise KeyError(f"no trained parameters for bin {bin.label}")
+        alpha, beta = self._params[bin.label]
+        peak = float(
+            empirical_log_law(
+                np.asarray([max(bin.center, 1.0)]), self.study.n_valid
+            )[0]
+        )
+        return peak * modified_cauchy(np.asarray(times, dtype=np.float64), t0, alpha, beta)
+
+    def baseline_curve(
+        self, bin: DegreeBin, t0: float, times: np.ndarray
+    ) -> np.ndarray:
+        """Climatology baseline: mean training overlap by integer lag."""
+        clim = self._climatology[bin.label]
+        max_lag = (clim.size - 1) // 2
+        lags = np.clip(
+            np.round(np.asarray(times) - t0).astype(int), -max_lag, max_lag
+        )
+        return clim[lags + max_lag]
+
+
+def holdout_evaluation(
+    study: CorrelationStudy, *, holdout_index: Optional[int] = None
+) -> List[PredictionScore]:
+    """Train on all samples but one; score forecasts on the held-out one."""
+    n = len(study.samples)
+    if holdout_index is None:
+        holdout_index = n - 1
+    train = [i for i in range(n) if i != holdout_index]
+    predictor = CurvePredictor(study, train)
+    t0 = study.samples[holdout_index].month_time
+    times = np.asarray(study.month_times)
+    scores: List[PredictionScore] = []
+    for b in predictor.bins:
+        if b.label not in predictor.fitted_bins:
+            continue
+        curve = study.temporal_curve(holdout_index, b)
+        if curve.n_sources < study.min_bin_sources:
+            continue
+        predicted = predictor.predict_curve(b, t0, times)
+        baseline = predictor.baseline_curve(b, t0, times)
+        scores.append(
+            PredictionScore(
+                bin_label=b.label,
+                n_sources=curve.n_sources,
+                mae_model=float(np.abs(curve.fractions - predicted).mean()),
+                mae_baseline=float(np.abs(curve.fractions - baseline).mean()),
+            )
+        )
+    if not scores:
+        raise RuntimeError("no bin had enough sources to score")
+    return scores

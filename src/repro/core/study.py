@@ -1,0 +1,301 @@
+"""End-to-end correlation study — the driver behind every figure.
+
+:class:`CorrelationStudy` owns an :class:`~repro.synth.InternetModel`,
+collects the scenario's telescope samples and honeyfarm months once
+(cached), optionally routes all cross-instrument source exchange through
+the anonymized trusted-sharing path (mode 1, as the paper did), and
+exposes one method per figure.  Benchmarks and examples call these
+methods; they contain no analysis logic of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..anonymize import AnonymizationDomain, share_mode1_return_to_source
+from ..fits import FitResult, one_month_drop
+from ..stats import ZipfFit, differential_cumulative, fit_zipf_mandelbrot
+from ..stats.binning import BinnedDistribution
+from ..synth import HoneyfarmMonth, InternetModel, ModelConfig, TelescopeSample
+from .correlation import DegreeBin, PeakCorrelation, degree_bins, peak_correlation
+from .empirical import log_law_errors
+from .temporal import TemporalCurve, temporal_correlation
+
+__all__ = ["CorrelationStudy", "StudyResults"]
+
+
+@dataclass(frozen=True)
+class StudyResults:
+    """Aggregated per-bin fit parameters (Figs 7-8).
+
+    One row per brightness bin: the modified-Cauchy ``alpha`` and
+    one-month drop ``1/(beta+1)`` aggregated over all telescope samples
+    whose curve in that bin had enough sources.
+    """
+
+    bins: Tuple[DegreeBin, ...]
+    n_curves: Tuple[int, ...]
+    alpha_mean: Tuple[float, ...]
+    alpha_std: Tuple[float, ...]
+    drop_mean: Tuple[float, ...]
+    drop_std: Tuple[float, ...]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table rows for printing."""
+        return [
+            {
+                "bin": b.label,
+                "center": b.center,
+                "n_curves": n,
+                "alpha": am,
+                "alpha_std": asd,
+                "one_month_drop": dm,
+                "drop_std": dsd,
+            }
+            for b, n, am, asd, dm, dsd in zip(
+                self.bins,
+                self.n_curves,
+                self.alpha_mean,
+                self.alpha_std,
+                self.drop_mean,
+                self.drop_std,
+            )
+        ]
+
+
+class CorrelationStudy:
+    """A full telescope↔honeyfarm correlation study.
+
+    Parameters
+    ----------
+    model:
+        The synthetic Internet; built from ``config`` if omitted.
+    config:
+        Model configuration when ``model`` is not supplied.
+    use_anonymization:
+        Route every cross-instrument source exchange through CryptoPAN
+        anonymization and the mode-1 return-to-source workflow (the
+        paper's §I approach).  Results are bit-identical to the direct
+        path — that equivalence is itself asserted in the test suite.
+    min_bin_sources:
+        Curves with fewer telescope sources than this are excluded from
+        the Fig 6/7/8 aggregations (statistically empty bins).
+    """
+
+    def __init__(
+        self,
+        model: Optional[InternetModel] = None,
+        *,
+        config: Optional[ModelConfig] = None,
+        use_anonymization: bool = False,
+        min_bin_sources: int = 40,
+    ):
+        if model is None:
+            model = InternetModel(config if config is not None else ModelConfig())
+        elif config is not None:
+            raise ValueError("pass either model or config, not both")
+        self.model = model
+        self.use_anonymization = bool(use_anonymization)
+        self.min_bin_sources = int(min_bin_sources)
+        self._telescope_domain = AnonymizationDomain("telescope", b"telescope-key")
+        self._honeyfarm_domain = AnonymizationDomain("honeyfarm", b"honeyfarm-key")
+
+    # -- data collection (cached) -------------------------------------------
+
+    @cached_property
+    def samples(self) -> List[TelescopeSample]:
+        """The scenario's telescope samples."""
+        return self.model.telescope_samples()
+
+    @cached_property
+    def months(self) -> List[HoneyfarmMonth]:
+        """The scenario's honeyfarm months."""
+        return self.model.honeyfarm_months()
+
+    @cached_property
+    def monthly_sources(self) -> List[np.ndarray]:
+        """Per-month honeyfarm source sets, as available to the analyst.
+
+        With anonymization enabled, each month's set is published
+        anonymized by the honeyfarm domain and returned to source for
+        deanonymization (sharing mode 1) before use.
+        """
+        out = []
+        for month in self.months:
+            sources = month.sources
+            if self.use_anonymization:
+                anon = self._honeyfarm_domain.publish(sources)
+                sources = np.sort(
+                    share_mode1_return_to_source(self._honeyfarm_domain, anon)
+                )
+            out.append(sources)
+        return out
+
+    def telescope_sources(self, sample_index: int):
+        """A sample's per-source packet counts, via the sharing path if enabled."""
+        sp = self.samples[sample_index].source_packets
+        if not self.use_anonymization:
+            return sp
+        anon = self._telescope_domain.publish(sp.keys)
+        plain = share_mode1_return_to_source(self._telescope_domain, anon)
+        from ..hypersparse.coo import SparseVec
+
+        return SparseVec(plain, sp.vals)
+
+    @property
+    def month_times(self) -> List[float]:
+        """Fractional-month centers of the honeyfarm months."""
+        return self.model.scenario.month_centers
+
+    @property
+    def n_valid(self) -> int:
+        """The telescope window size."""
+        return self.model.config.n_valid
+
+    def coeval_month_index(self, sample_index: int) -> int:
+        """The honeyfarm month containing a telescope sample."""
+        return self.samples[sample_index].month_index
+
+    # -- Fig 3 -------------------------------------------------------------
+
+    def fig3_distributions(
+        self,
+    ) -> List[Tuple[str, BinnedDistribution, ZipfFit]]:
+        """Per-sample source-packet distributions with Zipf-Mandelbrot fits."""
+        out = []
+        labels = self.model.scenario.telescope_labels
+        for label, sample in zip(labels, self.samples):
+            degrees = sample.source_packets.vals.astype(np.int64)
+            binned = differential_cumulative(degrees)
+            fit = fit_zipf_mandelbrot(degrees)
+            out.append((label, binned, fit))
+        return out
+
+    # -- Fig 4 --------------------------------------------------------------
+
+    def fig4_peak(self, sample_index: int = 0) -> PeakCorrelation:
+        """Coeval per-bin overlap for one sample."""
+        sp = self.telescope_sources(sample_index)
+        coeval = self.monthly_sources[self.coeval_month_index(sample_index)]
+        return peak_correlation(sp, coeval, self.n_valid)
+
+    def fig4_log_law_errors(self, sample_index: int = 0) -> Dict[str, float]:
+        """Shape agreement of the measured Fig 4 curve with the log2 law."""
+        return log_law_errors(self.fig4_peak(sample_index))
+
+    # -- Figs 5-6 ----------------------------------------------------------------
+
+    def threshold_bin(self) -> DegreeBin:
+        """The paper's Fig 5 bin ``[N_V^{1/2}/2, N_V^{1/2})``, scale-adjusted."""
+        thr = float(self.n_valid) ** 0.5
+        return DegreeBin(thr / 2.0, thr)
+
+    def fig5_curve(self, sample_index: int = 0) -> TemporalCurve:
+        """Temporal correlation of the threshold bin for one sample."""
+        return self.temporal_curve(sample_index, self.threshold_bin())
+
+    def temporal_curve(
+        self, sample_index: int, bin: Optional[DegreeBin]
+    ) -> TemporalCurve:
+        """Temporal correlation for any sample and brightness bin."""
+        sp = self.telescope_sources(sample_index)
+        t0 = self.samples[sample_index].month_time
+        return temporal_correlation(
+            sp, self.monthly_sources, self.month_times, t0, bin=bin
+        )
+
+    def default_bins(self) -> List[DegreeBin]:
+        """Fig 6's brightness bins: log2 bins from 2 up past the threshold."""
+        top = float(self.n_valid) ** 0.5 * 4.0
+        return degree_bins(top, d_min=2.0)
+
+    def fig6_curves(
+        self,
+        *,
+        sample_indices: Optional[Sequence[int]] = None,
+        bins: Optional[Sequence[DegreeBin]] = None,
+    ) -> Dict[Tuple[int, str], Tuple[TemporalCurve, FitResult]]:
+        """All (sample, bin) temporal curves with modified-Cauchy fits.
+
+        Curves with fewer than ``min_bin_sources`` telescope sources are
+        skipped.  Keys are ``(sample_index, bin.label)``.
+        """
+        if sample_indices is None:
+            sample_indices = range(len(self.samples))
+        if bins is None:
+            bins = self.default_bins()
+        out: Dict[Tuple[int, str], Tuple[TemporalCurve, FitResult]] = {}
+        for si in sample_indices:
+            for b in bins:
+                curve = self.temporal_curve(si, b)
+                if curve.n_sources < self.min_bin_sources:
+                    continue
+                out[(si, b.label)] = (curve, curve.fit("modified_cauchy"))
+        return out
+
+    # -- Figs 7-8 -------------------------------------------------------------
+
+    def fit_parameter_sweep(
+        self,
+        *,
+        bins: Optional[Sequence[DegreeBin]] = None,
+    ) -> StudyResults:
+        """Aggregate modified-Cauchy parameters per bin over all samples."""
+        if bins is None:
+            bins = self.default_bins()
+        curves = self.fig6_curves(bins=bins)
+        rows = []
+        for b in bins:
+            fits = [
+                fit for (si, label), (curve, fit) in curves.items() if label == b.label
+            ]
+            if not fits:
+                continue
+            alphas = np.asarray([f.alpha for f in fits])
+            drops = np.asarray([one_month_drop(f.beta) for f in fits])
+            rows.append(
+                (
+                    b,
+                    len(fits),
+                    float(alphas.mean()),
+                    float(alphas.std()),
+                    float(drops.mean()),
+                    float(drops.std()),
+                )
+            )
+        if not rows:
+            raise RuntimeError("no bin had enough sources for a fit")
+        bins_, n_, am_, as_, dm_, ds_ = zip(*rows)
+        return StudyResults(bins_, n_, am_, as_, dm_, ds_)
+
+    # -- Table I ------------------------------------------------------------------
+
+    def table1_rows(self) -> List[Dict[str, object]]:
+        """Synthetic Table I: months and telescope samples with source counts."""
+        rows: List[Dict[str, object]] = []
+        tel_by_month: Dict[int, TelescopeSample] = {
+            s.month_index: s for s in self.samples
+        }
+        tel_labels = dict(
+            zip((s.month_index for s in self.samples), self.model.scenario.telescope_labels)
+        )
+        for month in self.months:
+            row: Dict[str, object] = {
+                "gn_start": month.label,
+                "gn_days": month.days,
+                "gn_sources": month.n_sources,
+            }
+            sample = tel_by_month.get(month.month_index)
+            if sample is not None:
+                row.update(
+                    caida_start=tel_labels[sample.month_index],
+                    caida_duration_s=round(sample.duration),
+                    caida_packets=sample.n_valid,
+                    caida_sources=sample.unique_sources,
+                )
+            rows.append(row)
+        return rows

@@ -1,0 +1,66 @@
+"""TSV serialization of associative arrays.
+
+D4M's interchange format is a triple list.  We write one entry per line:
+``row<TAB>col<TAB>value``, with a one-line header marking whether the value
+column is numeric or string so round-trips are type-faithful.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .assoc import Assoc
+
+__all__ = ["assoc_to_tsv", "assoc_from_tsv"]
+
+PathLike = Union[str, Path]
+
+_HEADER_NUM = "#repro-assoc\tnumeric"
+_HEADER_STR = "#repro-assoc\tstring"
+
+
+def assoc_to_tsv(assoc: Assoc, path: PathLike) -> None:
+    """Write an associative array as a typed TSV triple list."""
+    rows, cols, vals = assoc.triples()
+    lines = [_HEADER_STR if assoc.is_string_valued else _HEADER_NUM]
+    if assoc.is_string_valued:
+        for r, c, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+            _check_field(r), _check_field(c), _check_field(v)
+            lines.append(f"{r}\t{c}\t{v}")
+    else:
+        for r, c, v in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+            _check_field(r), _check_field(c)
+            lines.append(f"{r}\t{c}\t{v!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def assoc_from_tsv(path: PathLike) -> Assoc:
+    """Read an associative array written by :func:`assoc_to_tsv`."""
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("#repro-assoc\t"):
+        raise ValueError("missing repro-assoc header")
+    string_valued = lines[0] == _HEADER_STR
+    rows, cols, vals = [], [], []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(f"line {lineno}: expected 3 tab-separated fields")
+        rows.append(parts[0])
+        cols.append(parts[1])
+        vals.append(parts[2] if string_valued else float(parts[2]))
+    if not rows:
+        return Assoc.empty()
+    if string_valued:
+        return Assoc(rows, cols, np.asarray(vals, dtype=np.str_))
+    return Assoc(rows, cols, np.asarray(vals, dtype=np.float64))
+
+
+def _check_field(s: str) -> None:
+    if "\t" in s or "\n" in s:
+        raise ValueError(f"key/value {s!r} contains TSV delimiter characters")

@@ -1,0 +1,221 @@
+"""A persistent D4M triple store (the honeyfarm database substrate).
+
+The real GreyNoise data reaches the paper's authors as a *database* of
+enriched observations spanning fifteen months.  D4M deployments back their
+associative arrays with a sorted triple store (classically Accumulo); this
+module is a file-backed equivalent sufficient for the reproduction:
+
+* **segments** — each ingest writes one immutable, row-sorted segment file
+  (TSV triples with a JSON footer of metadata);
+* **merge-on-read** — queries scan the relevant segments and merge, so
+  ingest is append-only and crash-safe (a torn segment is detected by its
+  footer and ignored);
+* **row-range queries** — the primary D4M access path: rows are sorted
+  strings, so IP prefixes and month labels are range scans;
+* **compaction** — optional merge of all segments into one.
+
+Values are strings (the D4M convention); numeric associative arrays are
+stringified on ingest and restored on read via the ``numeric`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .assoc import Assoc
+
+__all__ = ["TripleStore"]
+
+PathLike = Union[str, Path]
+
+_FOOTER_PREFIX = "#footer\t"
+
+
+class TripleStore:
+    """Append-only segmented store of string triples.
+
+    Parameters
+    ----------
+    root:
+        Storage directory (created if missing).
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- segment plumbing ---------------------------------------------------
+
+    def _segment_paths(self) -> List[Path]:
+        return sorted(self.root.glob("segment_*.tsv"))
+
+    def _next_segment_path(self) -> Path:
+        existing = self._segment_paths()
+        if not existing:
+            return self.root / "segment_000000.tsv"
+        last = int(existing[-1].stem.split("_")[1])
+        return self.root / f"segment_{last + 1:06d}.tsv"
+
+    @staticmethod
+    def _read_segment(path: Path) -> Optional[Tuple[List[Tuple[str, str, str]], dict]]:
+        """Parse one segment; None when torn/corrupt (no valid footer)."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        lines = text.splitlines()
+        if not lines or not lines[-1].startswith(_FOOTER_PREFIX):
+            return None
+        try:
+            meta = json.loads(lines[-1][len(_FOOTER_PREFIX):])
+        except json.JSONDecodeError:
+            return None
+        triples: List[Tuple[str, str, str]] = []
+        for line in lines[:-1]:
+            parts = line.split("\t")
+            if len(parts) != 3:
+                return None
+            triples.append((parts[0], parts[1], parts[2]))
+        if len(triples) != meta.get("n", -1):
+            return None
+        return triples, meta
+
+    # -- ingest -----------------------------------------------------------------
+
+    def ingest(self, assoc: Assoc, *, label: str = "") -> Path:
+        """Write one associative array as a new immutable segment."""
+        rows, cols, vals = assoc.triples()
+        order = np.argsort(rows, kind="stable")
+        lines = []
+        for i in order:
+            r, c = str(rows[i]), str(cols[i])
+            v = str(vals[i])
+            for field in (r, c, v):
+                if "\t" in field or "\n" in field:
+                    raise ValueError(f"field {field!r} contains delimiter characters")
+            lines.append(f"{r}\t{c}\t{v}")
+        meta = {
+            "n": len(lines),
+            "numeric": not assoc.is_string_valued,
+            "label": label,
+        }
+        path = self._next_segment_path()
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            "\n".join(lines + [_FOOTER_PREFIX + json.dumps(meta)]) + "\n",
+            encoding="utf-8",
+        )
+        tmp.rename(path)  # atomic publish: readers never see torn segments
+        return path
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        """Valid segments currently in the store."""
+        return sum(1 for p in self._segment_paths() if self._read_segment(p))
+
+    def labels(self) -> List[str]:
+        """Ingest labels of the valid segments, in ingest order."""
+        out = []
+        for p in self._segment_paths():
+            seg = self._read_segment(p)
+            if seg:
+                out.append(seg[1].get("label", ""))
+        return out
+
+    def _iter_triples(
+        self,
+        *,
+        row_lo: Optional[str] = None,
+        row_hi: Optional[str] = None,
+        columns: Optional[List[str]] = None,
+        labels: Optional[List[str]] = None,
+    ) -> Iterator[Tuple[str, str, str, bool]]:
+        wanted_cols = set(columns) if columns is not None else None
+        wanted_labels = set(labels) if labels is not None else None
+        for p in self._segment_paths():
+            seg = self._read_segment(p)
+            if seg is None:
+                continue  # torn segment: skip, never corrupt a query
+            triples, meta = seg
+            if wanted_labels is not None and meta.get("label", "") not in wanted_labels:
+                continue
+            numeric = bool(meta.get("numeric", False))
+            for r, c, v in triples:
+                if row_lo is not None and r < row_lo:
+                    continue
+                if row_hi is not None and r >= row_hi:
+                    continue
+                if wanted_cols is not None and c not in wanted_cols:
+                    continue
+                yield r, c, v, numeric
+
+    def scan(
+        self,
+        *,
+        row_lo: Optional[str] = None,
+        row_hi: Optional[str] = None,
+        row_prefix: Optional[str] = None,
+        columns: Optional[List[str]] = None,
+        labels: Optional[List[str]] = None,
+    ) -> Assoc:
+        """Range-scan the store into an associative array.
+
+        ``row_prefix`` expands to the lexicographic range covering the
+        prefix.  Duplicate keys across segments resolve last-writer-wins
+        for strings and *sum* for numeric segments (count semantics).
+        Mixed numeric/string results come back as strings.
+        """
+        if row_prefix is not None:
+            if row_lo is not None or row_hi is not None:
+                raise ValueError("row_prefix excludes explicit bounds")
+            row_lo = row_prefix
+            row_hi = row_prefix + "￿"
+        rows, cols, vals, numeric_flags = [], [], [], []
+        for r, c, v, numeric in self._iter_triples(
+            row_lo=row_lo, row_hi=row_hi, columns=columns, labels=labels
+        ):
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+            numeric_flags.append(numeric)
+        if not rows:
+            return Assoc.empty()
+        if all(numeric_flags):
+            return Assoc(rows, cols, np.asarray(vals, dtype=np.float64))
+        return Assoc(rows, cols, np.asarray(vals, dtype=np.str_), collision="last")
+
+    def row_set(self, **kwargs) -> np.ndarray:
+        """Sorted unique row keys matching a scan (cheap source-set query)."""
+        return np.unique(
+            np.asarray(
+                [r for r, _, _, _ in self._iter_triples(**kwargs)], dtype=np.str_
+            )
+        )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Merge all valid segments into one; returns segments removed.
+
+        String triples keep last-writer-wins; numeric triples re-sum.  The
+        compacted store answers every query identically (tested).
+        """
+        paths = self._segment_paths()
+        valid = [(p, self._read_segment(p)) for p in paths]
+        valid = [(p, seg) for p, seg in valid if seg is not None]
+        if len(valid) <= 1:
+            return 0
+        merged = self.scan()
+        label = "compacted:" + ",".join(
+            seg[1].get("label", "") for _, seg in valid
+        )
+        for p, _ in valid:
+            p.unlink()
+        self.ingest(merged, label=label)
+        return len(valid)

@@ -1,0 +1,74 @@
+"""Tabular rendering of associative arrays (D4M ``printFull``).
+
+Dense-table views for human inspection of small associative arrays (or
+windows into big ones): a value grid with row/column keys, and a ``spy``
+structure plot marking stored entries.  Output is plain text, suitable for
+terminal transcripts and doctest-style documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .assoc import Assoc
+
+__all__ = ["print_full", "spy"]
+
+
+def print_full(
+    assoc: Assoc, *, max_rows: int = 20, max_cols: int = 8, empty: str = ""
+) -> str:
+    """Render an associative array as a dense table.
+
+    Rows/columns beyond the limits are elided with a trailing summary
+    line.  Numeric values print compactly; string values verbatim.
+    """
+    if assoc.nnz == 0:
+        return "(empty Assoc)"
+    rows = assoc.row[:max_rows]
+    cols = assoc.col[:max_cols]
+    header = [""] + [str(c) for c in cols]
+    body: List[List[str]] = []
+    for r in rows:
+        line = [str(r)]
+        for c in cols:
+            v = assoc.get(str(r), str(c))
+            if v is None:
+                line.append(empty)
+            elif isinstance(v, float):
+                line.append(f"{v:g}")
+            else:
+                line.append(str(v))
+        body.append(line)
+    widths = [
+        max(len(header[i]), *(len(b[i]) for b in body)) for i in range(len(header))
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for b in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(b, widths)))
+    hidden_r = assoc.row.size - rows.size
+    hidden_c = assoc.col.size - cols.size
+    if hidden_r or hidden_c:
+        lines.append(f"... ({hidden_r} more rows, {hidden_c} more cols)")
+    return "\n".join(lines)
+
+
+def spy(assoc: Assoc, *, max_rows: int = 40, max_cols: int = 72) -> str:
+    """Structure plot: ``#`` where an entry is stored, ``.`` elsewhere."""
+    if assoc.nnz == 0:
+        return "(empty Assoc)"
+    n_r = min(int(assoc.row.size), max_rows)
+    n_c = min(int(assoc.col.size), max_cols)
+    grid = np.full((n_r, n_c), ".", dtype="<U1")
+    r, c, _ = assoc.adj.find()
+    keep = (r < n_r) & (c < n_c)
+    grid[r[keep].astype(int), c[keep].astype(int)] = "#"
+    lines = ["".join(row) for row in grid]
+    lines.append(
+        f"{assoc.nnz} entries in {assoc.row.size} x {assoc.col.size} "
+        f"(showing {n_r} x {n_c})"
+    )
+    return "\n".join(lines)

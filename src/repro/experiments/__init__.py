@@ -1,0 +1,65 @@
+"""One module per paper table/figure.
+
+Each experiment module exposes
+
+* ``run(study) -> <Result>`` — compute the experiment on a
+  :class:`~repro.core.CorrelationStudy`;
+* a result dataclass with ``format()`` (the printable table/series the
+  paper reports) and ``checks()`` (shape-level assertions comparing the
+  measurement against the paper's qualitative claims).
+
+The benchmark harness (``benchmarks/``), the CLI (``repro <experiment>``)
+and EXPERIMENTS.md are all generated from these modules, so there is a
+single source of truth per experiment.
+"""
+
+from . import (
+    ablation,
+    consistency,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    generative,
+    prediction,
+    scaling,
+    spectrum,
+    subnets,
+    vantage,
+    table1,
+    table2,
+)
+from .common import build_study, default_config, Check, format_checks
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "scaling": scaling,
+    "spectrum": spectrum,
+    "subnets": subnets,
+    "vantage": vantage,
+    "consistency": consistency,
+    "prediction": prediction,
+    "generative": generative,
+    "ablation": ablation,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "build_study",
+    "default_config",
+    "Check",
+    "format_checks",
+]

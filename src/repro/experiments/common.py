@@ -1,0 +1,96 @@
+"""Shared infrastructure for the experiment modules.
+
+Scale is controlled by environment variables so the same code runs in CI
+(small), on a laptop (default) or scaled up toward the paper's sizes:
+
+* ``REPRO_LOG2_NV`` — log2 of the telescope window (default 18 here; the
+  paper used 30).  All thresholds scale as ``N_V^{1/2}``.
+* ``REPRO_SOURCES`` — population size (default tracks the window size).
+* ``REPRO_SEED`` — master seed.
+
+``build_study`` memoizes studies per configuration within the process, so
+benchmarks for different figures share the expensive data collection.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import CorrelationStudy
+from ..synth import ModelConfig
+
+__all__ = ["default_config", "build_study", "Check", "format_checks", "ascii_table"]
+
+_STUDIES: Dict[Tuple, CorrelationStudy] = {}
+
+
+def default_config(
+    *,
+    log2_nv: Optional[int] = None,
+    n_sources: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ModelConfig:
+    """The experiment-scale model configuration (env-overridable)."""
+    if log2_nv is None:
+        log2_nv = int(os.environ.get("REPRO_LOG2_NV", "18"))
+    if n_sources is None:
+        env = os.environ.get("REPRO_SOURCES")
+        # Population tracks the window so unique-source counts stay in the
+        # paper's proportion (~N_V^0.6 uniques per window).
+        n_sources = int(env) if env else max(4000, (1 << log2_nv) // 12)
+    if seed is None:
+        seed = int(os.environ.get("REPRO_SEED", "20220101"))
+    return ModelConfig(log2_nv=log2_nv, n_sources=n_sources, seed=seed)
+
+
+def build_study(config: Optional[ModelConfig] = None) -> CorrelationStudy:
+    """A (memoized) correlation study for the given configuration."""
+    cfg = config if config is not None else default_config()
+    key = (
+        cfg.log2_nv,
+        cfg.n_sources,
+        cfg.seed,
+        cfg.zm_alpha,
+        cfg.zm_delta,
+        cfg.bg_activity,
+        cfg.episode_floor,
+    )
+    if key not in _STUDIES:
+        _STUDIES[key] = CorrelationStudy(config=cfg)
+    return _STUDIES[key]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape-level agreement check against a paper claim."""
+
+    claim: str
+    ok: bool
+    detail: str
+
+    def format(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return f"[{mark}] {self.claim} — {self.detail}"
+
+
+def format_checks(checks: Sequence[Check]) -> str:
+    """Render a check list, one per line."""
+    return "\n".join(c.format() for c in checks)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal fixed-width table renderer for experiment output."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Fig 1 — traffic-matrix quadrant structure of the two instruments.
+
+The telescope monitors a darkspace: nothing inside ever transmits, so only
+the external→internal quadrant holds data.  The honeyfarm *responds* to
+probes, so both external→internal and internal→external are populated.
+This experiment builds both instruments' traffic matrices around their
+respective internal blocks and reports quadrant occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import CorrelationStudy
+from ..traffic.matrix import TrafficMatrixView
+from .common import Check, ascii_table
+
+__all__ = ["run", "Fig1Result"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Quadrant occupancy (stored entries) per instrument."""
+
+    telescope: Dict[str, int]
+    honeyfarm: Dict[str, int]
+
+    def format(self) -> str:
+        rows = [
+            ["telescope"] + [self.telescope[q] for q in ("ei", "ie", "ii", "ee")],
+            ["honeyfarm"] + [self.honeyfarm[q] for q in ("ei", "ie", "ii", "ee")],
+        ]
+        return "Fig 1 (quadrant occupancy: entries per quadrant)\n" + ascii_table(
+            ["instrument", "ext->int", "int->ext", "int->int", "ext->ext"], rows
+        )
+
+    def checks(self) -> List[Check]:
+        return [
+            Check(
+                "telescope data lies only in the external->internal quadrant",
+                self.telescope["ei"] > 0
+                and self.telescope["ie"] == 0
+                and self.telescope["ii"] == 0
+                and self.telescope["ee"] == 0,
+                f"occupancy {self.telescope}",
+            ),
+            Check(
+                "honeyfarm occupies both ext->int and int->ext quadrants",
+                self.honeyfarm["ei"] > 0 and self.honeyfarm["ie"] > 0,
+                f"occupancy {self.honeyfarm}",
+            ),
+            Check(
+                "honeyfarm never observes unrelated ext->ext traffic",
+                self.honeyfarm["ee"] == 0 and self.honeyfarm["ii"] == 0,
+                f"occupancy {self.honeyfarm}",
+            ),
+        ]
+
+
+def run(study: CorrelationStudy) -> Fig1Result:
+    """Quadrant occupancy of the first telescope window and coeval month."""
+    sample = study.samples[0]
+    tel_view = TrafficMatrixView.from_packets(
+        sample.packets, study.model.config.darkspace
+    )
+    month = study.months[study.coeval_month_index(0)]
+    hf_view = TrafficMatrixView.from_packets(
+        month.responses, study.model.config.sensor_block
+    )
+    return Fig1Result(telescope=tel_view.occupancy(), honeyfarm=hf_view.occupancy())

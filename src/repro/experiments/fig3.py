@@ -1,0 +1,119 @@
+"""Fig 3 — source-packet degree distributions and Zipf-Mandelbrot fits.
+
+For each of the five telescope samples: the differential cumulative
+probability ``D_t(d_i)`` over binary-logarithmic bins, plus the
+maximum-likelihood Zipf-Mandelbrot fit.  The checks assert the paper's
+claims: all samples share a stable power-law shape (small cross-sample
+variation) well approximated by the two-parameter Zipf-Mandelbrot form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core import CorrelationStudy
+from ..stats import ZipfFit, ks_distance
+from ..stats.binning import BinnedDistribution
+from .common import Check, ascii_table
+
+__all__ = ["run", "Fig3Result"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Per-sample binned distributions and fits."""
+
+    samples: List[Tuple[str, BinnedDistribution, ZipfFit, float]]  # +KS distance
+
+    def format(self) -> str:
+        lines = ["Fig 3 (source-packet degree distributions, log2 bins)"]
+        # Distribution table: one column per sample.
+        labels = [label for label, *_ in self.samples]
+        max_bins = max(b.prob.size for _, b, _, _ in self.samples)
+        headers = ["d bin"] + labels
+        rows = []
+        for i in range(max_bins):
+            row: List[object] = [f"2^{i - 1}..2^{i}" if i else "1"]
+            for _, binned, _, _ in self.samples:
+                row.append(
+                    f"{binned.prob[i]:.4f}" if i < binned.prob.size else ""
+                )
+            rows.append(row)
+        lines.append(ascii_table(headers, rows))
+        lines.append("")
+        lines.append(
+            ascii_table(
+                ["sample", "alpha_zm", "delta_zm", "d_max", "KS"],
+                [
+                    [label, f"{fit.alpha:.3f}", f"{fit.delta:.2f}", fit.d_max, f"{ks:.4f}"]
+                    for label, _, fit, ks in self.samples
+                ],
+            )
+        )
+        return "\n".join(lines)
+
+    def checks(self) -> List[Check]:
+        alphas = np.asarray([fit.alpha for _, _, fit, _ in self.samples])
+        kss = np.asarray([ks for _, _, _, ks in self.samples])
+        # Cross-sample stability: max pairwise distance between binned
+        # distributions over shared bins.
+        dists = []
+        for i in range(len(self.samples)):
+            for j in range(i + 1, len(self.samples)):
+                a = self.samples[i][1].prob
+                b = self.samples[j][1].prob
+                k = min(a.size, b.size)
+                dists.append(float(np.abs(a[:k] - b[:k]).max()))
+        return [
+            Check(
+                "distribution is heavy-tailed (degrees span 8+ octaves)",
+                all(b.prob.size >= 9 for _, b, _, _ in self.samples),
+                f"d_max per sample: {[int(b.d_max) for _, b, _, _ in self.samples]}",
+            ),
+            Check(
+                "samples collected months apart have similar distributions",
+                max(dists) < 0.08,
+                f"max pairwise bin deviation {max(dists):.4f}",
+            ),
+            Check(
+                "Zipf-Mandelbrot approximates every sample (KS < 0.05)",
+                bool(kss.max() < 0.05),
+                f"KS distances {np.round(kss, 4).tolist()}",
+            ),
+            Check(
+                "fitted tail exponents are stable across samples",
+                float(alphas.std()) < 0.15,
+                f"alpha_zm = {np.round(alphas, 3).tolist()}",
+            ),
+        ]
+
+
+def run(study: CorrelationStudy) -> Fig3Result:
+    """Fit all five telescope samples."""
+    out = []
+    for label, binned, fit in study.fig3_distributions():
+        sample = study.samples[
+            list(study.model.scenario.telescope_labels).index(label)
+        ]
+        degrees = sample.source_packets.vals
+        ks = ks_distance(degrees, fit.model().cdf)
+        out.append((label, binned, fit, ks))
+    return Fig3Result(samples=out)
+
+
+def plot(result: Fig3Result) -> str:
+    """Log-log render of the Fig 3 distributions with the first fit overlay."""
+    from ..report import AsciiPlot
+
+    p = AsciiPlot(x_log=True, y_log=True, title="Fig 3: D_t(d) vs source packets d")
+    for label, binned, fit, _ in result.samples:
+        centers, prob = binned.nonempty()
+        p.add_series(label[:10], centers, prob)
+    label, binned, fit, _ = result.samples[0]
+    model = fit.model().binned_prob(binned.edges)
+    keep = model > 0
+    p.add_series("ZM fit", binned.centers[keep], model[keep])
+    return p.render()

@@ -1,0 +1,82 @@
+"""Markdown reproduction reports.
+
+``repro report`` runs every experiment on one study and writes a single
+self-contained markdown document: per-experiment tables, terminal-rendered
+figures, and the pass/fail ledger of every paper-claim check — a generated
+counterpart to the repository's hand-written EXPERIMENTS.md, pinned to one
+configuration and seed.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core import CorrelationStudy
+
+__all__ = ["generate_report"]
+
+PathLike = Union[str, Path]
+
+
+def generate_report(
+    study: CorrelationStudy,
+    *,
+    experiments: Optional[List[str]] = None,
+    include_plots: bool = True,
+) -> str:
+    """Run experiments and render one markdown report string."""
+    from . import EXPERIMENTS  # late import: avoids a module cycle
+
+    names = experiments if experiments is not None else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+
+    cfg = study.model.config
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        f"- generated: {datetime.now(timezone.utc).isoformat(timespec='seconds')}",
+        f"- window size: N_V = 2^{cfg.log2_nv}",
+        f"- population: {cfg.n_sources} sources, seed {cfg.seed}",
+        "",
+    ]
+    ledger: List[str] = []
+    total = passed = 0
+    for name in names:
+        module = EXPERIMENTS[name]
+        try:
+            result = module.run(study)
+        except Exception as exc:  # a report must survive one bad experiment
+            total += 1
+            lines.append(f"## {name}")
+            lines.append("")
+            lines.append(f"- [ ] experiment ran — failed: {exc!r}")
+            lines.append("")
+            ledger.append(f"{name}: FAILED to run: {exc!r}")
+            continue
+        checks = result.checks()
+        total += len(checks)
+        passed += sum(c.ok for c in checks)
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.format())
+        lines.append("```")
+        if include_plots and hasattr(module, "plot"):
+            lines.append("")
+            lines.append("```")
+            lines.append(module.plot(result))
+            lines.append("```")
+        lines.append("")
+        for c in checks:
+            mark = "x" if c.ok else " "
+            lines.append(f"- [{mark}] {c.claim} — {c.detail}")
+            ledger.append(f"{name}: {c.format()}")
+        lines.append("")
+    lines.insert(
+        5, f"- checks passed: **{passed}/{total}**"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Subnet-granularity correlation in anonymized space (paper §I payoff).
+
+The paper's pipeline anonymizes with CryptoPAN — prefix-*preserving* —
+rather than an arbitrary permutation.  This experiment demonstrates the
+capability that choice buys: telescope↔honeyfarm overlap measured at every
+prefix granularity from /8 to /32, computed twice —
+
+* in plain address space, and
+* entirely in anonymized space via the mode-2 common-scheme exchange,
+  with no party ever materializing a plain address —
+
+and verifies the two agree *exactly* at every granularity.  It also
+records the aggregation profile itself: coarse prefixes overlap almost
+completely (both instruments see the same networks), fine ones fall to the
+per-address Fig 4 level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..anonymize import AnonymizationDomain
+from ..core import CorrelationStudy
+from ..core.subnet import SubnetOverlap, anonymized_subnet_overlap, subnet_overlap
+from .common import Check, ascii_table
+
+__all__ = ["run", "SubnetResult"]
+
+PREFIX_LENGTHS = (8, 12, 16, 20, 24, 28, 32)
+
+
+@dataclass(frozen=True)
+class SubnetResult:
+    """Plain vs anonymized-space overlap per prefix length."""
+
+    plain: List[SubnetOverlap]
+    anonymized: List[SubnetOverlap]
+
+    def format(self) -> str:
+        rows = []
+        for p, a in zip(self.plain, self.anonymized):
+            rows.append(
+                [
+                    f"/{p.prefix_len}",
+                    p.n_a,
+                    p.n_common,
+                    f"{p.fraction_a:.3f}",
+                    f"{a.fraction_a:.3f}",
+                    "==" if (p.n_common, p.n_a) == (a.n_common, a.n_a) else "!!",
+                ]
+            )
+        return (
+            "Subnet-level coeval correlation (plain vs anonymized-space)\n"
+            + ascii_table(
+                [
+                    "prefix",
+                    "telescope prefixes",
+                    "common",
+                    "overlap (plain)",
+                    "overlap (anon)",
+                    "agree",
+                ],
+                rows,
+            )
+        )
+
+    def checks(self) -> List[Check]:
+        exact = all(
+            (p.n_a, p.n_b, p.n_common) == (a.n_a, a.n_b, a.n_common)
+            for p, a in zip(self.plain, self.anonymized)
+        )
+        fracs = [p.fraction_a for p in self.plain]
+        return [
+            Check(
+                "anonymized-space subnet correlation equals plain-space "
+                "exactly at every granularity",
+                exact,
+                f"{len(self.plain)} prefix lengths compared",
+            ),
+            Check(
+                "overlap decreases monotonically with prefix length "
+                "(aggregation coarsens toward certainty)",
+                all(a >= b - 1e-12 for a, b in zip(fracs, fracs[1:])),
+                f"fractions {np.round(fracs, 3).tolist()}",
+            ),
+            Check(
+                "coarse networks overlap far more than individual addresses",
+                fracs[0] > 1.5 * fracs[-1],
+                f"/8: {fracs[0]:.3f} vs /32: {fracs[-1]:.3f}",
+            ),
+        ]
+
+
+def run(study: CorrelationStudy) -> SubnetResult:
+    """Measure the subnet profile for the first sample's coeval month."""
+    tel = study.samples[0].sources()
+    hf = study.monthly_sources[study.coeval_month_index(0)]
+
+    plain = [subnet_overlap(tel, hf, k) for k in PREFIX_LENGTHS]
+
+    tel_domain = AnonymizationDomain("telescope", b"tel-subnet-key")
+    hf_domain = AnonymizationDomain("honeyfarm", b"hf-subnet-key")
+    anon_tel = tel_domain.publish(tel)
+    anon_hf = hf_domain.publish(hf)
+    anonymized = [
+        anonymized_subnet_overlap(tel_domain, anon_tel, hf_domain, anon_hf, k)
+        for k in PREFIX_LENGTHS
+    ]
+    return SubnetResult(plain=plain, anonymized=anonymized)

@@ -1,0 +1,43 @@
+"""Temporal-correlation model distributions and fitting.
+
+Section III fits the CAIDA-GreyNoise temporal correlation curves to three
+candidate families — Gaussian, Cauchy, and the paper's **modified Cauchy**
+
+.. math::  f(t) \\propto \\frac{\\beta}{\\beta + |t - t_0|^{\\alpha}}
+
+using a characteristic procedure: "generating all distributions over a
+range of possible alpha and beta values, normalizing to the peak in the
+data, and then selecting the alpha and beta that minimize the
+``| |^{1/2}`` norm."  This package reproduces that procedure exactly
+(:func:`fit_temporal`) and provides the derived quantities of Figs 7-8:
+the best-fit exponent ``alpha`` and the one-month drop ``1/(beta + 1)``.
+"""
+
+from .models import gaussian, cauchy, modified_cauchy, MODEL_FAMILIES
+from .fitting import (
+    FitResult,
+    fit_temporal,
+    fit_all_families,
+    half_norm,
+    one_month_drop,
+)
+from .bootstrap import (
+    BootstrapResult,
+    bootstrap_temporal_fit,
+    per_source_trajectories,
+)
+
+__all__ = [
+    "gaussian",
+    "cauchy",
+    "modified_cauchy",
+    "MODEL_FAMILIES",
+    "FitResult",
+    "fit_temporal",
+    "fit_all_families",
+    "half_norm",
+    "one_month_drop",
+    "BootstrapResult",
+    "bootstrap_temporal_fit",
+    "per_source_trajectories",
+]

@@ -1,0 +1,77 @@
+"""Candidate temporal-correlation shapes, each normalized to peak 1 at t0.
+
+All three families are *peak-normalized profiles* rather than probability
+densities: the paper scales each candidate to the peak of the measured
+correlation curve before computing the fit loss, so only the shape
+matters.
+
+* Gaussian: ``exp(-(t - t0)^2 / (2 sigma^2))`` — light (super-exponential)
+  tails; systematically under-predicts the long-lag correlation floor.
+* Cauchy: ``gamma^2 / (gamma^2 + (t - t0)^2)`` — the classic heavy-tailed
+  "rotating beam" profile (Stigler's witch of Agnesi).
+* Modified Cauchy: ``beta / (beta + |t - t0|^alpha)`` — the paper's
+  two-parameter generalization; ``alpha = 2``, ``beta = gamma^2`` recovers
+  the standard Cauchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["gaussian", "cauchy", "modified_cauchy", "MODEL_FAMILIES"]
+
+
+def gaussian(t: np.ndarray, t0: float, sigma: float) -> np.ndarray:
+    """Peak-normalized Gaussian profile with scale ``sigma > 0``."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    t = np.asarray(t, dtype=np.float64)
+    z = (t - t0) / sigma
+    return np.exp(-0.5 * z * z)
+
+
+def cauchy(t: np.ndarray, t0: float, gamma: float) -> np.ndarray:
+    """Peak-normalized standard Cauchy profile with scale ``gamma > 0``."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    t = np.asarray(t, dtype=np.float64)
+    g2 = gamma * gamma
+    return g2 / (g2 + (t - t0) ** 2)
+
+
+def modified_cauchy(t: np.ndarray, t0: float, alpha: float, beta: float) -> np.ndarray:
+    """The paper's modified Cauchy: ``beta / (beta + |t - t0|^alpha)``.
+
+    ``alpha > 0`` controls tail heaviness (1 is typical in the data;
+    2 recovers the standard Cauchy shape), ``beta > 0`` sets the scale:
+    the correlation one month from the peak is ``beta / (beta + 1)``.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    t = np.asarray(t, dtype=np.float64)
+    return beta / (beta + np.abs(t - t0) ** alpha)
+
+
+def _gaussian_profile(t, t0, params):
+    return gaussian(t, t0, params[0])
+
+
+def _cauchy_profile(t, t0, params):
+    return cauchy(t, t0, params[0])
+
+
+def _modified_cauchy_profile(t, t0, params):
+    return modified_cauchy(t, t0, params[0], params[1])
+
+
+#: Registry used by the fitting driver: family name -> (profile fn taking a
+#: parameter tuple, parameter names).
+MODEL_FAMILIES: Dict[str, tuple] = {
+    "gaussian": (_gaussian_profile, ("sigma",)),
+    "cauchy": (_cauchy_profile, ("gamma",)),
+    "modified_cauchy": (_modified_cauchy_profile, ("alpha", "beta")),
+}

@@ -1,0 +1,84 @@
+"""Hypersparse GraphBLAS-style matrices.
+
+This package provides the sparse linear-algebra substrate the paper's
+pipeline runs on: hypersparse matrices over an index space as large as
+``2^32 x 2^32`` (the full IPv4 x IPv4 plane) where the number of stored
+entries is vastly smaller than either dimension.  It mirrors the subset of
+the GraphBLAS used by the paper:
+
+* construction from (row, col, value) triples with duplicate accumulation,
+* element-wise algebra over semiring add/multiply operators,
+* matrix multiply over a semiring (``mxm``),
+* the zero-norm ``|A|_0`` that maps every stored value to 1,
+* row/column reductions (the Table II network quantities),
+* permutation (anonymization) invariance,
+* hierarchical accumulation of streaming updates (the ``2^17`` -> ``2^30``
+  packet-window summation described in Section II of the paper).
+
+Everything is implemented with vectorized NumPy kernels over canonically
+sorted COO triples; no scipy.sparse matrix is ever materialized over the
+``2^32`` index space.
+"""
+
+from .coo import HyperSparseMatrix, SparseVec
+from .semiring import (
+    Semiring,
+    PLUS_TIMES,
+    MIN_PLUS,
+    MAX_PLUS,
+    PLUS_PAIR,
+    MAX_TIMES,
+    MIN_TIMES,
+    LOR_LAND,
+)
+from .hierarchical import HierarchicalMatrix
+from .ops import (
+    mxv,
+    vxm,
+    select,
+    mask,
+    complement_mask,
+    kron,
+    diag,
+    diag_extract,
+    tril,
+    triu,
+    concat_blocks,
+    split_blocks,
+)
+from .io import (
+    save_triples_npz,
+    load_triples_npz,
+    to_triples_text,
+    from_triples_text,
+)
+
+__all__ = [
+    "HyperSparseMatrix",
+    "SparseVec",
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "PLUS_PAIR",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "LOR_LAND",
+    "HierarchicalMatrix",
+    "mxv",
+    "vxm",
+    "select",
+    "mask",
+    "complement_mask",
+    "kron",
+    "diag",
+    "diag_extract",
+    "tril",
+    "triu",
+    "concat_blocks",
+    "split_blocks",
+    "save_triples_npz",
+    "load_triples_npz",
+    "to_triples_text",
+    "from_triples_text",
+]

@@ -1,0 +1,630 @@
+"""Canonical sorted-COO hypersparse matrices and sparse vectors.
+
+The paper stores telescope traffic as ``2^32 x 2^32`` GraphBLAS hypersparse
+matrices: the index space is the full IPv4 plane but only ``O(N_V)`` entries
+are present.  A dense — or even CSR — representation over that space is
+impossible, so everything here works on *triples* ``(row, col, value)`` kept
+in a canonical form:
+
+* lexicographically sorted by ``(row, col)``,
+* no duplicate coordinates (duplicates are combined on construction),
+* ``float64`` values, ``uint64`` coordinates.
+
+All kernels are vectorized NumPy: sorting, ``searchsorted`` joins and
+``ufunc.reduceat`` run-combining.  No Python-level loop touches per-entry
+data, per the HPC guidance of keeping hot paths inside compiled ufuncs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from .semiring import PLUS_TIMES, Semiring
+
+__all__ = ["HyperSparseMatrix", "SparseVec", "IPV4_SPACE"]
+
+#: Size of the IPv4 address space; default matrix extent in the paper.
+IPV4_SPACE = 2**32
+
+ArrayLike = Union[np.ndarray, Iterable[int], Iterable[float]]
+
+
+def _as_u64(a: ArrayLike) -> np.ndarray:
+    """Coerce coordinates to a contiguous uint64 array.
+
+    Negative or non-integral coordinates are programming errors and raise.
+    """
+    arr = np.asarray(a)
+    if arr.dtype.kind == "f":
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError("matrix coordinates must be integral")
+        arr = arr.astype(np.uint64)
+    elif arr.dtype.kind == "i":
+        if arr.size and arr.min() < 0:
+            raise ValueError("matrix coordinates must be non-negative")
+        arr = arr.astype(np.uint64)
+    elif arr.dtype.kind == "u":
+        arr = arr.astype(np.uint64)
+    else:
+        raise TypeError(f"cannot use dtype {arr.dtype} as matrix coordinates")
+    return np.ascontiguousarray(arr)
+
+
+def _combine_duplicates(
+    keys: np.ndarray, vals: np.ndarray, add: np.ufunc
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort ``keys`` and combine values of equal keys with ``add``.
+
+    Returns (unique sorted keys, combined values).  The workhorse of every
+    construction and union operation in this module.
+    """
+    if keys.size == 0:
+        return keys, vals
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    first = np.empty(keys.size, dtype=bool)
+    first[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    return keys[starts], add.reduceat(vals, starts)
+
+
+class SparseVec:
+    """A sparse vector keyed by uint64 indices.
+
+    Produced by matrix row/column reductions: e.g. ``A.row_reduce()`` is the
+    paper's ``A_t 1`` (packets from each source), keyed by the *original*
+    (possibly anonymized) source addresses, so results survive permutation.
+    """
+
+    __slots__ = ("keys", "vals")
+
+    def __init__(self, keys: ArrayLike, vals: ArrayLike, *, accumulate: np.ufunc = np.add):
+        keys = _as_u64(keys)
+        vals = np.ascontiguousarray(np.asarray(vals, dtype=np.float64))
+        if keys.shape != vals.shape:
+            raise ValueError("keys and vals must have identical shape")
+        self.keys, self.vals = _combine_duplicates(keys, vals, accumulate)
+
+    # -- basic protocol ---------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.keys.size)
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __iter__(self):
+        return zip(self.keys.tolist(), self.vals.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseVec(nnz={self.nnz})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVec):
+            return NotImplemented
+        return bool(
+            self.keys.size == other.keys.size
+            and np.array_equal(self.keys, other.keys)
+            and np.array_equal(self.vals, other.vals)
+        )
+
+    def __hash__(self):  # mutable-ish container; identity hashing is a trap
+        raise TypeError("SparseVec is unhashable")
+
+    def copy(self) -> "SparseVec":
+        out = SparseVec.__new__(SparseVec)
+        out.keys = self.keys.copy()
+        out.vals = self.vals.copy()
+        return out
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        """Value stored at ``key`` or ``default`` if absent."""
+        idx = np.searchsorted(self.keys, np.uint64(key))
+        if idx < self.keys.size and self.keys[idx] == np.uint64(key):
+            return float(self.vals[idx])
+        return default
+
+    def to_dict(self) -> dict:
+        """Materialize as ``{key: value}`` (small vectors only)."""
+        return {int(k): float(v) for k, v in zip(self.keys, self.vals)}
+
+    # -- reductions --------------------------------------------------------
+
+    def total(self) -> float:
+        """Sum of all stored values."""
+        return float(self.vals.sum()) if self.vals.size else 0.0
+
+    def max(self) -> float:
+        """Largest stored value (``d_max`` of the paper); 0 if empty."""
+        return float(self.vals.max()) if self.vals.size else 0.0
+
+    def min(self) -> float:
+        """Smallest stored value; 0 if empty."""
+        return float(self.vals.min()) if self.vals.size else 0.0
+
+    def zero_norm(self) -> "SparseVec":
+        """``|v|_0``: every stored value replaced by 1."""
+        out = SparseVec.__new__(SparseVec)
+        out.keys = self.keys.copy()
+        out.vals = np.ones_like(self.vals)
+        return out
+
+    def prune(self, value: float = 0.0) -> "SparseVec":
+        """Drop entries equal to ``value`` (explicit zeros by default)."""
+        mask = self.vals != value
+        out = SparseVec.__new__(SparseVec)
+        out.keys = self.keys[mask]
+        out.vals = self.vals[mask]
+        return out
+
+    # -- algebra ------------------------------------------------------------
+
+    def ewise_add(self, other: "SparseVec", op: np.ufunc = np.add) -> "SparseVec":
+        """Union combine: ``op`` where both present, pass-through elsewhere."""
+        keys = np.concatenate([self.keys, other.keys])
+        vals = np.concatenate([self.vals, other.vals])
+        out = SparseVec.__new__(SparseVec)
+        out.keys, out.vals = _combine_duplicates(keys, vals, op)
+        return out
+
+    def ewise_mult(self, other: "SparseVec", op: Callable = np.multiply) -> "SparseVec":
+        """Intersection combine: entries present in *both* vectors."""
+        common, ia, ib = np.intersect1d(
+            self.keys, other.keys, assume_unique=True, return_indices=True
+        )
+        out = SparseVec.__new__(SparseVec)
+        out.keys = common
+        out.vals = np.asarray(op(self.vals[ia], other.vals[ib]), dtype=np.float64)
+        return out
+
+    def __add__(self, other: "SparseVec") -> "SparseVec":
+        return self.ewise_add(other, np.add)
+
+    def __mul__(self, other):
+        if isinstance(other, SparseVec):
+            return self.ewise_mult(other, np.multiply)
+        out = SparseVec.__new__(SparseVec)
+        out.keys = self.keys.copy()
+        out.vals = self.vals * float(other)
+        return out
+
+    __rmul__ = __mul__
+
+    # -- selection -----------------------------------------------------------
+
+    def select_keys(self, keys: ArrayLike) -> "SparseVec":
+        """Restrict to the given key set (sparse intersection)."""
+        want = np.unique(_as_u64(keys))
+        common, ia, _ = np.intersect1d(
+            self.keys, want, assume_unique=True, return_indices=True
+        )
+        out = SparseVec.__new__(SparseVec)
+        out.keys = common
+        out.vals = self.vals[ia]
+        return out
+
+    def select_range(self, lo: float, hi: float) -> "SparseVec":
+        """Keep entries with ``lo <= value < hi`` — the paper's degree bins."""
+        mask = (self.vals >= lo) & (self.vals < hi)
+        out = SparseVec.__new__(SparseVec)
+        out.keys = self.keys[mask]
+        out.vals = self.vals[mask]
+        return out
+
+
+class HyperSparseMatrix:
+    """Hypersparse matrix in canonical sorted-COO form.
+
+    Parameters
+    ----------
+    rows, cols:
+        Entry coordinates; any integer dtype.  Duplicates are combined.
+    vals:
+        Entry values; coerced to float64.  If omitted, all entries are 1
+        (each triple is a single packet).
+    shape:
+        Matrix extent; defaults to the full IPv4 plane ``(2^32, 2^32)``.
+    accumulate:
+        ufunc used to combine duplicate coordinates (default ``np.add`` —
+        packets between the same pair sum, exactly the paper's ``A_t``).
+    """
+
+    __slots__ = ("rows", "cols", "vals", "shape")
+
+    def __init__(
+        self,
+        rows: ArrayLike = (),
+        cols: ArrayLike = (),
+        vals: Optional[ArrayLike] = None,
+        *,
+        shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE),
+        accumulate: np.ufunc = np.add,
+    ):
+        rows = _as_u64(rows)
+        cols = _as_u64(cols)
+        if vals is None:
+            vals = np.ones(rows.size, dtype=np.float64)
+        else:
+            vals = np.ascontiguousarray(np.asarray(vals, dtype=np.float64))
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows, cols, vals must have identical shape")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows <= 0 or ncols <= 0:
+            raise ValueError("shape extents must be positive")
+        if nrows * ncols > 2**64:
+            raise ValueError("index space larger than 2^64 is not supported")
+        if rows.size:
+            if rows.max() >= np.uint64(nrows) or cols.max() >= np.uint64(ncols):
+                raise ValueError("coordinate outside matrix shape")
+        self.shape = (nrows, ncols)
+        keys = self._linearize(rows, cols)
+        keys, vals = _combine_duplicates(keys, vals, accumulate)
+        self.rows, self.cols = self._delinearize(keys)
+        self.vals = vals
+
+    # -- construction helpers -------------------------------------------------
+
+    def _linearize(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Map (row, col) to a single uint64 key preserving lexicographic order."""
+        return rows * np.uint64(self.shape[1]) + cols
+
+    def _delinearize(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        ncols = np.uint64(self.shape[1])
+        return keys // ncols, keys % ncols
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "HyperSparseMatrix":
+        """Internal fast path: inputs already canonical (sorted, unique)."""
+        out = cls.__new__(cls)
+        out.rows = rows
+        out.cols = cols
+        out.vals = vals
+        out.shape = shape
+        return out
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Tuple[int, int, float]],
+        *,
+        shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE),
+        accumulate: np.ufunc = np.add,
+    ) -> "HyperSparseMatrix":
+        """Build from an iterable of ``(row, col, value)`` tuples."""
+        triples = list(triples)
+        if not triples:
+            return cls(shape=shape)
+        rows, cols, vals = zip(*triples)
+        return cls(rows, cols, vals, shape=shape, accumulate=accumulate)
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE)) -> "HyperSparseMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(shape=shape)
+
+    def copy(self) -> "HyperSparseMatrix":
+        return self._from_canonical(
+            self.rows.copy(), self.cols.copy(), self.vals.copy(), self.shape
+        )
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (unique links in traffic terms)."""
+        return int(self.vals.size)
+
+    def find(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the canonical ``(rows, cols, vals)`` triple arrays."""
+        return self.rows, self.cols, self.vals
+
+    def __getitem__(self, ij: Tuple[int, int]) -> float:
+        i, j = ij
+        key = np.uint64(i) * np.uint64(self.shape[1]) + np.uint64(j)
+        keys = self._linearize(self.rows, self.cols)
+        idx = np.searchsorted(keys, key)
+        if idx < keys.size and keys[idx] == key:
+            return float(self.vals[idx])
+        return 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HyperSparseMatrix):
+            return NotImplemented
+        return bool(
+            self.shape == other.shape
+            and self.nnz == other.nnz
+            and np.array_equal(self.rows, other.rows)
+            and np.array_equal(self.cols, other.cols)
+            and np.array_equal(self.vals, other.vals)
+        )
+
+    def __hash__(self):
+        raise TypeError("HyperSparseMatrix is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HyperSparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def to_dense(self, max_elements: int = 1 << 22) -> np.ndarray:
+        """Materialize densely (guarded — test/debug helper only)."""
+        n = self.shape[0] * self.shape[1]
+        if n > max_elements:
+            raise ValueError(
+                f"refusing to densify {self.shape}: {n} elements > {max_elements}"
+            )
+        out = np.zeros(self.shape, dtype=np.float64)
+        out[self.rows.astype(np.int64), self.cols.astype(np.int64)] = self.vals
+        return out
+
+    # -- structural ops ------------------------------------------------------
+
+    def transpose(self) -> "HyperSparseMatrix":
+        """Swap rows and columns (sources <-> destinations)."""
+        out = HyperSparseMatrix.__new__(HyperSparseMatrix)
+        out.shape = (self.shape[1], self.shape[0])
+        keys = self.cols * np.uint64(out.shape[1]) + self.rows
+        order = np.argsort(keys, kind="stable")
+        out.rows = self.cols[order]
+        out.cols = self.rows[order]
+        out.vals = self.vals[order]
+        return out
+
+    @property
+    def T(self) -> "HyperSparseMatrix":
+        return self.transpose()
+
+    def zero_norm(self) -> "HyperSparseMatrix":
+        """``|A|_0`` — every stored value set to 1 (Table II's zero-norm)."""
+        return self._from_canonical(
+            self.rows.copy(), self.cols.copy(), np.ones_like(self.vals), self.shape
+        )
+
+    def prune(self, value: float = 0.0) -> "HyperSparseMatrix":
+        """Drop stored entries equal to ``value``."""
+        mask = self.vals != value
+        return self._from_canonical(
+            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
+        )
+
+    def apply(self, fn: Callable[[np.ndarray], np.ndarray]) -> "HyperSparseMatrix":
+        """Apply an element-wise function to stored values only."""
+        vals = np.asarray(fn(self.vals), dtype=np.float64)
+        if vals.shape != self.vals.shape:
+            raise ValueError("apply() function changed the number of entries")
+        return self._from_canonical(self.rows.copy(), self.cols.copy(), vals, self.shape)
+
+    def permute(
+        self,
+        row_map: Callable[[np.ndarray], np.ndarray],
+        col_map: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> "HyperSparseMatrix":
+        """Relabel coordinates through bijections (e.g. CryptoPAN).
+
+        ``row_map``/``col_map`` are vectorized callables mapping uint64
+        coordinate arrays to uint64 coordinate arrays.  The paper's Table II
+        quantities are all invariant under such permutations — property-tested
+        in ``tests/hypersparse/test_invariance.py``.
+        """
+        if col_map is None:
+            col_map = row_map
+        rows = _as_u64(row_map(self.rows))
+        cols = _as_u64(col_map(self.cols))
+        if rows.shape != self.rows.shape or cols.shape != self.cols.shape:
+            raise ValueError("permutation maps must preserve entry count")
+        return HyperSparseMatrix(rows, cols, self.vals.copy(), shape=self.shape)
+
+    # -- element-wise algebra ---------------------------------------------------
+
+    def ewise_add(
+        self, other: "HyperSparseMatrix", op: np.ufunc = np.add
+    ) -> "HyperSparseMatrix":
+        """Union combine (GraphBLAS eWiseAdd): ``op`` where both stored."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        keys = np.concatenate(
+            [self._linearize(self.rows, self.cols), other._linearize(other.rows, other.cols)]
+        )
+        vals = np.concatenate([self.vals, other.vals])
+        keys, vals = _combine_duplicates(keys, vals, op)
+        rows, cols = self._delinearize(keys)
+        return self._from_canonical(rows, cols, vals, self.shape)
+
+    def ewise_mult(
+        self, other: "HyperSparseMatrix", op: Callable = np.multiply
+    ) -> "HyperSparseMatrix":
+        """Intersection combine (GraphBLAS eWiseMult)."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        ka = self._linearize(self.rows, self.cols)
+        kb = other._linearize(other.rows, other.cols)
+        common, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+        vals = np.asarray(op(self.vals[ia], other.vals[ib]), dtype=np.float64)
+        rows, cols = self._delinearize(common)
+        return self._from_canonical(rows, cols, vals, self.shape)
+
+    def __add__(self, other: "HyperSparseMatrix") -> "HyperSparseMatrix":
+        return self.ewise_add(other, np.add)
+
+    def __sub__(self, other: "HyperSparseMatrix") -> "HyperSparseMatrix":
+        return self.ewise_add(other * -1.0, np.add)
+
+    def __mul__(self, other):
+        if isinstance(other, HyperSparseMatrix):
+            return self.ewise_mult(other, np.multiply)
+        return self._from_canonical(
+            self.rows.copy(), self.cols.copy(), self.vals * float(other), self.shape
+        )
+
+    __rmul__ = __mul__
+
+    # -- matrix multiply ---------------------------------------------------------
+
+    def mxm(
+        self, other: "HyperSparseMatrix", semiring: Semiring = PLUS_TIMES
+    ) -> "HyperSparseMatrix":
+        """Sparse matrix-matrix multiply over a semiring.
+
+        Implemented as a vectorized sort-merge join: ``self``'s columns are
+        joined against ``other``'s rows with ``searchsorted``, products are
+        expanded with ``repeat``, and duplicates combined with the semiring's
+        additive monoid via ``reduceat``.
+        """
+        if self.shape[1] != other.shape[0]:
+            raise ValueError(f"inner dimensions differ: {self.shape} x {other.shape}")
+        out_shape = (self.shape[0], other.shape[1])
+        if self.nnz == 0 or other.nnz == 0:
+            return HyperSparseMatrix.empty(out_shape)
+
+        # other is canonical: rows sorted. Locate, for each A entry, the run of
+        # B entries whose row equals A's column.
+        b_rows = other.rows
+        lo = np.searchsorted(b_rows, self.cols, side="left")
+        hi = np.searchsorted(b_rows, self.cols, side="right")
+        counts = hi - lo
+        keep = counts > 0
+        if not np.any(keep):
+            return HyperSparseMatrix.empty(out_shape)
+        lo, counts = lo[keep], counts[keep]
+        a_rows = self.rows[keep]
+        a_vals = self.vals[keep]
+
+        # Expand the join: entry t of A pairs with B entries lo[t]..lo[t]+counts[t).
+        total = int(counts.sum())
+        # b_index = lo repeated, plus an intra-run ramp.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        ramp = np.arange(total, dtype=np.int64) - offsets
+        b_index = np.repeat(lo, counts) + ramp
+        out_rows = np.repeat(a_rows, counts)
+        out_cols = other.cols[b_index]
+        prods = np.asarray(
+            semiring.mult(np.repeat(a_vals, counts), other.vals[b_index]),
+            dtype=np.float64,
+        )
+
+        keys = out_rows * np.uint64(out_shape[1]) + out_cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        prods = prods[order]
+        first = np.empty(keys.size, dtype=bool)
+        first[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        vals = semiring.reduce_runs(prods, starts)
+        ncols = np.uint64(out_shape[1])
+        ukeys = keys[starts]
+        return self._from_canonical(ukeys // ncols, ukeys % ncols, vals, out_shape)
+
+    # -- reductions (Table II) -----------------------------------------------------
+
+    def total(self) -> float:
+        """Sum of all entries — the paper's valid-packet count ``N_V``."""
+        return float(self.vals.sum()) if self.vals.size else 0.0
+
+    def max_value(self) -> float:
+        """Largest stored value — max link packets ``d_max``."""
+        return float(self.vals.max()) if self.vals.size else 0.0
+
+    def row_reduce(self, op: np.ufunc = np.add) -> SparseVec:
+        """Reduce along columns: ``A 1`` — packets from each source."""
+        return self._reduce(self.rows, op)
+
+    def col_reduce(self, op: np.ufunc = np.add) -> SparseVec:
+        """Reduce along rows: ``1^T A`` — packets to each destination."""
+        return self._reduce(self.cols, op)
+
+    def row_degree(self) -> SparseVec:
+        """``|A|_0 1`` — source fan-out (unique destinations per source)."""
+        out = SparseVec.__new__(SparseVec)
+        keys, counts = np.unique(self.rows, return_counts=True)
+        out.keys = keys
+        out.vals = counts.astype(np.float64)
+        return out
+
+    def col_degree(self) -> SparseVec:
+        """``1^T |A|_0`` — destination fan-in (unique sources per destination)."""
+        out = SparseVec.__new__(SparseVec)
+        keys, counts = np.unique(self.cols, return_counts=True)
+        out.keys = keys
+        out.vals = counts.astype(np.float64)
+        return out
+
+    def _reduce(self, coord: np.ndarray, op: np.ufunc) -> SparseVec:
+        out = SparseVec.__new__(SparseVec)
+        if coord.size == 0:
+            out.keys = np.zeros(0, dtype=np.uint64)
+            out.vals = np.zeros(0, dtype=np.float64)
+            return out
+        order = np.argsort(coord, kind="stable")
+        sorted_coord = coord[order]
+        sorted_vals = self.vals[order]
+        first = np.empty(sorted_coord.size, dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_coord[1:], sorted_coord[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        out.keys = sorted_coord[starts]
+        out.vals = op.reduceat(sorted_vals, starts)
+        return out
+
+    def unique_rows(self) -> np.ndarray:
+        """Sorted unique row coordinates (unique sources)."""
+        return np.unique(self.rows)
+
+    def unique_cols(self) -> np.ndarray:
+        """Sorted unique column coordinates (unique destinations)."""
+        return np.unique(self.cols)
+
+    # -- selection ---------------------------------------------------------------
+
+    def extract(
+        self,
+        rows: Optional[ArrayLike] = None,
+        cols: Optional[ArrayLike] = None,
+    ) -> "HyperSparseMatrix":
+        """Sub-matrix on the given row/col key sets, keeping original indices.
+
+        ``None`` selects everything along that axis.  This is how quadrants
+        of the traffic matrix (Fig 1) are carved out of a single matrix.
+        """
+        mask = np.ones(self.nnz, dtype=bool)
+        if rows is not None:
+            want = np.unique(_as_u64(rows))
+            mask &= np.isin(self.rows, want, assume_unique=False)
+        if cols is not None:
+            want = np.unique(_as_u64(cols))
+            mask &= np.isin(self.cols, want, assume_unique=False)
+        return self._from_canonical(
+            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
+        )
+
+    def extract_range(
+        self,
+        row_range: Optional[Tuple[int, int]] = None,
+        col_range: Optional[Tuple[int, int]] = None,
+    ) -> "HyperSparseMatrix":
+        """Sub-matrix with coordinates in half-open ranges ``[lo, hi)``.
+
+        Contiguous address blocks (the telescope's /8 darkspace, an
+        organization's netblock) are ranges in the IPv4 integer line, so this
+        is the natural quadrant selector.
+        """
+        mask = np.ones(self.nnz, dtype=bool)
+        if row_range is not None:
+            lo, hi = np.uint64(row_range[0]), np.uint64(row_range[1])
+            mask &= (self.rows >= lo) & (self.rows < hi)
+        if col_range is not None:
+            lo, hi = np.uint64(col_range[0]), np.uint64(col_range[1])
+            mask &= (self.cols >= lo) & (self.cols < hi)
+        return self._from_canonical(
+            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
+        )

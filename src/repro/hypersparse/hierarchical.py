@@ -1,0 +1,135 @@
+"""Hierarchical hypersparse accumulation of streaming updates.
+
+Section II of the paper: the telescope archives packets as ``2^17``-packet
+GraphBLAS matrices and builds each ``2^30``-packet analysis matrix by
+*hierarchically* summing ``2^13`` of them.  Naively re-canonicalizing the
+growing total after every insert batch is quadratic in the number of
+batches; the hierarchical scheme of Kepner et al. (refs [34], [35]) keeps a
+ladder of matrices of geometrically increasing capacity and only merges a
+level when it overflows, giving amortized ``O(n log n)`` total work — this
+is what let the authors sustain tens of billions of streaming inserts per
+second on a supercomputer, and it is equally the right shape at laptop
+scale (see ``benchmarks/bench_hypersparse.py`` for the ablation against
+flat accumulation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .coo import IPV4_SPACE, HyperSparseMatrix
+
+__all__ = ["HierarchicalMatrix"]
+
+
+class HierarchicalMatrix:
+    """A ladder of hypersparse matrices absorbing streaming triple batches.
+
+    Level ``k`` holds at most ``cutoff * 2^k`` stored entries.  A new batch
+    enters level 0; whenever level ``k`` exceeds its capacity it is merged
+    (ewise-added) into level ``k+1``, cascading as needed.  ``total()``
+    collapses the ladder into a single canonical matrix.
+
+    Parameters
+    ----------
+    shape:
+        Matrix extent (defaults to the IPv4 plane).
+    cutoff:
+        Capacity of level 0 in stored entries.  The paper's implementations
+        use power-of-two cutoffs; any positive integer works.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE),
+        cutoff: int = 1 << 16,
+    ):
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.cutoff = int(cutoff)
+        self._levels: List[Optional[HyperSparseMatrix]] = []
+        self._inserted = 0  # total triples ever inserted (for diagnostics)
+        self._merges = 0  # number of level merges performed
+
+    # -- streaming interface ---------------------------------------------------
+
+    def insert(self, rows, cols, vals=None) -> None:
+        """Absorb a batch of triples (duplicates accumulate with ``+``)."""
+        batch = HyperSparseMatrix(rows, cols, vals, shape=self.shape)
+        self._inserted += np.asarray(rows).size
+        self._push(batch, level=0)
+
+    def insert_matrix(self, matrix: HyperSparseMatrix) -> None:
+        """Absorb an already-built matrix as one update."""
+        if matrix.shape != self.shape:
+            raise ValueError(f"shape mismatch: {matrix.shape} vs {self.shape}")
+        self._inserted += matrix.nnz
+        self._push(matrix, level=0)
+
+    def _push(self, matrix: HyperSparseMatrix, level: int) -> None:
+        while True:
+            if level == len(self._levels):
+                self._levels.append(None)
+            slot = self._levels[level]
+            if slot is None:
+                self._levels[level] = matrix
+            else:
+                matrix = slot.ewise_add(matrix)
+                self._levels[level] = matrix
+                self._merges += 1
+            if self._levels[level].nnz <= self.cutoff << level:
+                return
+            # Overflow: evict this level upward.
+            matrix = self._levels[level]
+            self._levels[level] = None
+            level += 1
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Current ladder height."""
+        return len(self._levels)
+
+    @property
+    def level_nnz(self) -> List[int]:
+        """Stored entries per level (0 for empty slots)."""
+        return [0 if m is None else m.nnz for m in self._levels]
+
+    @property
+    def inserted(self) -> int:
+        """Total triples inserted over the lifetime of the accumulator."""
+        return self._inserted
+
+    @property
+    def merges(self) -> int:
+        """Number of pairwise level merges performed so far."""
+        return self._merges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalMatrix(shape={self.shape}, cutoff={self.cutoff}, "
+            f"levels={self.level_nnz})"
+        )
+
+    # -- finalization -----------------------------------------------------------
+
+    def total(self) -> HyperSparseMatrix:
+        """Collapse the ladder into one canonical matrix (non-destructive)."""
+        result: Optional[HyperSparseMatrix] = None
+        for m in self._levels:
+            if m is None:
+                continue
+            result = m if result is None else result.ewise_add(m)
+        if result is None:
+            return HyperSparseMatrix.empty(self.shape)
+        return result
+
+    def clear(self) -> None:
+        """Reset to empty, keeping configuration."""
+        self._levels = []
+        self._inserted = 0
+        self._merges = 0

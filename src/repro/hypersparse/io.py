@@ -1,0 +1,83 @@
+"""Serialization of hypersparse matrices.
+
+Two formats:
+
+* ``.npz`` — compact binary, the analogue of the paper's archived GraphBLAS
+  files at LBNL (one file per packet window);
+* TSV triples — the interchange format used when reduced results are handed
+  between anonymization domains (Section I's trusted-sharing workflows).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .coo import HyperSparseMatrix
+
+__all__ = [
+    "save_triples_npz",
+    "load_triples_npz",
+    "to_triples_text",
+    "from_triples_text",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_triples_npz(matrix: HyperSparseMatrix, path: PathLike) -> None:
+    """Write a matrix to a compressed ``.npz`` of its canonical triples."""
+    np.savez_compressed(
+        str(path),
+        rows=matrix.rows,
+        cols=matrix.cols,
+        vals=matrix.vals,
+        shape=np.asarray(matrix.shape, dtype=np.uint64),
+    )
+
+
+def load_triples_npz(path: PathLike) -> HyperSparseMatrix:
+    """Load a matrix written by :func:`save_triples_npz`."""
+    with np.load(str(path)) as data:
+        shape = tuple(int(x) for x in data["shape"])
+        return HyperSparseMatrix(data["rows"], data["cols"], data["vals"], shape=shape)
+
+
+def to_triples_text(matrix: HyperSparseMatrix) -> str:
+    """Render as a TSV triple list: ``row<TAB>col<TAB>value`` per line.
+
+    Values that are whole numbers print as integers (packet counts), others
+    with full float repr.
+    """
+    buf = io.StringIO()
+    for r, c, v in zip(matrix.rows.tolist(), matrix.cols.tolist(), matrix.vals.tolist()):
+        if v == int(v):
+            buf.write(f"{r}\t{c}\t{int(v)}\n")
+        else:
+            buf.write(f"{r}\t{c}\t{v!r}\n")
+    return buf.getvalue()
+
+
+def from_triples_text(
+    text: str, *, shape=(2**32, 2**32)
+) -> HyperSparseMatrix:
+    """Parse the TSV triple format back into a matrix.
+
+    Blank lines and ``#`` comments are ignored; duplicate coordinates
+    accumulate additively, matching matrix construction semantics.
+    """
+    rows, cols, vals = [], [], []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(f"line {lineno}: expected 3 tab-separated fields")
+        rows.append(int(parts[0]))
+        cols.append(int(parts[1]))
+        vals.append(float(parts[2]))
+    return HyperSparseMatrix(rows, cols, vals, shape=shape)

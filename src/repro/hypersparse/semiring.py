@@ -1,0 +1,108 @@
+"""Semirings for hypersparse matrix algebra.
+
+A GraphBLAS semiring bundles a commutative, associative *additive* monoid
+(with identity) and a *multiplicative* binary operator.  Element-wise
+operations use one of the two operators directly; ``mxm`` combines products
+``mult(a_ik, b_kj)`` with the additive monoid.
+
+Only operators backed by NumPy ufuncs are admitted so that duplicate
+combination can be performed with ``np.ufunc.reduceat`` over sorted runs —
+the key trick that keeps every kernel in this package fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "PLUS_PAIR",
+    "MAX_TIMES",
+    "MIN_TIMES",
+    "LOR_LAND",
+]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The GraphBLAS PAIR operator: 1 wherever both operands exist.
+
+    Useful for structural products — e.g. counting how many destinations two
+    sources share without weighting by packet counts.
+    """
+    return np.ones(np.broadcast(a, b).shape, dtype=np.float64)
+
+
+def _lor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ((a != 0) | (b != 0)).astype(np.float64)
+
+
+def _land(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ((a != 0) & (b != 0)).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (add-monoid, multiply) pair for sparse matrix algebra.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"plus.times"``.
+    add:
+        NumPy ufunc implementing the additive monoid.  Must be commutative
+        and associative and support ``reduceat``.
+    mult:
+        Binary callable (usually a ufunc) for the multiplicative operator.
+    add_identity:
+        Identity element of the additive monoid.  Entries equal to the
+        identity produced by reductions are *kept* (GraphBLAS semantics keep
+        explicit zeros until a prune); callers prune explicitly.
+    """
+
+    name: str
+    add: np.ufunc
+    mult: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_identity: float
+
+    def reduce_runs(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Combine runs of ``values`` delimited by ``starts`` with the add monoid.
+
+        ``starts`` are the first indices of each run of duplicates in a
+        lexicographically sorted triple list (as produced by
+        ``np.flatnonzero`` on a first-occurrence mask).  Empty input returns
+        an empty float64 array.
+        """
+        if values.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return self.add.reduceat(values, starts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+#: Classical arithmetic semiring — packet counts add, weights multiply.
+PLUS_TIMES = Semiring("plus.times", np.add, np.multiply, 0.0)
+
+#: Shortest-path semiring.
+MIN_PLUS = Semiring("min.plus", np.minimum, np.add, np.inf)
+
+#: Longest-path / bottleneck semiring.
+MAX_PLUS = Semiring("max.plus", np.maximum, np.add, -np.inf)
+
+#: Structural counting semiring: ``(A PLUS.PAIR B)(i,j)`` counts shared keys.
+PLUS_PAIR = Semiring("plus.pair", np.add, _pair, 0.0)
+
+#: Max-times (Viterbi-style) semiring.
+MAX_TIMES = Semiring("max.times", np.maximum, np.multiply, -np.inf)
+
+#: Min-times semiring.
+MIN_TIMES = Semiring("min.times", np.minimum, np.multiply, np.inf)
+
+#: Boolean semiring over {0, 1} — reachability products.
+LOR_LAND = Semiring("lor.land", np.maximum, _land, 0.0)

@@ -1,0 +1,126 @@
+"""Vectorized IPv4 address utilities.
+
+Addresses live in two representations throughout the pipeline:
+
+* **integers** (uint32 viewed as uint64 matrix coordinates) inside
+  hypersparse traffic matrices — e.g. ``1.1.1.1 -> 16843009`` as in the
+  paper's Section II example;
+* **dotted-quad strings** inside D4M associative arrays.
+
+Conversions are vectorized over NumPy arrays; CIDR helpers express the
+telescope's /8 darkspace and other netblocks as half-open integer ranges,
+which is how quadrants are carved out of traffic matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "ips_to_ints",
+    "ints_to_ips",
+    "cidr_to_range",
+    "range_to_cidr",
+    "in_range",
+    "IPV4_MAX",
+]
+
+#: One past the largest IPv4 address.
+IPV4_MAX = 2**32
+
+
+def ip_to_int(ip: str) -> int:
+    """Dotted-quad string to integer: ``'1.1.1.1' -> 16843009``."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {ip!r}")
+    value = 0
+    for p in parts:
+        octet = int(p)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet {octet} out of range in {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Integer to dotted-quad string: ``16843009 -> '1.1.1.1'``."""
+    value = int(value)
+    if not 0 <= value < IPV4_MAX:
+        raise ValueError(f"address {value} outside IPv4 range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ips_to_ints(ips: Iterable[str]) -> np.ndarray:
+    """Vector conversion of dotted-quad strings to a uint64 array."""
+    arr = np.asarray(list(ips), dtype=np.str_)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    # Split all addresses at once: view as a 2-D octet table.
+    parts = np.char.split(arr, ".")
+    table = np.asarray([[int(o) for o in p] for p in parts.tolist()], dtype=np.uint64)
+    if table.shape[1] != 4 or table.max() > 255:
+        raise ValueError("malformed IPv4 address in input")
+    return (table[:, 0] << 24) | (table[:, 1] << 16) | (table[:, 2] << 8) | table[:, 3]
+
+
+def ints_to_ips(values: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+    """Vector conversion of integer addresses to dotted-quad strings."""
+    vals = np.asarray(values, dtype=np.uint64)
+    if vals.size == 0:
+        return np.asarray([], dtype=np.str_)
+    if vals.max() >= IPV4_MAX:
+        raise ValueError("address outside IPv4 range")
+    o0 = (vals >> np.uint64(24)) & np.uint64(0xFF)
+    o1 = (vals >> np.uint64(16)) & np.uint64(0xFF)
+    o2 = (vals >> np.uint64(8)) & np.uint64(0xFF)
+    o3 = vals & np.uint64(0xFF)
+    dot = np.full(vals.shape, ".", dtype=np.str_)
+    out = np.char.add(o0.astype(np.str_), dot)
+    out = np.char.add(out, o1.astype(np.str_))
+    out = np.char.add(out, dot)
+    out = np.char.add(out, o2.astype(np.str_))
+    out = np.char.add(out, dot)
+    out = np.char.add(out, o3.astype(np.str_))
+    return out
+
+
+def cidr_to_range(cidr: str) -> Tuple[int, int]:
+    """CIDR block to half-open integer range: ``'10.0.0.0/8' -> (lo, hi)``.
+
+    The base address must be the network address (host bits zero), keeping
+    callers honest about block boundaries.
+    """
+    try:
+        base, prefix = cidr.split("/")
+        bits = int(prefix)
+    except ValueError as exc:
+        raise ValueError(f"malformed CIDR {cidr!r}") from exc
+    if not 0 <= bits <= 32:
+        raise ValueError(f"prefix length {bits} out of range")
+    lo = ip_to_int(base)
+    size = 1 << (32 - bits)
+    if lo % size != 0:
+        raise ValueError(f"{cidr!r}: base address has host bits set")
+    return lo, lo + size
+
+
+def range_to_cidr(lo: int, hi: int) -> str:
+    """Inverse of :func:`cidr_to_range` for exact power-of-two blocks."""
+    size = hi - lo
+    if size <= 0 or size & (size - 1):
+        raise ValueError("range size must be a positive power of two")
+    bits = 32 - int(size).bit_length() + 1
+    if lo % size != 0:
+        raise ValueError("range is not aligned to its size")
+    return f"{int_to_ip(lo)}/{bits}"
+
+
+def in_range(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Boolean mask of addresses inside the half-open range ``[lo, hi)``."""
+    vals = np.asarray(values, dtype=np.uint64)
+    return (vals >= np.uint64(lo)) & (vals < np.uint64(hi))

@@ -1,0 +1,13 @@
+"""Process-level parallelism for window analysis.
+
+The paper's pipeline is embarrassingly parallel over packet windows and
+honeyfarm months (the authors ran it across three supercomputing centers).
+These helpers provide the laptop equivalent: a process-pool map with
+chunking and a streaming accumulator that builds hierarchical hypersparse
+matrices from packet shards in parallel.
+"""
+
+from .pool import parallel_map, cpu_count
+from .streaming import parallel_accumulate, shard_packets
+
+__all__ = ["parallel_map", "cpu_count", "parallel_accumulate", "shard_packets"]

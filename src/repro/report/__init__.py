@@ -1,0 +1,12 @@
+"""Terminal rendering of the paper's figures.
+
+Pure-text plotting: log-log scatter/line charts for the degree
+distributions (Fig 3) and correlation-vs-brightness plots (Fig 4), and
+linear-axis lag plots for the temporal correlation curves (Figs 5-6).
+No plotting library is available offline, so the CLI renders every figure
+as a character raster (``repro <figure> --plot``).
+"""
+
+from .ascii_plot import AsciiPlot, render_series
+
+__all__ = ["AsciiPlot", "render_series"]

@@ -1,0 +1,157 @@
+"""Character-raster plots for terminal figure rendering.
+
+A tiny but real plotting engine: multiple named series on one axes pair,
+linear or log scaling per axis, per-series glyphs, axis tick labels and a
+legend — enough to render each of the paper's figures recognizably in a
+terminal transcript.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AsciiPlot", "render_series"]
+
+#: Glyphs assigned to successive series.
+_GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class _Series:
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    glyph: str
+
+
+@dataclass
+class AsciiPlot:
+    """A multi-series character plot.
+
+    Parameters
+    ----------
+    width, height:
+        Raster size in characters (plot area, excluding labels).
+    x_log, y_log:
+        Logarithmic scaling per axis (base 10 tick labels).
+    title:
+        Optional heading line.
+    """
+
+    width: int = 64
+    height: int = 20
+    x_log: bool = False
+    y_log: bool = False
+    title: str = ""
+    _series: List[_Series] = field(default_factory=list)
+
+    def add_series(self, name: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Add one series; points with non-positive values on a log axis
+        are dropped (with the same semantics as real plotting libraries)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError("x and y must have identical shape")
+        keep = np.isfinite(x) & np.isfinite(y)
+        if self.x_log:
+            keep &= x > 0
+        if self.y_log:
+            keep &= y > 0
+        glyph = _GLYPHS[len(self._series) % len(_GLYPHS)]
+        self._series.append(_Series(name, x[keep], y[keep], glyph))
+
+    # -- rendering -----------------------------------------------------------
+
+    def _transform(self, v: np.ndarray, log: bool) -> np.ndarray:
+        return np.log10(v) if log else v
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = np.concatenate([s.x for s in self._series if s.x.size])
+        ys = np.concatenate([s.y for s in self._series if s.y.size])
+        tx = self._transform(xs, self.x_log)
+        ty = self._transform(ys, self.y_log)
+        x0, x1 = float(tx.min()), float(tx.max())
+        y0, y1 = float(ty.min()), float(ty.max())
+        if x0 == x1:
+            x0, x1 = x0 - 0.5, x1 + 0.5
+        if y0 == y1:
+            y0, y1 = y0 - 0.5, y1 + 0.5
+        return x0, x1, y0, y1
+
+    def render(self) -> str:
+        """Render the plot to a multi-line string."""
+        if not self._series or all(s.x.size == 0 for s in self._series):
+            return (self.title + "\n" if self.title else "") + "(no data)"
+        x0, x1, y0, y1 = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for s in self._series:
+            if s.x.size == 0:
+                continue
+            tx = self._transform(s.x, self.x_log)
+            ty = self._transform(s.y, self.y_log)
+            cx = np.clip(
+                ((tx - x0) / (x1 - x0) * (self.width - 1)).round().astype(int),
+                0,
+                self.width - 1,
+            )
+            cy = np.clip(
+                ((ty - y0) / (y1 - y0) * (self.height - 1)).round().astype(int),
+                0,
+                self.height - 1,
+            )
+            for xi, yi in zip(cx, cy):
+                grid[self.height - 1 - yi][xi] = s.glyph
+
+        def fmt(v: float, log: bool) -> str:
+            real = 10**v if log else v
+            if real != 0 and (abs(real) >= 1e4 or abs(real) < 1e-2):
+                return f"{real:.1e}"
+            return f"{real:.3g}"
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        label_w = 9
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = fmt(y1, self.y_log)
+            elif i == self.height - 1:
+                label = fmt(y0, self.y_log)
+            elif i == self.height // 2:
+                label = fmt((y0 + y1) / 2, self.y_log)
+            else:
+                label = ""
+            lines.append(f"{label:>{label_w}} |" + "".join(row))
+        lines.append(" " * label_w + "-" * (self.width + 2))
+        left = fmt(x0, self.x_log)
+        mid = fmt((x0 + x1) / 2, self.x_log)
+        right = fmt(x1, self.x_log)
+        axis = (
+            " " * (label_w + 1)
+            + left
+            + mid.center(self.width - len(left) - len(right))
+            + right
+        )
+        lines.append(axis)
+        legend = "   ".join(f"{s.glyph} {s.name}" for s in self._series)
+        lines.append(" " * (label_w + 1) + legend)
+        return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    x_log: bool = False,
+    y_log: bool = False,
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """One-call rendering of ``{name: (x, y)}`` series."""
+    plot = AsciiPlot(width=width, height=height, x_log=x_log, y_log=y_log, title=title)
+    for name, (x, y) in series.items():
+        plot.add_series(name, x, y)
+    return plot.render()

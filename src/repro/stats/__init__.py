@@ -1,0 +1,43 @@
+"""Degree-distribution statistics.
+
+Implements Section II's histogram machinery: for any network quantity with
+values ("degrees") ``d``, the histogram ``n_t(d)``, probability ``p_t(d)``,
+cumulative probability ``P_t(d)`` and the **differential cumulative
+probability** ``D_t(d_i) = P_t(d_i) - P_t(d_{i-1})`` pooled in binary
+logarithmic bins ``d_i = 2^i`` (Clauset-Shalizi-Newman binning), plus
+Zipf-Mandelbrot and power-law model fitting for Fig 3.
+"""
+
+from .binning import (
+    log2_bin_edges,
+    log2_bin_index,
+    degree_histogram,
+    differential_cumulative,
+    BinnedDistribution,
+)
+from .zipf import ZipfMandelbrot, ZipfFit, fit_zipf_mandelbrot
+from .heavy_tail import powerlaw_alpha_mle, ks_distance, survival_function
+from .spectrum import (
+    QUANTITY_NAMES,
+    QuantitySpectrum,
+    SpectrumEntry,
+    distribution_spectrum,
+)
+
+__all__ = [
+    "log2_bin_edges",
+    "log2_bin_index",
+    "degree_histogram",
+    "differential_cumulative",
+    "BinnedDistribution",
+    "ZipfMandelbrot",
+    "ZipfFit",
+    "fit_zipf_mandelbrot",
+    "powerlaw_alpha_mle",
+    "ks_distance",
+    "survival_function",
+    "QUANTITY_NAMES",
+    "QuantitySpectrum",
+    "SpectrumEntry",
+    "distribution_spectrum",
+]

@@ -1,0 +1,175 @@
+"""The Zipf-Mandelbrot distribution and its fitting.
+
+Fig 3: the telescope's source-packet distribution is approximated by the
+two-parameter Zipf-Mandelbrot form
+
+.. math::  p(d) \\propto 1 / (d + \\delta)^{\\alpha}
+
+over integer degrees ``d = 1 .. d_max``.  :class:`ZipfMandelbrot` provides
+the exact truncated pmf, moments and inverse-CDF sampling (the synthetic
+telescope's brightness generator); :func:`fit_zipf_mandelbrot` recovers
+``(alpha, delta)`` from an observed degree sample by maximum likelihood
+with a coarse-to-fine grid refinement — robust on heavy-tailed data where
+gradient methods stall on the flat likelihood ridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ZipfMandelbrot", "fit_zipf_mandelbrot", "ZipfFit"]
+
+
+class ZipfMandelbrot:
+    """Truncated discrete Zipf-Mandelbrot distribution.
+
+    Parameters
+    ----------
+    alpha:
+        Tail exponent ``alpha_zm > 0`` (paper's telescope data: ~1.5-2).
+    delta:
+        Flattening offset ``delta_zm >= 0`` that bends the head of the
+        distribution below the pure power law.
+    d_max:
+        Truncation degree (inclusive).  Real windows cannot contain more
+        than ``N_V`` packets from one source, so truncation is physical.
+    """
+
+    def __init__(self, alpha: float, delta: float, d_max: int):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if d_max < 1:
+            raise ValueError("d_max must be >= 1")
+        self.alpha = float(alpha)
+        self.delta = float(delta)
+        self.d_max = int(d_max)
+        d = np.arange(1, self.d_max + 1, dtype=np.float64)
+        weights = 1.0 / (d + self.delta) ** self.alpha
+        self._norm = weights.sum()
+        self._pmf = weights / self._norm
+        self._cdf = np.cumsum(self._pmf)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ZipfMandelbrot(alpha={self.alpha:.3f}, delta={self.delta:.3f}, "
+            f"d_max={self.d_max})"
+        )
+
+    # -- densities ---------------------------------------------------------
+
+    def pmf(self, d) -> np.ndarray:
+        """Probability of degree ``d`` (0 outside ``1..d_max``)."""
+        d = np.asarray(d, dtype=np.int64)
+        out = np.zeros(d.shape, dtype=np.float64)
+        ok = (d >= 1) & (d <= self.d_max)
+        out[ok] = self._pmf[d[ok] - 1]
+        return out
+
+    def cdf(self, d) -> np.ndarray:
+        """``P(D <= d)``."""
+        d = np.asarray(d, dtype=np.int64)
+        clipped = np.clip(d, 0, self.d_max)
+        out = np.zeros(d.shape, dtype=np.float64)
+        pos = clipped >= 1
+        out[pos] = self._cdf[clipped[pos] - 1]
+        return out
+
+    def mean(self) -> float:
+        """Expected degree."""
+        d = np.arange(1, self.d_max + 1, dtype=np.float64)
+        return float((d * self._pmf).sum())
+
+    def log_likelihood(self, degrees: np.ndarray) -> float:
+        """Sum of log-pmf over a degree sample (``-inf`` if out of support)."""
+        d = np.asarray(degrees, dtype=np.int64)
+        if d.size == 0:
+            return 0.0
+        if d.min() < 1 or d.max() > self.d_max:
+            return -np.inf
+        return float(
+            -self.alpha * np.log(d + self.delta).sum() - d.size * np.log(self._norm)
+        )
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` degrees by inverse-CDF lookup (vectorized)."""
+        u = rng.random(n)
+        return (np.searchsorted(self._cdf, u, side="right") + 1).astype(np.int64)
+
+    def binned_prob(self, edges: np.ndarray) -> np.ndarray:
+        """Model mass in each ``(edges[j], edges[j+1]]`` bin — the model's
+        ``D_t`` for overlay on Fig 3."""
+        upper = self.cdf(np.floor(edges[1:]).astype(np.int64))
+        lower = self.cdf(np.floor(edges[:-1]).astype(np.int64))
+        return upper - lower
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Result of a Zipf-Mandelbrot fit."""
+
+    alpha: float
+    delta: float
+    d_max: int
+    log_likelihood: float
+
+    def model(self) -> ZipfMandelbrot:
+        """The fitted distribution object."""
+        return ZipfMandelbrot(self.alpha, self.delta, self.d_max)
+
+
+def fit_zipf_mandelbrot(
+    degrees: np.ndarray,
+    *,
+    alpha_range: Tuple[float, float] = (0.5, 4.0),
+    delta_range: Tuple[float, float] = (0.0, 50.0),
+    grid: int = 15,
+    refinements: int = 3,
+    d_max: Optional[int] = None,
+) -> ZipfFit:
+    """Maximum-likelihood Zipf-Mandelbrot fit by iterated grid refinement.
+
+    Evaluates the exact truncated-ZM log-likelihood on a ``grid x grid``
+    lattice of ``(alpha, delta)``, then zooms on the best cell
+    ``refinements`` times.  The sample's sufficient statistics
+    (``sum log(d + delta)`` per candidate delta) are recomputed from the
+    *histogram* of the sample, so cost scales with the number of distinct
+    degrees, not the sample size.
+    """
+    d = np.asarray(degrees, dtype=np.int64)
+    if d.size == 0:
+        raise ValueError("cannot fit an empty sample")
+    if d.min() < 1:
+        raise ValueError("degrees must be >= 1")
+    dmax = int(d_max) if d_max is not None else int(d.max())
+    values, counts = np.unique(d, return_counts=True)
+    n = d.size
+    support = np.arange(1, dmax + 1, dtype=np.float64)
+
+    def nll(alpha: float, delta: float) -> float:
+        norm = (1.0 / (support + delta) ** alpha).sum()
+        return alpha * float((counts * np.log(values + delta)).sum()) + n * np.log(norm)
+
+    a_lo, a_hi = alpha_range
+    g_lo, g_hi = delta_range
+    best = (np.inf, a_lo, g_lo)
+    for _ in range(refinements):
+        alphas = np.linspace(a_lo, a_hi, grid)
+        deltas = np.linspace(g_lo, g_hi, grid)
+        for a in alphas:
+            for g in deltas:
+                loss = nll(float(a), float(g))
+                if loss < best[0]:
+                    best = (loss, float(a), float(g))
+        # Zoom around the incumbent.
+        a_step = (a_hi - a_lo) / (grid - 1)
+        g_step = (g_hi - g_lo) / (grid - 1)
+        a_lo, a_hi = max(alpha_range[0], best[1] - a_step), min(alpha_range[1], best[1] + a_step)
+        g_lo, g_hi = max(delta_range[0], best[2] - g_step), min(delta_range[1], best[2] + g_step)
+    return ZipfFit(alpha=best[1], delta=best[2], d_max=dmax, log_likelihood=-best[0])

@@ -1,0 +1,28 @@
+"""Online (single-pass) analysis of packet streams.
+
+The telescope's pipeline is fundamentally streaming — its lineage papers
+(refs [33]-[35]) are about sustaining billions of hypersparse updates per
+second.  This package provides the online analysis layer on top of the
+batch substrate:
+
+* :class:`StreamingWindowAnalyzer` — consume packet batches, maintain the
+  current constant-packet window's hierarchical matrix, and emit completed
+  :class:`WindowStats` the moment each window closes;
+* :class:`OnlineDegreeTracker` — exact per-source packet counts with O(1)
+  amortized batch updates and on-demand log2-binned distributions;
+* :class:`ReservoirSampler` — uniform packet sampling over unbounded
+  streams (Vitter's Algorithm R, vectorized per batch) for trace keeping.
+
+Everything is single-pass: no component ever re-reads earlier packets.
+"""
+
+from .analyzer import StreamingWindowAnalyzer, WindowStats
+from .degree import OnlineDegreeTracker
+from .reservoir import ReservoirSampler
+
+__all__ = [
+    "StreamingWindowAnalyzer",
+    "WindowStats",
+    "OnlineDegreeTracker",
+    "ReservoirSampler",
+]

@@ -1,0 +1,137 @@
+"""Streaming constant-packet window analysis.
+
+Consumes packet batches as they arrive and emits a full analysis record
+(:class:`WindowStats`: Table II aggregates, unique sources, duration,
+degree distribution) the moment each ``N_V``-packet window completes —
+the online counterpart of the batch ``constant_packet_windows`` →
+``network_quantities`` pipeline, built on the hierarchical accumulator so
+per-batch work stays amortized ``O(batch log window)``.
+
+The batch and streaming paths are verified equivalent in
+``tests/stream/test_analyzer.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..hypersparse import HierarchicalMatrix, HyperSparseMatrix
+from ..stats.binning import BinnedDistribution, differential_cumulative
+from ..traffic.packet import Packets
+from ..traffic.quantities import NetworkQuantities, network_quantities
+
+__all__ = ["StreamingWindowAnalyzer", "WindowStats"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Analysis record for one completed constant-packet window."""
+
+    index: int
+    start_time: float
+    end_time: float
+    quantities: NetworkQuantities
+    degree_distribution: BinnedDistribution
+    matrix: HyperSparseMatrix
+
+    @property
+    def duration(self) -> float:
+        """Window duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def unique_sources(self) -> int:
+        return self.quantities.unique_sources
+
+
+class StreamingWindowAnalyzer:
+    """Single-pass constant-packet window analyzer.
+
+    Parameters
+    ----------
+    n_valid:
+        Packets per analysis window (the paper's ``N_V``).
+    shape:
+        Traffic-matrix extent.
+    cutoff:
+        Level-0 capacity of the per-window hierarchical accumulator.
+
+    Feed batches with :meth:`process`; completed windows come back
+    immediately.  Batches need not align with window boundaries and may be
+    any size.  Packets are assumed time-ordered across batches (the
+    capture order); within-batch order is preserved.
+    """
+
+    def __init__(
+        self,
+        n_valid: int,
+        *,
+        shape: Tuple[int, int] = (2**32, 2**32),
+        cutoff: int = 1 << 14,
+    ):
+        if n_valid <= 0:
+            raise ValueError("n_valid must be positive")
+        self.n_valid = int(n_valid)
+        self.shape = shape
+        self.cutoff = int(cutoff)
+        self._acc = HierarchicalMatrix(shape=shape, cutoff=cutoff)
+        self._in_window = 0
+        self._window_index = 0
+        self._start_time: Optional[float] = None
+        self._last_time: float = 0.0
+        self._windows_emitted = 0
+
+    @property
+    def windows_emitted(self) -> int:
+        """Completed windows so far."""
+        return self._windows_emitted
+
+    @property
+    def pending_packets(self) -> int:
+        """Packets in the currently open window."""
+        return self._in_window
+
+    def process(self, packets: Packets) -> List[WindowStats]:
+        """Absorb one batch; return any windows completed by it."""
+        out: List[WindowStats] = []
+        pos = 0
+        n = len(packets)
+        while pos < n:
+            if self._start_time is None and n > pos:
+                self._start_time = float(packets.time[pos])
+            room = self.n_valid - self._in_window
+            take = min(room, n - pos)
+            chunk = packets[pos : pos + take]
+            self._acc.insert(chunk.src, chunk.dst)
+            self._in_window += take
+            self._last_time = float(chunk.time[-1])
+            pos += take
+            if self._in_window == self.n_valid:
+                out.append(self._close_window())
+        return out
+
+    def _close_window(self) -> WindowStats:
+        matrix = self._acc.total()
+        quantities = network_quantities(matrix)
+        degrees = matrix.row_reduce().vals
+        stats = WindowStats(
+            index=self._window_index,
+            start_time=float(self._start_time if self._start_time is not None else 0.0),
+            end_time=self._last_time,
+            quantities=quantities,
+            degree_distribution=differential_cumulative(degrees),
+            matrix=matrix,
+        )
+        self._acc = HierarchicalMatrix(shape=self.shape, cutoff=self.cutoff)
+        self._in_window = 0
+        self._window_index += 1
+        self._start_time = None
+        self._windows_emitted += 1
+        return stats
+
+    def flush(self) -> Optional[WindowStats]:
+        """Close the open window early (end of stream); None if empty."""
+        if self._in_window == 0:
+            return None
+        return self._close_window()

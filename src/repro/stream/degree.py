@@ -1,0 +1,121 @@
+"""Online per-source degree tracking.
+
+Maintains exact packet counts per source across an unbounded stream with
+vectorized batch updates, and produces the same log2-binned differential
+cumulative distributions as the batch pipeline on demand — so a live
+telescope can watch its Fig 3 evolve without storing packets.
+
+Counts are held as parallel sorted ``(keys, counts)`` arrays with a small
+unsorted *pending* buffer; merges amortize to ``O(n log n)`` over the
+stream, the same structure as the hierarchical matrix ladder but in one
+dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..hypersparse.coo import SparseVec
+from ..stats.binning import BinnedDistribution, differential_cumulative
+
+__all__ = ["OnlineDegreeTracker"]
+
+
+class OnlineDegreeTracker:
+    """Exact streaming per-key counts with heavy-hitter queries.
+
+    Parameters
+    ----------
+    pending_limit:
+        Size of the unsorted buffer that triggers a merge into the sorted
+        store.  Larger values trade memory for fewer merges.
+    """
+
+    def __init__(self, pending_limit: int = 1 << 16):
+        if pending_limit <= 0:
+            raise ValueError("pending_limit must be positive")
+        self._limit = int(pending_limit)
+        self._keys = np.zeros(0, dtype=np.uint64)
+        self._counts = np.zeros(0, dtype=np.float64)
+        self._pending: list = []
+        self._pending_size = 0
+        self._total = 0
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, keys) -> None:
+        """Absorb a batch of key observations (one packet each)."""
+        arr = np.asarray(keys).astype(np.uint64)
+        if arr.size == 0:
+            return
+        self._pending.append(arr)
+        self._pending_size += arr.size
+        self._total += int(arr.size)
+        if self._pending_size >= self._limit:
+            self._merge()
+
+    def _merge(self) -> None:
+        if not self._pending:
+            return
+        fresh_keys, fresh_counts = np.unique(
+            np.concatenate(self._pending), return_counts=True
+        )
+        self._pending = []
+        self._pending_size = 0
+        keys = np.concatenate([self._keys, fresh_keys])
+        counts = np.concatenate([self._counts, fresh_counts.astype(np.float64)])
+        order = np.argsort(keys, kind="stable")
+        keys, counts = keys[order], counts[order]
+        first = np.ones(keys.size, dtype=bool)
+        first[1:] = keys[1:] != keys[:-1]
+        starts = np.flatnonzero(first)
+        self._keys = keys[starts]
+        self._counts = np.add.reduceat(counts, starts)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Observations absorbed so far."""
+        return self._total
+
+    @property
+    def n_keys(self) -> int:
+        """Distinct keys seen so far."""
+        self._merge()
+        return int(self._keys.size)
+
+    def count(self, key: int) -> float:
+        """Exact count for one key."""
+        self._merge()
+        idx = np.searchsorted(self._keys, np.uint64(key))
+        if idx < self._keys.size and self._keys[idx] == np.uint64(key):
+            return float(self._counts[idx])
+        return 0.0
+
+    def as_sparsevec(self) -> SparseVec:
+        """Snapshot of all counts as a :class:`SparseVec`."""
+        self._merge()
+        return SparseVec(self._keys.copy(), self._counts.copy())
+
+    def heavy_hitters(self, threshold: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Keys with counts >= threshold, with their counts (descending)."""
+        self._merge()
+        mask = self._counts >= threshold
+        keys, counts = self._keys[mask], self._counts[mask]
+        order = np.argsort(-counts, kind="stable")
+        return keys[order], counts[order]
+
+    def distribution(self) -> BinnedDistribution:
+        """Log2-binned differential cumulative distribution of the counts."""
+        self._merge()
+        if self._keys.size == 0:
+            raise ValueError("no observations yet")
+        return differential_cumulative(self._counts)
+
+    def max_degree(self) -> float:
+        """Largest count so far (the stream's running ``d_max``)."""
+        self._merge()
+        return float(self._counts.max()) if self._counts.size else 0.0

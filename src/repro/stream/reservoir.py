@@ -1,0 +1,92 @@
+"""Uniform reservoir sampling of packet streams.
+
+Keeps a fixed-size uniform sample of an unbounded packet stream (Vitter's
+Algorithm R) with vectorized batch updates: for each incoming batch the
+global stream indices are computed, acceptance is decided for the whole
+batch at once, and accepted packets overwrite uniformly chosen reservoir
+slots.  The telescope's archiving tier uses this for keep-a-trace
+debugging without unbounded storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..traffic.packet import Packets
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Fixed-capacity uniform sample over an unbounded packet stream.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size.
+    seed:
+        Seed for the internal generator (sampling is deterministic given
+        the seed and the batch sequence).
+    """
+
+    def __init__(self, capacity: int, *, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._seen = 0
+        self._time = np.zeros(capacity, dtype=np.float64)
+        self._src = np.zeros(capacity, dtype=np.uint64)
+        self._dst = np.zeros(capacity, dtype=np.uint64)
+        self._proto = np.zeros(capacity, dtype=np.uint8)
+        self._filled = 0
+
+    @property
+    def seen(self) -> int:
+        """Packets observed so far."""
+        return self._seen
+
+    def update(self, packets: Packets) -> None:
+        """Absorb one batch."""
+        n = len(packets)
+        if n == 0:
+            return
+        start = self._seen
+        self._seen += n
+
+        # Phase 1: fill the reservoir from the front of the batch.
+        take = min(self.capacity - self._filled, n)
+        if take:
+            sl = slice(self._filled, self._filled + take)
+            self._time[sl] = packets.time[:take]
+            self._src[sl] = packets.src[:take]
+            self._dst[sl] = packets.dst[:take]
+            self._proto[sl] = packets.proto[:take]
+            self._filled += take
+        if take == n:
+            return
+
+        # Phase 2: Algorithm R for the remainder: packet with global index
+        # i (0-based) is accepted with probability capacity / (i + 1).
+        rest = np.arange(start + take, start + n, dtype=np.float64)
+        accept = self._rng.random(rest.size) < self.capacity / (rest + 1.0)
+        idx = np.flatnonzero(accept) + take
+        if idx.size == 0:
+            return
+        slots = self._rng.integers(0, self.capacity, idx.size)
+        # Later packets must win slot collisions (they were accepted at the
+        # correct, lower probability); assignment order already does this.
+        self._time[slots] = packets.time[idx]
+        self._src[slots] = packets.src[idx]
+        self._dst[slots] = packets.dst[idx]
+        self._proto[slots] = packets.proto[idx]
+
+    def sample(self) -> Packets:
+        """Snapshot of the current reservoir contents."""
+        n = self._filled
+        return Packets(
+            self._time[:n].copy(),
+            self._src[:n].copy(),
+            self._dst[:n].copy(),
+            self._proto[:n].copy(),
+        )

@@ -1,0 +1,58 @@
+"""Synthetic Internet: the data substitution for restricted traces.
+
+Real CAIDA darkspace packets and the GreyNoise commercial database are not
+redistributable (the repro gate this project documents in DESIGN.md §2).
+This package provides the closest synthetic equivalent that exercises the
+identical analysis code path: a shared population of scanning sources whose
+
+* per-window brightness is Zipf-Mandelbrot (Fig 3's ground truth),
+* month-scale activity follows a drifting-beam profile whose overlap decay
+  is modified-Cauchy shaped (Figs 5-8's ground truth),
+* honeyfarm detectability of an *active* source follows the logarithmic
+  brightness law (Fig 4's ground truth),
+
+observed by two instruments that never share code or state beyond the
+population itself:
+
+* :class:`TelescopeSimulator` — constant-packet darkspace windows
+  (CAIDA analogue, external→internal quadrant only);
+* :class:`HoneyfarmSimulator` — month-long enriched source observations
+  (GreyNoise analogue, both quadrants, D4M metadata).
+
+Every generative choice is calibrated to the paper's published figures and
+recorded in :mod:`repro.synth.calibration`.
+"""
+
+from .calibration import (
+    CalibrationCurves,
+    DEFAULT_CALIBRATION,
+    detection_probability,
+    alpha_of_degree,
+    beta_of_degree,
+    PAPER_TABLE1_GREYNOISE,
+    PAPER_TABLE1_CAIDA,
+    month_labels,
+)
+from .population import ModelConfig, SourcePopulation
+from .telescope import TelescopeSimulator, TelescopeSample
+from .honeyfarm import HoneyfarmSimulator, HoneyfarmMonth
+from .internet import InternetModel, StudyScenario
+
+__all__ = [
+    "CalibrationCurves",
+    "DEFAULT_CALIBRATION",
+    "detection_probability",
+    "alpha_of_degree",
+    "beta_of_degree",
+    "PAPER_TABLE1_GREYNOISE",
+    "PAPER_TABLE1_CAIDA",
+    "month_labels",
+    "ModelConfig",
+    "SourcePopulation",
+    "TelescopeSimulator",
+    "TelescopeSample",
+    "HoneyfarmSimulator",
+    "HoneyfarmMonth",
+    "InternetModel",
+    "StudyScenario",
+]

@@ -1,0 +1,123 @@
+"""Traffic matrices and the Fig-1 quadrant decomposition.
+
+At time ``t``, ``N_V`` consecutive valid packets aggregate into the sparse
+matrix ``A_t`` with ``A_t(i, j)`` = packets from source ``i`` to
+destination ``j``; ``sum(A_t) == N_V`` by construction.
+
+An observatory monitors a set of *internal* addresses (the telescope's /8
+darkspace; the honeyfarm's sensor blocks), which partitions both axes into
+internal/external and the matrix into four quadrants:
+
+* ``external -> internal`` — the only populated quadrant for a darkspace
+  telescope (nothing inside a darkspace ever transmits);
+* ``internal -> external`` — populated for the honeyfarm, whose sensors
+  *respond* to probes;
+* the two remaining quadrants are empty for both instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..hypersparse import HyperSparseMatrix
+from ..hypersparse.coo import IPV4_SPACE
+from ..ip import cidr_to_range
+from .packet import Packets
+
+__all__ = [
+    "build_traffic_matrix",
+    "TrafficMatrixView",
+    "quadrant_occupancy",
+    "QUADRANTS",
+]
+
+#: Quadrant labels: (row side, column side) with "e" external, "i" internal.
+QUADRANTS = ("ei", "ie", "ii", "ee")
+
+RangeLike = Union[str, Tuple[int, int]]
+
+
+def _as_range(block: RangeLike) -> Tuple[int, int]:
+    """Accept a CIDR string or an explicit half-open integer range."""
+    if isinstance(block, str):
+        return cidr_to_range(block)
+    lo, hi = int(block[0]), int(block[1])
+    if not 0 <= lo < hi <= IPV4_SPACE:
+        raise ValueError(f"invalid address range ({lo}, {hi})")
+    return lo, hi
+
+
+def build_traffic_matrix(
+    packets: Packets, *, shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE)
+) -> HyperSparseMatrix:
+    """Aggregate a packet stream into ``A_t`` (each packet adds 1)."""
+    return HyperSparseMatrix(packets.src, packets.dst, shape=shape)
+
+
+@dataclass(frozen=True)
+class TrafficMatrixView:
+    """A traffic matrix plus the internal block defining its quadrants.
+
+    Parameters
+    ----------
+    matrix:
+        The full ``A_t``.
+    internal:
+        Half-open integer range of internal (monitored) addresses.
+    """
+
+    matrix: HyperSparseMatrix
+    internal: Tuple[int, int]
+
+    @classmethod
+    def from_packets(
+        cls,
+        packets: Packets,
+        internal: RangeLike,
+        *,
+        shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE),
+    ) -> "TrafficMatrixView":
+        return cls(build_traffic_matrix(packets, shape=shape), _as_range(internal))
+
+    def quadrant(self, which: str) -> HyperSparseMatrix:
+        """Extract one quadrant, keeping original coordinates.
+
+        ``which`` is two letters — row side then column side — from
+        ``{"e", "i"}``: ``"ei"`` is external→internal (telescope data),
+        ``"ie"`` internal→external (honeyfarm responses), etc.
+        """
+        if which not in QUADRANTS:
+            raise ValueError(f"quadrant must be one of {QUADRANTS}, got {which!r}")
+        import numpy as np
+
+        lo, hi = (np.uint64(self.internal[0]), np.uint64(self.internal[1]))
+        r, c, v = self.matrix.find()
+        row_in = (r >= lo) & (r < hi)
+        col_in = (c >= lo) & (c < hi)
+        mask = (row_in if which[0] == "i" else ~row_in) & (
+            col_in if which[1] == "i" else ~col_in
+        )
+        # A mask of a canonical triple list is itself canonical.
+        return HyperSparseMatrix._from_canonical(
+            r[mask], c[mask], v[mask], self.matrix.shape
+        )
+
+    def occupancy(self) -> Dict[str, int]:
+        """Stored entries per quadrant — the Fig-1 structure summary."""
+        return {q: self.quadrant(q).nnz for q in QUADRANTS}
+
+    def external_to_internal(self) -> HyperSparseMatrix:
+        """The telescope's analysis quadrant (upper left in Fig 1)."""
+        return self.quadrant("ei")
+
+    def internal_to_external(self) -> HyperSparseMatrix:
+        """The honeyfarm's response quadrant (lower right in Fig 1)."""
+        return self.quadrant("ie")
+
+
+def quadrant_occupancy(
+    packets: Packets, internal: RangeLike
+) -> Dict[str, int]:
+    """One-shot quadrant occupancy summary for a packet stream."""
+    return TrafficMatrixView.from_packets(packets, internal).occupancy()

@@ -1,0 +1,98 @@
+"""CryptoPAN structural properties: bijectivity and prefix preservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import CryptoPan
+
+
+def common_prefix_len(x: int, y: int) -> int:
+    z = int(x) ^ int(y)
+    return 32 if z == 0 else 32 - z.bit_length()
+
+
+class TestBasics:
+    def test_deterministic(self):
+        a = CryptoPan(b"key").anonymize_one(16843009)
+        b = CryptoPan(b"key").anonymize_one(16843009)
+        assert a == b
+
+    def test_key_sensitivity(self):
+        addrs = np.arange(1000, dtype=np.uint64)
+        a = CryptoPan(b"key-1").anonymize(addrs)
+        b = CryptoPan(b"key-2").anonymize(addrs)
+        assert not np.array_equal(a, b)
+
+    def test_string_key_accepted(self):
+        assert CryptoPan("secret").anonymize_one(1) == CryptoPan(b"secret").anonymize_one(1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoPan(b"")
+
+    def test_out_of_range_rejected(self):
+        pan = CryptoPan(b"k")
+        with pytest.raises(ValueError):
+            pan.anonymize(np.asarray([2**32], dtype=np.uint64))
+
+    def test_non_integer_rejected(self):
+        pan = CryptoPan(b"k")
+        with pytest.raises(TypeError):
+            pan.anonymize(np.asarray([1.5]))
+
+    def test_empty_array(self):
+        pan = CryptoPan(b"k")
+        assert pan.anonymize(np.zeros(0, dtype=np.uint64)).size == 0
+
+
+class TestBijectivity:
+    def test_roundtrip_large_sample(self, rng):
+        pan = CryptoPan(b"round-trip")
+        addrs = rng.integers(0, 2**32, 200_000, dtype=np.uint64)
+        np.testing.assert_array_equal(pan.deanonymize(pan.anonymize(addrs)), addrs)
+
+    def test_injective_on_sample(self, rng):
+        pan = CryptoPan(b"inj")
+        addrs = np.unique(rng.integers(0, 2**32, 100_000, dtype=np.uint64))
+        anon = pan.anonymize(addrs)
+        assert np.unique(anon).size == addrs.size
+
+    def test_scalar_roundtrip_edges(self):
+        pan = CryptoPan(b"edge")
+        for addr in (0, 1, 2**31, 2**32 - 1):
+            assert pan.deanonymize_one(pan.anonymize_one(addr)) == addr
+
+
+class TestPrefixPreservation:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_common_prefix_conserved(self, x, y, key):
+        pan = CryptoPan(key)
+        ax = pan.anonymize_one(x)
+        ay = pan.anonymize_one(y)
+        assert common_prefix_len(x, y) == common_prefix_len(ax, ay)
+
+    def test_slash8_block_coherent(self, rng):
+        pan = CryptoPan(b"block")
+        block = rng.integers(10 << 24, 11 << 24, 5000, dtype=np.uint64)
+        anon = pan.anonymize(block)
+        assert np.unique(anon >> np.uint64(24)).size == 1
+
+    def test_distinct_octets_diverge(self, rng):
+        # Addresses from different /8s map to different /8s (bijection on
+        # the prefix tree's first level).
+        pan = CryptoPan(b"level1")
+        firsts = np.arange(256, dtype=np.uint64) << np.uint64(24)
+        anon = pan.anonymize(firsts)
+        assert np.unique(anon >> np.uint64(24)).size == 256
+
+    def test_as_row_map_matches_anonymize(self, rng):
+        pan = CryptoPan(b"map")
+        addrs = rng.integers(0, 2**32, 100, dtype=np.uint64)
+        np.testing.assert_array_equal(pan.as_row_map()(addrs), pan.anonymize(addrs))

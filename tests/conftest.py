@@ -1,0 +1,48 @@
+"""Shared fixtures: a tiny-but-complete study reused across test modules.
+
+The study is session-scoped: building telescope samples is the expensive
+part of integration testing, and every consumer treats the study as
+read-only.  ``tiny_config`` keeps the window at ``2^14`` packets and the
+population at 3000 sources — large enough for the shape checks to hold,
+small enough that the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationStudy
+from repro.synth import InternetModel, ModelConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ModelConfig:
+    return ModelConfig(log2_nv=14, n_sources=3000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config) -> InternetModel:
+    return InternetModel(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_model) -> CorrelationStudy:
+    return CorrelationStudy(tiny_model, min_bin_sources=25)
+
+
+@pytest.fixture(scope="session")
+def tiny_sample(tiny_study):
+    """The first telescope sample of the tiny study."""
+    return tiny_study.samples[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_months(tiny_study):
+    """All honeyfarm months of the tiny study."""
+    return tiny_study.months
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,61 @@
+"""The empirical log2 brightness law."""
+
+import numpy as np
+import pytest
+
+from repro.core import empirical_log_law, log_law_errors, peak_correlation
+from repro.hypersparse.coo import SparseVec
+
+
+class TestLaw:
+    def test_values(self):
+        # N_V = 2^20: denominator log2(2^10) = 10.
+        d = np.asarray([1.0, 2.0, 32.0, 1024.0, 4096.0])
+        p = empirical_log_law(d, 1 << 20)
+        np.testing.assert_allclose(p, [0.0, 0.1, 0.5, 1.0, 1.0])
+
+    def test_saturates_at_one(self):
+        assert empirical_log_law(np.asarray([2.0**30]), 1 << 20).item() == 1.0
+
+    def test_rejects_sub_one(self):
+        with pytest.raises(ValueError):
+            empirical_log_law(np.asarray([0.5]), 1 << 20)
+
+
+class TestErrors:
+    def _peak_from_law(self, n_valid, n_per_bin=200, seed=0):
+        """A synthetic peak curve whose overlap follows the law exactly."""
+        rng = np.random.default_rng(seed)
+        keys, degrees, seen = [], [], []
+        next_key = 1
+        for i in range(0, 12):
+            d = float(2**i) * 1.4
+            p = empirical_log_law(np.asarray([max(d, 1.0)]), n_valid).item()
+            for _ in range(n_per_bin):
+                keys.append(next_key)
+                degrees.append(d)
+                if rng.random() < p:
+                    seen.append(next_key)
+                next_key += 1
+        vec = SparseVec(keys, degrees)
+        return peak_correlation(vec, np.asarray(seen, dtype=np.uint64), n_valid)
+
+    def test_law_following_data_scores_well(self):
+        peak = self._peak_from_law(1 << 20)
+        errors = log_law_errors(peak)
+        assert errors["mean_abs_error"] < 0.05
+        assert errors["correlation"] > 0.97
+
+    def test_flat_data_scores_poorly(self):
+        vec = SparseVec(np.arange(1, 2001), np.repeat(2.0 ** np.arange(10), 200))
+        # Constant 50% overlap regardless of brightness.
+        seen = vec.keys[::2]
+        peak = peak_correlation(vec, seen, 1 << 20)
+        errors = log_law_errors(peak)
+        assert errors["mean_abs_error"] > 0.15
+
+    def test_requires_populated_bins(self):
+        vec = SparseVec([1], [4.0])
+        peak = peak_correlation(vec, np.asarray([1], dtype=np.uint64), 1 << 20)
+        with pytest.raises(ValueError):
+            log_law_errors(peak)

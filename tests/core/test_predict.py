@@ -1,0 +1,87 @@
+"""Forecasting machinery (paper §V predictions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DegreeBin
+from repro.core.predict import CurvePredictor, holdout_evaluation
+
+
+@pytest.fixture(scope="module")
+def predictor(tiny_study):
+    return CurvePredictor(tiny_study, train_samples=[0, 1, 2, 3])
+
+
+class TestPredictor:
+    def test_fits_multiple_bins(self, predictor):
+        assert len(predictor.fitted_bins) >= 4
+
+    def test_parameters_plausible(self, predictor, tiny_study):
+        for b in tiny_study.default_bins():
+            if b.label not in predictor.fitted_bins:
+                continue
+            alpha, beta = predictor.parameters(b)
+            assert 0.2 < alpha < 3.0
+            assert 0.1 < beta < 20.0
+            assert 0.0 < predictor.predicted_drop(b) < 1.0
+
+    def test_predicted_curve_peaks_at_t0(self, predictor, tiny_study):
+        times = np.asarray(tiny_study.month_times)
+        b = next(
+            bb for bb in tiny_study.default_bins()
+            if bb.label in predictor.fitted_bins
+        )
+        curve = predictor.predict_curve(b, 7.3, times)
+        assert times[int(np.argmax(curve))] == 7.5
+        assert 0.0 <= curve.min() and curve.max() <= 1.0
+
+    def test_brighter_bins_predict_higher_peaks(self, predictor, tiny_study):
+        times = np.asarray(tiny_study.month_times)
+        fitted = [
+            b for b in tiny_study.default_bins() if b.label in predictor.fitted_bins
+        ]
+        dim, bright = fitted[0], fitted[-1]
+        assert (
+            predictor.predict_curve(bright, 7.3, times).max()
+            > predictor.predict_curve(dim, 7.3, times).max()
+        )
+
+    def test_unknown_bin_raises(self, predictor):
+        with pytest.raises(KeyError):
+            predictor.predict_curve(DegreeBin(2**20, 2**21), 5.0, np.asarray([5.5]))
+
+    def test_baseline_uses_lag_structure(self, predictor, tiny_study):
+        times = np.asarray(tiny_study.month_times)
+        b = next(
+            bb for bb in tiny_study.default_bins()
+            if bb.label in predictor.fitted_bins
+        )
+        base = predictor.baseline_curve(b, 7.3, times)
+        # Climatology also peaks near the coeval month.
+        assert abs(times[int(np.argmax(base))] - 7.3) <= 1.5
+
+
+class TestHoldout:
+    def test_scores_structure(self, tiny_study):
+        scores = holdout_evaluation(tiny_study)
+        assert len(scores) >= 3
+        for s in scores:
+            assert s.mae_model >= 0 and s.mae_baseline >= 0
+            assert s.n_sources >= tiny_study.min_bin_sources
+
+    def test_forecast_accuracy(self, tiny_study):
+        scores = holdout_evaluation(tiny_study)
+        maes = [s.mae_model for s in scores]
+        assert float(np.median(maes)) < 0.12
+
+    def test_any_holdout_index(self, tiny_study):
+        scores = holdout_evaluation(tiny_study, holdout_index=0)
+        assert len(scores) >= 3
+
+    def test_skill_definition(self):
+        from repro.core.predict import PredictionScore
+
+        s = PredictionScore("b", 10, mae_model=0.05, mae_baseline=0.10)
+        assert np.isclose(s.skill, 0.5)
+        z = PredictionScore("b", 10, mae_model=0.05, mae_baseline=0.0)
+        assert z.skill == 0.0

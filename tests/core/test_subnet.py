@@ -1,0 +1,93 @@
+"""Subnet aggregation and anonymized-space correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import AnonymizationDomain
+from repro.core.subnet import (
+    aggregate_to_prefix,
+    anonymized_subnet_overlap,
+    overlap_profile,
+    subnet_overlap,
+)
+
+
+class TestAggregate:
+    def test_slash8(self):
+        addrs = np.asarray([10 << 24, (10 << 24) + 5, 11 << 24], dtype=np.uint64)
+        prefixes = aggregate_to_prefix(addrs, 8)
+        np.testing.assert_array_equal(prefixes, [10, 11])
+
+    def test_slash32_is_identity_set(self, rng):
+        addrs = rng.integers(0, 2**32, 100, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            aggregate_to_prefix(addrs, 32), np.unique(addrs)
+        )
+
+    def test_slash0_collapses(self, rng):
+        addrs = rng.integers(0, 2**32, 100, dtype=np.uint64)
+        assert aggregate_to_prefix(addrs, 0).size == 1
+
+    def test_empty(self):
+        assert aggregate_to_prefix(np.zeros(0, dtype=np.uint64), 8).size == 0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            aggregate_to_prefix(np.asarray([1], dtype=np.uint64), 33)
+
+
+class TestOverlap:
+    def test_exact_counts(self):
+        a = np.asarray([0x0A000001, 0x0A000002, 0x0B000001], dtype=np.uint64)
+        b = np.asarray([0x0A0000FF, 0x0C000001], dtype=np.uint64)
+        ov = subnet_overlap(a, b, 8)
+        assert ov.n_a == 2 and ov.n_b == 2 and ov.n_common == 1
+        assert ov.fraction_a == 0.5
+
+    def test_profile_monotone(self, rng):
+        base = rng.integers(0, 2**32, 500, dtype=np.uint64)
+        other = np.concatenate(
+            [base[:250], rng.integers(0, 2**32, 250, dtype=np.uint64)]
+        )
+        profile = overlap_profile(base, other)
+        fracs = [p.fraction_a for p in profile]
+        assert all(x >= y - 1e-12 for x, y in zip(fracs, fracs[1:]))
+
+    def test_empty_sets(self):
+        ov = subnet_overlap(np.zeros(0, dtype=np.uint64), np.asarray([1]), 8)
+        assert ov.fraction_a == 0.0
+
+
+class TestAnonymizedEquality:
+    @given(st.integers(0, 2**32 - 1), st.integers(8, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_identical_any_seed_and_prefix(self, seed, prefix_len):
+        rng = np.random.default_rng(seed)
+        shared = rng.integers(0, 2**32, 200, dtype=np.uint64)
+        a = np.unique(
+            np.concatenate([shared, rng.integers(0, 2**32, 100, dtype=np.uint64)])
+        )
+        b = np.unique(
+            np.concatenate([shared, rng.integers(0, 2**32, 150, dtype=np.uint64)])
+        )
+        dom_a = AnonymizationDomain("a", b"key-a")
+        dom_b = AnonymizationDomain("b", b"key-b")
+        plain = subnet_overlap(a, b, prefix_len)
+        anon = anonymized_subnet_overlap(
+            dom_a, dom_a.publish(a), dom_b, dom_b.publish(b), prefix_len
+        )
+        assert (plain.n_a, plain.n_b, plain.n_common) == (
+            anon.n_a,
+            anon.n_b,
+            anon.n_common,
+        )
+
+    def test_analyst_never_sees_plain(self, rng):
+        """The common-scheme values differ from the plain addresses."""
+        addrs = rng.integers(0, 2**32, 1000, dtype=np.uint64)
+        dom = AnonymizationDomain("a", b"key-a")
+        common = AnonymizationDomain("c", b"subnet-common-scheme")
+        rekeyed = dom.reanonymize_to(dom.publish(addrs), common)
+        assert float((rekeyed == addrs).mean()) < 0.01

@@ -1,0 +1,81 @@
+"""Temporal-correlation curves on hand-built data."""
+
+import numpy as np
+import pytest
+
+from repro.core import DegreeBin, temporal_correlation
+from repro.hypersparse.coo import SparseVec
+
+
+@pytest.fixture()
+def vec():
+    # Ten sources, degrees 1..10.
+    return SparseVec(np.arange(1, 11), np.arange(1, 11, dtype=float))
+
+
+def test_fractions_computed_per_month(vec):
+    monthly = [
+        np.arange(1, 11, dtype=np.uint64),  # all seen
+        np.arange(1, 6, dtype=np.uint64),  # half seen
+        np.asarray([], dtype=np.uint64),  # none seen
+    ]
+    curve = temporal_correlation(vec, monthly, [0.5, 1.5, 2.5], t0=0.5)
+    np.testing.assert_allclose(curve.fractions, [1.0, 0.5, 0.0])
+    assert curve.n_sources == 10
+    assert curve.bin is None
+
+
+def test_bin_restriction(vec):
+    monthly = [np.asarray([9, 10], dtype=np.uint64)]
+    curve = temporal_correlation(
+        vec, monthly, [0.5], t0=0.5, bin=DegreeBin(8, 16)
+    )
+    # Degrees in [8, 16): sources 8, 9, 10; two seen.
+    assert curve.n_sources == 3
+    np.testing.assert_allclose(curve.fractions, [2 / 3])
+
+
+def test_empty_bin_gives_zero_curve(vec):
+    curve = temporal_correlation(
+        vec, [np.asarray([1], dtype=np.uint64)], [0.5], t0=0.5,
+        bin=DegreeBin(1000, 2000),
+    )
+    assert curve.n_sources == 0
+    np.testing.assert_allclose(curve.fractions, [0.0])
+
+
+def test_misaligned_inputs(vec):
+    with pytest.raises(ValueError):
+        temporal_correlation(vec, [np.asarray([1])], [0.5, 1.5], t0=0.5)
+
+
+def test_peak_and_background(vec):
+    times = [float(i) + 0.5 for i in range(15)]
+    monthly = [np.arange(1, 11, dtype=np.uint64) if i == 4 else np.asarray([1], dtype=np.uint64) for i in range(15)]
+    curve = temporal_correlation(vec, monthly, times, t0=4.55)
+    assert curve.peak_fraction() == 1.0
+    assert np.isclose(curve.background_fraction(), 0.1)
+
+
+def test_background_requires_long_lags(vec):
+    curve = temporal_correlation(vec, [np.asarray([1])], [0.5], t0=0.5)
+    with pytest.raises(ValueError):
+        curve.background_fraction()
+
+
+def test_fit_integrates_with_fits_package(vec):
+    from repro.fits import modified_cauchy
+
+    times = np.arange(15.0) + 0.5
+    t0 = 4.55
+    truth = modified_cauchy(times, t0, 1.0, 2.0)
+    monthly = []
+    rng = np.random.default_rng(0)
+    keys = np.arange(1, 11, dtype=np.uint64)
+    for p in truth:
+        monthly.append(keys[rng.random(10) < p])
+    curve = temporal_correlation(vec, monthly, times, t0=t0)
+    fit = curve.fit("modified_cauchy")
+    assert 0.3 < fit.alpha < 2.5
+    fits = curve.fit_all()
+    assert set(fits) == {"gaussian", "cauchy", "modified_cauchy"}

@@ -1,0 +1,146 @@
+"""Associative-array algebra: union/intersection operators and matmul."""
+
+import numpy as np
+import pytest
+
+from repro.d4m import Assoc
+
+
+@pytest.fixture()
+def a():
+    return Assoc(["x", "y"], ["p", "q"], [1.0, 2.0])
+
+
+@pytest.fixture()
+def b():
+    return Assoc(["y", "z"], ["q", "r"], [10.0, 20.0])
+
+
+class TestAddMult:
+    def test_add_union_keyspace(self, a, b):
+        c = a + b
+        assert set(c.row.tolist()) == {"x", "y", "z"}
+        assert c.get("y", "q") == 12.0
+        assert c.get("x", "p") == 1.0
+        assert c.get("z", "r") == 20.0
+
+    def test_subtract(self, a):
+        z = a - a
+        # Entries cancel to explicit zeros; values read back as absent.
+        assert all(v == 0.0 for v in z.adj.vals)
+
+    def test_scalar_add(self, a):
+        c = a + 1.0
+        assert c.get("x", "p") == 2.0
+
+    def test_scalar_mult(self, a):
+        c = a * 3.0
+        assert c.get("y", "q") == 6.0
+        assert (2 * a).get("x", "p") == 2.0
+
+    def test_mult_intersection(self, a, b):
+        c = a * b
+        assert c.nnz == 1
+        assert c.get("y", "q") == 20.0
+
+    def test_string_valued_coerced_logical(self):
+        s = Assoc(["x"], ["p"], ["meta"])
+        n = Assoc(["x"], ["p"], [5.0])
+        assert (s + n).get("x", "p") == 6.0  # logical(s) + n
+
+    def test_scalar_ops_rejected_for_strings(self):
+        s = Assoc(["x"], ["p"], ["meta"])
+        with pytest.raises(TypeError):
+            s + 1.0
+        with pytest.raises(TypeError):
+            s * 2.0
+
+
+class TestLogical:
+    def test_and_intersection(self, a, b):
+        c = a & b
+        assert c.nnz == 1 and c.get("y", "q") == 1.0
+
+    def test_or_union(self, a, b):
+        c = a | b
+        assert c.nnz == 3
+        assert all(v == 1.0 for v in c.adj.vals)
+
+    def test_logical_of_string_assoc(self):
+        s = Assoc(["x", "y"], "c", ["u", "v"])
+        l = s.logical()
+        assert not l.is_string_valued
+        assert l.get("x", "c") == 1.0
+
+    def test_and_with_disjoint(self, a):
+        other = Assoc(["nope"], ["p"], [1.0])
+        assert (a & other).nnz == 0
+
+
+class TestStructure:
+    def test_transpose(self, a):
+        t = a.T
+        assert t.get("p", "x") == 1.0
+        assert t.T == a
+
+    def test_sum_axis1(self):
+        m = Assoc(["r1", "r1", "r2"], ["c1", "c2", "c1"], [1.0, 2.0, 4.0])
+        s = m.sum(axis=1)
+        assert s.get("r1", "sum") == 3.0
+        assert s.get("r2", "sum") == 4.0
+
+    def test_sum_axis0(self):
+        m = Assoc(["r1", "r1", "r2"], ["c1", "c2", "c1"], [1.0, 2.0, 4.0])
+        s = m.sum(axis=0)
+        assert s.get("sum", "c1") == 5.0
+        assert s.get("sum", "c2") == 2.0
+
+    def test_sum_invalid_axis(self, a):
+        with pytest.raises(ValueError):
+            a.sum(axis=2)
+
+    def test_sum_of_string_assoc_counts(self):
+        s = Assoc(["r1", "r1"], ["c1", "c2"], ["u", "v"])
+        assert s.sum(axis=1).get("r1", "sum") == 2.0
+
+    def test_sqin_counts_shared_rows(self):
+        m = Assoc(
+            ["ip1", "ip1", "ip2", "ip2"],
+            ["tag|a", "tag|b", "tag|a", "tag|b"],
+            [1.0, 1.0, 1.0, 1.0],
+        )
+        cc = m.sqin()
+        assert cc.get("tag|a", "tag|b") == 2.0
+        assert cc.get("tag|a", "tag|a") == 2.0
+
+    def test_sqout_counts_shared_cols(self):
+        m = Assoc(["ip1", "ip2"], ["t", "t"], [1.0, 1.0])
+        rr = m.sqout()
+        assert rr.get("ip1", "ip2") == 1.0
+
+    def test_matmul_aligns_on_keys(self):
+        x = Assoc(["a", "a", "b"], ["k1", "k2", "k2"], [1.0, 2.0, 3.0])
+        y = Assoc(["k1", "k2"], ["out"], [10.0, 100.0])
+        z = x @ y
+        assert z.get("a", "out") == 210.0
+        assert z.get("b", "out") == 300.0
+
+    def test_matmul_disjoint_inner_keys(self):
+        x = Assoc(["a"], ["k1"], [1.0])
+        y = Assoc(["k2"], ["out"], [1.0])
+        assert (x @ y).nnz == 0
+
+
+class TestAlgebraLaws:
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    def test_or_idempotent(self, a):
+        assert (a | a) == a.logical()
+
+    def test_and_idempotent(self, a):
+        assert (a & a) == a.logical()
+
+    def test_demorgan_esque_nnz(self, a, b):
+        # |A or B| + |A and B| == |A| + |B| (inclusion-exclusion on support)
+        assert (a | b).nnz + (a & b).nnz == a.nnz + b.nnz

@@ -1,0 +1,53 @@
+"""TSV round-trips for associative arrays."""
+
+import numpy as np
+import pytest
+
+from repro.d4m import Assoc, assoc_from_tsv, assoc_to_tsv
+
+
+def test_numeric_roundtrip(tmp_path):
+    a = Assoc(["1.1.1.1", "2.2.2.2"], "packets", [3.5, 7.0])
+    p = tmp_path / "a.tsv"
+    assoc_to_tsv(a, p)
+    assert assoc_from_tsv(p) == a
+
+
+def test_string_roundtrip(tmp_path):
+    a = Assoc(["ip1", "ip2"], "intent", ["scanner", "worm"])
+    p = tmp_path / "s.tsv"
+    assoc_to_tsv(a, p)
+    b = assoc_from_tsv(p)
+    assert b == a and b.is_string_valued
+
+
+def test_empty_roundtrip(tmp_path):
+    p = tmp_path / "e.tsv"
+    assoc_to_tsv(Assoc.empty(), p)
+    assert assoc_from_tsv(p).nnz == 0
+
+
+def test_header_required(tmp_path):
+    p = tmp_path / "bad.tsv"
+    p.write_text("r\tc\t1.0\n")
+    with pytest.raises(ValueError, match="header"):
+        assoc_from_tsv(p)
+
+
+def test_malformed_line(tmp_path):
+    p = tmp_path / "bad.tsv"
+    p.write_text("#repro-assoc\tnumeric\nr\tc\n")
+    with pytest.raises(ValueError, match="line 2"):
+        assoc_from_tsv(p)
+
+
+def test_delimiter_in_key_rejected(tmp_path):
+    a = Assoc(["bad\tkey"], "c", [1.0])
+    with pytest.raises(ValueError):
+        assoc_to_tsv(a, tmp_path / "x.tsv")
+
+
+def test_comments_and_blanks_skipped(tmp_path):
+    p = tmp_path / "c.tsv"
+    p.write_text("#repro-assoc\tnumeric\n\n# comment\nr\tc\t2.0\n")
+    assert assoc_from_tsv(p).get("r", "c") == 2.0

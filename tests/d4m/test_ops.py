@@ -1,0 +1,97 @@
+"""D4M idioms: exploded schema, value concatenation, overlap."""
+
+import numpy as np
+import pytest
+
+from repro.d4m import Assoc, cat_values, col2type, val2col
+from repro.d4m.ops import nnz_by_row, row_overlap
+
+
+class TestVal2Col:
+    def test_explode(self):
+        s = Assoc(["ip1", "ip2"], "intent", ["scanner", "worm"])
+        e = val2col(s)
+        assert e.get("ip1", "intent|scanner") == 1.0
+        assert e.get("ip2", "intent|worm") == 1.0
+        assert not e.is_string_valued
+
+    def test_explode_rejects_numeric(self):
+        with pytest.raises(TypeError):
+            val2col(Assoc(["r"], ["c"], [1.0]))
+
+    def test_explode_empty(self):
+        assert val2col(Assoc(["r"], ["c"], ["v"])[["zz"], ":"]).nnz == 0
+
+    def test_custom_separator(self):
+        s = Assoc(["ip"], "k", ["v"])
+        e = val2col(s, separator="/")
+        assert e.get("ip", "k/v") == 1.0
+
+
+class TestCol2Type:
+    def test_roundtrip(self):
+        s = Assoc(
+            ["ip1", "ip2", "ip1"],
+            ["intent", "intent", "classification"],
+            ["scanner", "worm", "malicious"],
+        )
+        assert col2type(val2col(s)) == s
+
+    def test_missing_separator_raises(self):
+        e = Assoc(["ip"], ["nosep"], [1.0])
+        with pytest.raises(ValueError, match="nosep"):
+            col2type(e)
+
+    def test_splits_on_first_separator_only(self):
+        e = Assoc(["ip"], ["tag|a|b"], [1.0])
+        back = col2type(e)
+        assert back.get("ip", "tag") == "a|b"
+
+
+class TestCatValues:
+    def test_disjoint_union(self):
+        a = Assoc(["r1"], "c", ["x"])
+        b = Assoc(["r2"], "c", ["y"])
+        c = cat_values(a, b)
+        assert c.get("r1", "c") == "x" and c.get("r2", "c") == "y"
+
+    def test_collision_concatenates(self):
+        a = Assoc(["r"], "c", ["x"])
+        b = Assoc(["r"], "c", ["y"])
+        assert cat_values(a, b).get("r", "c") == "x;y"
+
+    def test_custom_separator(self):
+        a = Assoc(["r"], "c", ["x"])
+        b = Assoc(["r"], "c", ["y"])
+        assert cat_values(a, b, separator="+").get("r", "c") == "x+y"
+
+    def test_empty_operands(self):
+        a = Assoc(["r"], "c", ["x"])
+        empty = a[["zz"], ":"]
+        assert cat_values(a, empty) == a
+        assert cat_values(empty, a) == a
+
+    def test_rejects_numeric(self):
+        with pytest.raises(TypeError):
+            cat_values(Assoc(["r"], ["c"], [1.0]), Assoc(["r"], ["c"], ["x"]))
+
+
+class TestOverlap:
+    def test_nnz_by_row(self):
+        a = Assoc(["r1", "r1", "r2"], ["c1", "c2", "c1"], [9.0, 9.0, 9.0])
+        counts = nnz_by_row(a)
+        assert counts.get("r1", "sum") == 2.0
+        assert counts.get("r2", "sum") == 1.0
+
+    def test_row_overlap(self):
+        a = Assoc(["ip1", "ip2"], "packets", [1.0, 2.0])
+        b = Assoc(["ip2", "ip3"], "seen", [1.0, 1.0])
+        common, frac = row_overlap(a, b)
+        assert list(common) == ["ip2"]
+        assert frac == 0.5
+
+    def test_row_overlap_empty(self):
+        a = Assoc(["ip1"], "c", [1.0])[["zz"], ":"]
+        b = Assoc(["ip1"], "c", [1.0])
+        _, frac = row_overlap(a, b)
+        assert frac == 0.0

@@ -1,0 +1,88 @@
+"""Property-based tests of associative-array algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.d4m import Assoc
+
+KEYS = st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"])
+
+
+@st.composite
+def assocs(draw, max_entries=20):
+    n = draw(st.integers(1, max_entries))
+    rows = draw(st.lists(KEYS, min_size=n, max_size=n))
+    cols = draw(st.lists(KEYS, min_size=n, max_size=n))
+    vals = draw(
+        st.lists(st.integers(1, 50).map(float), min_size=n, max_size=n)
+    )
+    return Assoc(rows, cols, vals)
+
+
+@given(assocs(), assocs())
+@settings(max_examples=50, deadline=None)
+def test_add_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(assocs(), assocs(), assocs())
+@settings(max_examples=30, deadline=None)
+def test_add_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(assocs(), assocs())
+@settings(max_examples=50, deadline=None)
+def test_mult_commutative(a, b):
+    assert a * b == b * a
+
+
+@given(assocs())
+@settings(max_examples=50, deadline=None)
+def test_logical_idempotent(a):
+    assert a.logical().logical() == a.logical()
+
+
+@given(assocs())
+@settings(max_examples=50, deadline=None)
+def test_transpose_involution(a):
+    assert a.T.T == a
+
+
+@given(assocs(), assocs())
+@settings(max_examples=50, deadline=None)
+def test_inclusion_exclusion_on_support(a, b):
+    assert (a | b).nnz + (a & b).nnz == a.nnz + b.nnz
+
+
+@given(assocs())
+@settings(max_examples=50, deadline=None)
+def test_triples_reconstruct(a):
+    rows, cols, vals = a.triples()
+    assert Assoc(rows, cols, vals) == a
+
+
+@given(assocs())
+@settings(max_examples=50, deadline=None)
+def test_sum_axes_agree_on_total(a):
+    by_rows = a.sum(axis=1)
+    by_cols = a.sum(axis=0)
+    assert np.isclose(by_rows.adj.total(), by_cols.adj.total())
+    assert np.isclose(by_rows.adj.total(), a.adj.total())
+
+
+@given(assocs())
+@settings(max_examples=30, deadline=None)
+def test_sqout_diagonal_is_row_degree(a):
+    l = a.logical()
+    rr = l.sqout()
+    deg = l.sum(axis=1)
+    for key in l.row_set():
+        assert rr.get(key, key) == deg.get(key, "sum")
+
+
+@given(assocs())
+@settings(max_examples=50, deadline=None)
+def test_full_selection_identity(a):
+    assert a[":", ":"] == a

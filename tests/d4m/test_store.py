@@ -1,0 +1,134 @@
+"""Persistent triple store: ingest, scan, compaction, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.d4m import Assoc
+from repro.d4m.store import TripleStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TripleStore(tmp_path / "db")
+
+
+@pytest.fixture()
+def populated(store):
+    store.ingest(
+        Assoc(
+            ["1.1.1.1", "2.2.2.2"], "intent", ["scanner", "worm"]
+        ),
+        label="2020-06",
+    )
+    store.ingest(
+        Assoc(["2.2.2.2", "9.9.9.9"], "intent", ["worm", "crawler"]),
+        label="2020-07",
+    )
+    store.ingest(
+        Assoc(["1.1.1.1", "9.9.9.9"], "hits", [3.0, 5.0]), label="counts"
+    )
+    return store
+
+
+class TestIngestScan:
+    def test_segment_count(self, populated):
+        assert populated.n_segments == 3
+        assert populated.labels() == ["2020-06", "2020-07", "counts"]
+
+    def test_full_scan_merges_segments(self, populated):
+        a = populated.scan()
+        assert set(a.row_set().tolist()) == {"1.1.1.1", "2.2.2.2", "9.9.9.9"}
+        assert a.get("1.1.1.1", "intent") == "scanner"
+        assert a.get("9.9.9.9", "hits") == "5.0"  # mixed scan -> strings
+
+    def test_numeric_only_scan(self, populated):
+        a = populated.scan(columns=["hits"])
+        assert not a.is_string_valued
+        assert a.get("9.9.9.9", "hits") == 5.0
+
+    def test_numeric_duplicates_sum(self, store):
+        store.ingest(Assoc(["r"], "n", [2.0]))
+        store.ingest(Assoc(["r"], "n", [3.0]))
+        assert store.scan().get("r", "n") == 5.0
+
+    def test_string_duplicates_last_writer_wins(self, store):
+        store.ingest(Assoc(["r"], "c", ["old"]))
+        store.ingest(Assoc(["r"], "c", ["new"]))
+        assert store.scan().get("r", "c") == "new"
+
+    def test_row_range(self, populated):
+        a = populated.scan(row_lo="2", row_hi="3")
+        assert list(a.row_set()) == ["2.2.2.2"]
+
+    def test_row_prefix(self, populated):
+        a = populated.scan(row_prefix="1.1")
+        assert list(a.row_set()) == ["1.1.1.1"]
+
+    def test_prefix_excludes_bounds(self, populated):
+        with pytest.raises(ValueError):
+            populated.scan(row_prefix="1.", row_lo="0")
+
+    def test_label_filter(self, populated):
+        a = populated.scan(labels=["2020-07"])
+        assert set(a.row_set().tolist()) == {"2.2.2.2", "9.9.9.9"}
+
+    def test_column_filter(self, populated):
+        a = populated.scan(columns=["intent"])
+        assert list(a.col_set()) == ["intent"]
+
+    def test_row_set_query(self, populated):
+        rows = populated.row_set(labels=["2020-06"])
+        assert list(rows) == ["1.1.1.1", "2.2.2.2"]
+
+    def test_empty_scan(self, store):
+        assert store.scan().nnz == 0
+
+    def test_delimiter_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.ingest(Assoc(["bad\tkey"], "c", ["v"]))
+
+
+class TestCompaction:
+    def test_compaction_preserves_queries(self, populated):
+        before = populated.scan().to_dict()
+        removed = populated.compact()
+        assert removed == 3
+        assert populated.n_segments == 1
+        assert populated.scan().to_dict() == before
+
+    def test_compact_single_segment_noop(self, store):
+        store.ingest(Assoc(["r"], "c", ["v"]))
+        assert store.compact() == 0
+
+    def test_compaction_label(self, populated):
+        populated.compact()
+        assert populated.labels()[0].startswith("compacted:")
+
+
+class TestFailureInjection:
+    def test_torn_segment_skipped(self, populated, tmp_path):
+        # Truncate the second segment mid-file: footer gone.
+        seg = sorted((populated.root).glob("segment_*.tsv"))[1]
+        seg.write_text(seg.read_text()[: len(seg.read_text()) // 2])
+        assert populated.n_segments == 2
+        a = populated.scan()
+        # 2020-07 data vanished; the others are intact.
+        assert a.get("1.1.1.1", "intent") == "scanner"
+        assert a.get("9.9.9.9", "hits") is not None
+
+    def test_count_mismatch_detected(self, populated):
+        seg = sorted((populated.root).glob("segment_*.tsv"))[0]
+        lines = seg.read_text().splitlines()
+        seg.write_text("\n".join(lines[1:]) + "\n")  # drop one triple
+        assert populated.n_segments == 2
+
+    def test_garbage_footer_detected(self, populated):
+        seg = sorted((populated.root).glob("segment_*.tsv"))[0]
+        text = seg.read_text().rsplit("\n", 2)[0] + "\n#footer\tnot-json\n"
+        seg.write_text(text)
+        assert populated.n_segments == 2
+
+    def test_reopen_existing_store(self, populated):
+        again = TripleStore(populated.root)
+        assert again.n_segments == 3
+        assert again.scan().nnz == populated.scan().nnz

@@ -1,0 +1,64 @@
+"""Property-based tests of the triple store."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.d4m import Assoc
+from repro.d4m.store import TripleStore
+
+KEYS = st.sampled_from(["a", "b", "c", "d", "ip1", "ip2"])
+
+
+@st.composite
+def string_assocs(draw):
+    n = draw(st.integers(1, 12))
+    rows = draw(st.lists(KEYS, min_size=n, max_size=n))
+    cols = draw(st.lists(st.sampled_from(["x", "y"]), min_size=n, max_size=n))
+    vals = draw(
+        st.lists(st.sampled_from(["u", "v", "w"]), min_size=n, max_size=n)
+    )
+    return Assoc(rows, cols, np.asarray(vals, dtype=np.str_))
+
+
+@given(st.lists(string_assocs(), min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_scan_equals_sequential_overwrite(tmp_path_factory, assocs):
+    """A full scan equals applying the ingests in order with
+    last-writer-wins semantics."""
+    root = tmp_path_factory.mktemp("store")
+    store = TripleStore(root)
+    expected = {}
+    for a in assocs:
+        store.ingest(a)
+        for (r, c), v in a.to_dict().items():
+            expected[(r, c)] = v
+    got = store.scan().to_dict()
+    assert got == expected
+
+
+@given(st.lists(string_assocs(), min_size=2, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_compaction_preserves_scan(tmp_path_factory, assocs):
+    root = tmp_path_factory.mktemp("store")
+    store = TripleStore(root)
+    for a in assocs:
+        store.ingest(a)
+    before = store.scan().to_dict()
+    store.compact()
+    assert store.scan().to_dict() == before
+
+
+@given(string_assocs(), st.sampled_from(["a", "b", "ip"]))
+@settings(max_examples=30, deadline=None)
+def test_prefix_scan_is_filter(tmp_path_factory, assoc, prefix):
+    root = tmp_path_factory.mktemp("store")
+    store = TripleStore(root)
+    store.ingest(assoc)
+    got = store.scan(row_prefix=prefix).to_dict()
+    want = {
+        (r, c): v
+        for (r, c), v in store.scan().to_dict().items()
+        if r.startswith(prefix)
+    }
+    assert got == want

@@ -1,0 +1,57 @@
+"""Tabular rendering of associative arrays."""
+
+import pytest
+
+from repro.d4m import Assoc, print_full, spy
+
+
+@pytest.fixture()
+def sample():
+    return Assoc(
+        ["1.1.1.1", "2.2.2.2", "3.3.3.3"],
+        ["intent", "intent", "intent"],
+        ["scanner", "worm", "scanner"],
+    )
+
+
+class TestPrintFull:
+    def test_contains_keys_and_values(self, sample):
+        text = print_full(sample)
+        assert "1.1.1.1" in text and "intent" in text and "scanner" in text
+
+    def test_numeric_compact(self):
+        a = Assoc(["r"], ["c"], [2.5])
+        assert "2.5" in print_full(a)
+
+    def test_empty(self):
+        assert print_full(Assoc.empty()) == "(empty Assoc)"
+
+    def test_elision_summary(self):
+        a = Assoc([f"r{i:02d}" for i in range(30)], "c", 1.0)
+        text = print_full(a, max_rows=5)
+        assert "25 more rows" in text
+
+    def test_missing_cells_blank(self):
+        a = Assoc(["r1", "r2"], ["c1", "c2"], [1.0, 2.0])
+        lines = print_full(a).splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+
+
+class TestSpy:
+    def test_marks_entries(self, sample):
+        text = spy(sample)
+        assert "#" in text
+        assert "3 entries" in text
+
+    def test_diagonal_structure(self):
+        a = Assoc(["a", "b", "c"], ["x", "y", "z"], [1, 1, 1])
+        lines = spy(a).splitlines()[:3]
+        assert lines[0][0] == "#" and lines[1][1] == "#" and lines[2][2] == "#"
+
+    def test_empty(self):
+        assert spy(Assoc.empty()) == "(empty Assoc)"
+
+    def test_window_limits(self):
+        a = Assoc([f"r{i:03d}" for i in range(100)], "c", 1.0)
+        text = spy(a, max_rows=10)
+        assert "showing 10 x 1" in text

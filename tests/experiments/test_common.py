@@ -1,0 +1,60 @@
+"""Experiment infrastructure: config resolution and study memoization."""
+
+import pytest
+
+from repro.experiments import build_study, default_config
+from repro.experiments.common import _STUDIES, ascii_table
+
+
+class TestDefaultConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG2_NV", "12")
+        monkeypatch.setenv("REPRO_SOURCES", "777")
+        monkeypatch.setenv("REPRO_SEED", "99")
+        cfg = default_config()
+        assert cfg.log2_nv == 12
+        assert cfg.n_sources == 777
+        assert cfg.seed == 99
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG2_NV", "12")
+        assert default_config(log2_nv=14).log2_nv == 14
+
+    def test_population_tracks_window(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOURCES", raising=False)
+        small = default_config(log2_nv=14)
+        large = default_config(log2_nv=18)
+        assert large.n_sources > small.n_sources
+
+
+class TestBuildStudy:
+    def test_memoized_per_config(self):
+        cfg = default_config(log2_nv=10, n_sources=200, seed=1)
+        a = build_study(cfg)
+        b = build_study(cfg)
+        assert a is b
+
+    def test_distinct_configs_distinct_studies(self):
+        a = build_study(default_config(log2_nv=10, n_sources=200, seed=1))
+        b = build_study(default_config(log2_nv=10, n_sources=200, seed=2))
+        assert a is not b
+
+
+def test_study_determinism(tiny_config):
+    """Two independently built studies over the same config agree exactly."""
+    import numpy as np
+
+    from repro.core import CorrelationStudy
+    from repro.synth import InternetModel
+
+    a = CorrelationStudy(InternetModel(tiny_config), min_bin_sources=25)
+    b = CorrelationStudy(InternetModel(tiny_config), min_bin_sources=25)
+    np.testing.assert_array_equal(
+        a.fig4_peak().fractions(), b.fig4_peak().fractions()
+    )
+    np.testing.assert_array_equal(a.fig5_curve().fractions, b.fig5_curve().fractions)
+
+
+def test_ascii_table_mixed_types():
+    text = ascii_table(["a", "b"], [[1.23456, "x"], [2, 3.0]])
+    assert "1.235" in text and "x" in text

@@ -1,0 +1,47 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.experiments.reportgen import generate_report
+
+
+def test_report_structure(tiny_study):
+    text = generate_report(
+        tiny_study, experiments=["table2", "fig1"], include_plots=False
+    )
+    assert text.startswith("# Reproduction report")
+    assert "## table2" in text and "## fig1" in text
+    assert "checks passed" in text
+    assert "- [x]" in text  # at least one passing check
+
+
+def test_report_includes_plots(tiny_study):
+    text = generate_report(tiny_study, experiments=["fig4"], include_plots=True)
+    assert "log2 law" in text  # the plot legend
+
+
+def test_unknown_experiment_rejected(tiny_study):
+    with pytest.raises(ValueError, match="unknown"):
+        generate_report(tiny_study, experiments=["nonsense"])
+
+
+def test_cli_report(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    code = main(
+        [
+            "report",
+            "-o",
+            str(out),
+            "--log2-nv",
+            "13",
+            "--sources",
+            "1500",
+            "--seed",
+            "5",
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    assert "# Reproduction report" in out.read_text()

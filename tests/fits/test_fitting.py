@@ -1,0 +1,129 @@
+"""The paper's grid-search fitting procedure."""
+
+import numpy as np
+import pytest
+
+from repro.fits import (
+    fit_all_families,
+    fit_temporal,
+    half_norm,
+    modified_cauchy,
+    one_month_drop,
+)
+
+MONTHS = np.arange(15.0) + 0.5
+T0 = 4.55
+
+
+def synthetic_curve(alpha, beta, scale=0.9, noise=0.0, seed=0):
+    y = scale * modified_cauchy(MONTHS, T0, alpha, beta)
+    if noise:
+        y = y + np.random.default_rng(seed).normal(0, noise, y.size)
+    return np.clip(y, 0, 1)
+
+
+class TestFitTemporal:
+    def test_recovers_clean_parameters(self):
+        y = synthetic_curve(1.0, 2.0)
+        fit = fit_temporal(MONTHS, y, T0)
+        assert abs(fit.alpha - 1.0) < 0.15
+        assert abs(fit.beta - 2.0) < 0.5
+
+    def test_noise_tolerance(self):
+        y = synthetic_curve(1.2, 1.5, noise=0.02)
+        fit = fit_temporal(MONTHS, y, T0)
+        assert abs(fit.alpha - 1.2) < 0.4
+
+    def test_peak_normalization_uses_nearest_point(self):
+        y = synthetic_curve(1.0, 2.0, scale=0.6)
+        fit = fit_temporal(MONTHS, y, T0)
+        assert np.isclose(fit.scale, y[4])  # month 4.5 is nearest to 4.55
+
+    def test_modified_cauchy_beats_others_on_heavy_tail(self):
+        y = synthetic_curve(0.9, 1.2, noise=0.01)
+        fits = fit_all_families(MONTHS, y, T0)
+        assert fits["modified_cauchy"].loss <= fits["cauchy"].loss
+        assert fits["modified_cauchy"].loss <= fits["gaussian"].loss
+
+    def test_gaussian_wins_on_gaussian_data(self):
+        from repro.fits import gaussian
+
+        y = 0.8 * gaussian(MONTHS, T0, 1.2)
+        fits = fit_all_families(MONTHS, y, T0)
+        # Modified Cauchy can approach but not beat the true family by much.
+        assert fits["gaussian"].loss <= fits["cauchy"].loss
+
+    def test_l2_norm_option(self):
+        y = synthetic_curve(1.0, 2.0, noise=0.02)
+        half = fit_temporal(MONTHS, y, T0, norm_p=0.5)
+        l2 = fit_temporal(MONTHS, y, T0, norm_p=2.0)
+        # Both are reasonable fits; the losses are on different scales.
+        assert half.loss != l2.loss
+        assert abs(l2.alpha - 1.0) < 0.6
+
+    def test_custom_grids(self):
+        y = synthetic_curve(1.0, 2.0)
+        fit = fit_temporal(
+            MONTHS, y, T0, grids=[np.asarray([1.0]), np.asarray([2.0])]
+        )
+        assert fit.alpha == 1.0 and fit.beta == 2.0
+
+    def test_wrong_grid_count(self):
+        with pytest.raises(ValueError):
+            fit_temporal(MONTHS, synthetic_curve(1, 1), T0, grids=[np.asarray([1.0])])
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            fit_temporal(MONTHS, synthetic_curve(1, 1), T0, family="lorentzian")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_temporal(MONTHS, MONTHS[:-1], T0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            fit_temporal(np.asarray([]), np.asarray([]), T0)
+
+    def test_dead_curve_fallback(self):
+        y = np.zeros(15)
+        y[10] = 0.2  # peak far from t0; nearest-t0 value is 0
+        fit = fit_temporal(MONTHS, y, T0)
+        assert fit.scale > 0
+
+
+class TestFitResult:
+    def test_named_parameter_access(self):
+        fit = fit_temporal(MONTHS, synthetic_curve(1.0, 2.0), T0)
+        assert fit.alpha == fit.params[0]
+        assert fit.beta == fit.params[1]
+        with pytest.raises(AttributeError):
+            fit.sigma
+
+    def test_predict_shape_and_peak(self):
+        fit = fit_temporal(MONTHS, synthetic_curve(1.0, 2.0), T0)
+        pred = fit.predict(MONTHS)
+        assert pred.shape == MONTHS.shape
+        assert np.isclose(fit.predict(np.asarray([T0]))[0], fit.scale)
+
+    def test_describe(self):
+        fit = fit_temporal(MONTHS, synthetic_curve(1.0, 2.0), T0)
+        text = fit.describe()
+        assert "modified_cauchy" in text and "loss=" in text
+
+    def test_gaussian_param_name(self):
+        fit = fit_temporal(MONTHS, synthetic_curve(1.0, 2.0), T0, family="gaussian")
+        assert fit.param_names == ("sigma",)
+        assert fit.sigma > 0
+
+
+class TestHelpers:
+    def test_half_norm(self):
+        assert half_norm(np.asarray([4.0, -9.0])) == 5.0
+
+    def test_one_month_drop(self):
+        assert one_month_drop(1.0) == 0.5
+        assert np.isclose(one_month_drop(4.0), 0.2)
+
+    def test_one_month_drop_validation(self):
+        with pytest.raises(ValueError):
+            one_month_drop(0.0)

@@ -1,0 +1,91 @@
+"""Temporal-model profiles: shapes, special cases, validation."""
+
+import numpy as np
+import pytest
+
+from repro.fits import cauchy, gaussian, modified_cauchy
+from repro.fits.models import MODEL_FAMILIES
+
+
+T = np.linspace(-10, 10, 201)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            lambda t: gaussian(t, 0.0, 2.0),
+            lambda t: cauchy(t, 0.0, 2.0),
+            lambda t: modified_cauchy(t, 0.0, 1.0, 2.0),
+        ],
+    )
+    def test_unit_peak_at_t0(self, profile):
+        y = profile(T)
+        assert np.isclose(y.max(), 1.0)
+        assert T[int(np.argmax(y))] == 0.0
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            lambda t: gaussian(t, 1.5, 2.0),
+            lambda t: cauchy(t, 1.5, 2.0),
+            lambda t: modified_cauchy(t, 1.5, 0.8, 2.0),
+        ],
+    )
+    def test_symmetric_about_t0(self, profile):
+        left = profile(1.5 - np.linspace(0, 5, 50))
+        right = profile(1.5 + np.linspace(0, 5, 50))
+        np.testing.assert_allclose(left, right, rtol=1e-12)
+
+    def test_monotone_decay_from_peak(self):
+        y = modified_cauchy(np.linspace(0, 20, 100), 0.0, 1.2, 3.0)
+        assert np.all(np.diff(y) < 0)
+
+
+class TestSpecialCases:
+    def test_modified_cauchy_alpha2_is_cauchy(self):
+        gamma = 1.7
+        np.testing.assert_allclose(
+            modified_cauchy(T, 0.0, 2.0, gamma**2),
+            cauchy(T, 0.0, gamma),
+            rtol=1e-12,
+        )
+
+    def test_one_month_value_is_beta_over_beta_plus_one(self):
+        for beta in (0.5, 1.0, 4.0):
+            val = modified_cauchy(np.asarray([1.0]), 0.0, 1.3, beta).item()
+            assert np.isclose(val, beta / (beta + 1.0))
+
+    def test_heavier_tail_than_gaussian(self):
+        far = np.asarray([8.0])
+        assert modified_cauchy(far, 0.0, 1.0, 1.0) > 10 * gaussian(far, 0.0, 1.0)
+
+    def test_alpha_controls_tail(self):
+        far = np.asarray([10.0])
+        light = modified_cauchy(far, 0.0, 2.0, 1.0)
+        heavy = modified_cauchy(far, 0.0, 0.5, 1.0)
+        assert heavy > light
+
+
+class TestValidation:
+    def test_gaussian_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian(T, 0.0, 0.0)
+
+    def test_cauchy_gamma(self):
+        with pytest.raises(ValueError):
+            cauchy(T, 0.0, -1.0)
+
+    def test_modified_cauchy_params(self):
+        with pytest.raises(ValueError):
+            modified_cauchy(T, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            modified_cauchy(T, 0.0, 1.0, 0.0)
+
+
+def test_registry_contents():
+    assert set(MODEL_FAMILIES) == {"gaussian", "cauchy", "modified_cauchy"}
+    for profile, names in MODEL_FAMILIES.values():
+        params = tuple(1.0 for _ in names)
+        y = profile(T, 0.0, params)
+        assert y.shape == T.shape

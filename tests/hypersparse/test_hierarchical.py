@@ -1,0 +1,88 @@
+"""Hierarchical accumulator: equivalence with flat accumulation and ladder mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HierarchicalMatrix, HyperSparseMatrix
+
+
+def test_empty_total():
+    acc = HierarchicalMatrix(shape=(16, 16), cutoff=4)
+    total = acc.total()
+    assert total.nnz == 0 and total.shape == (16, 16)
+
+
+def test_single_batch():
+    acc = HierarchicalMatrix(shape=(16, 16), cutoff=4)
+    acc.insert([1, 2], [3, 4], [1.0, 2.0])
+    assert acc.total() == HyperSparseMatrix([1, 2], [3, 4], [1.0, 2.0], shape=(16, 16))
+
+
+def test_matches_flat_accumulation(rng):
+    acc = HierarchicalMatrix(shape=(64, 64), cutoff=8)
+    flat = HyperSparseMatrix.empty((64, 64))
+    for _ in range(50):
+        r = rng.integers(0, 64, 30)
+        c = rng.integers(0, 64, 30)
+        acc.insert(r, c)
+        flat = flat.ewise_add(HyperSparseMatrix(r, c, shape=(64, 64)))
+    assert acc.total() == flat
+    assert acc.inserted == flat.total()
+
+
+def test_ladder_grows_logarithmically(rng):
+    acc = HierarchicalMatrix(shape=(10_000, 10_000), cutoff=16)
+    for _ in range(200):
+        acc.insert(rng.integers(0, 10_000, 64), rng.integers(0, 10_000, 64))
+    # ~12.8k distinct-ish entries over cutoff 16: the ladder should stay
+    # logarithmic in the total, far below the number of batches.
+    assert acc.num_levels <= 14
+    assert acc.merges > 0
+
+
+def test_level_capacities_respected(rng):
+    acc = HierarchicalMatrix(shape=(1 << 20, 1 << 20), cutoff=8)
+    for _ in range(64):
+        acc.insert(rng.integers(0, 1 << 20, 16), rng.integers(0, 1 << 20, 16))
+    for level, nnz in enumerate(acc.level_nnz):
+        assert nnz <= acc.cutoff << level
+
+
+def test_insert_matrix_shape_check():
+    acc = HierarchicalMatrix(shape=(16, 16), cutoff=4)
+    with pytest.raises(ValueError):
+        acc.insert_matrix(HyperSparseMatrix(shape=(8, 8)))
+
+
+def test_invalid_cutoff():
+    with pytest.raises(ValueError):
+        HierarchicalMatrix(cutoff=0)
+
+
+def test_clear():
+    acc = HierarchicalMatrix(shape=(16, 16), cutoff=4)
+    acc.insert([1], [1])
+    acc.clear()
+    assert acc.total().nnz == 0
+    assert acc.inserted == 0 and acc.merges == 0
+
+
+def test_total_is_nondestructive(rng):
+    acc = HierarchicalMatrix(shape=(64, 64), cutoff=8)
+    acc.insert(rng.integers(0, 64, 100), rng.integers(0, 64, 100))
+    first = acc.total()
+    second = acc.total()
+    assert first == second
+    acc.insert([0], [0])
+    assert acc.total().total() == first.total() + 1
+
+
+def test_duplicate_heavy_stream_stays_compact():
+    # Reinserting the same coordinates must not grow the ladder unboundedly.
+    acc = HierarchicalMatrix(shape=(16, 16), cutoff=4)
+    for _ in range(500):
+        acc.insert([1, 2, 3], [1, 2, 3])
+    total = acc.total()
+    assert total.nnz == 3
+    assert total.total() == 1500.0
+    assert sum(acc.level_nnz) <= 12

@@ -1,0 +1,107 @@
+"""Property-based tests: the invariants the paper's methodology rests on.
+
+Table II's footnote is the load-bearing claim: every network quantity is
+"unaffected by matrix permutations and will work on anonymized data."
+These hypothesis tests check that claim against random matrices and random
+permutations, along with the algebraic laws the kernels assume.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.quantities import network_quantities
+from repro.hypersparse import HyperSparseMatrix
+
+SIZE = 64
+
+
+@st.composite
+def matrices(draw, max_entries=80):
+    n = draw(st.integers(min_value=1, max_value=max_entries))
+    rows = draw(
+        st.lists(st.integers(0, SIZE - 1), min_size=n, max_size=n)
+    )
+    cols = draw(
+        st.lists(st.integers(0, SIZE - 1), min_size=n, max_size=n)
+    )
+    vals = draw(
+        st.lists(
+            st.integers(1, 100).map(float), min_size=n, max_size=n
+        )
+    )
+    return HyperSparseMatrix(rows, cols, vals, shape=(SIZE, SIZE))
+
+
+@st.composite
+def permutations(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    perm = np.random.default_rng(seed).permutation(SIZE).astype(np.uint64)
+    return lambda x: perm[x.astype(np.int64)]
+
+
+@given(matrices(), permutations(), permutations())
+@settings(max_examples=60, deadline=None)
+def test_network_quantities_permutation_invariant(m, row_perm, col_perm):
+    """Every Table II aggregate survives independent row/col relabelling."""
+    permuted = m.permute(row_perm, col_perm)
+    assert network_quantities(m) == network_quantities(permuted)
+
+
+@given(matrices(), permutations())
+@settings(max_examples=40, deadline=None)
+def test_degree_multiset_permutation_invariant(m, perm):
+    """The source-packet histogram (Fig 3's input) is permutation invariant."""
+    a = np.sort(m.row_reduce().vals)
+    b = np.sort(m.permute(perm, perm).row_reduce().vals)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(matrices(), matrices())
+@settings(max_examples=40, deadline=None)
+def test_ewise_add_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(matrices(), matrices(), matrices())
+@settings(max_examples=30, deadline=None)
+def test_ewise_add_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_involution(m):
+    assert m.T.T == m
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_zero_norm_idempotent(m):
+    z = m.zero_norm()
+    assert z.zero_norm() == z
+    assert z.total() == m.nnz
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_total_equals_reduce_totals(m):
+    """1'A1 via rows equals via columns equals the entry sum."""
+    assert np.isclose(m.row_reduce().total(), m.total())
+    assert np.isclose(m.col_reduce().total(), m.total())
+
+
+@given(matrices(), matrices())
+@settings(max_examples=30, deadline=None)
+def test_mxm_matches_dense(a, b):
+    np.testing.assert_allclose(
+        a.mxm(b).to_dense(), a.to_dense() @ b.to_dense(), rtol=1e-12, atol=1e-9
+    )
+
+
+@given(matrices())
+@settings(max_examples=30, deadline=None)
+def test_construction_idempotent(m):
+    """Rebuilding from canonical triples reproduces the matrix exactly."""
+    r, c, v = m.find()
+    assert HyperSparseMatrix(r, c, v, shape=m.shape) == m

@@ -1,0 +1,71 @@
+"""Serialization round-trips for hypersparse matrices."""
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import (
+    HyperSparseMatrix,
+    from_triples_text,
+    load_triples_npz,
+    save_triples_npz,
+    to_triples_text,
+)
+
+
+def test_npz_roundtrip(tmp_path, rng):
+    m = HyperSparseMatrix(
+        rng.integers(0, 2**32, 500, dtype=np.uint64),
+        rng.integers(0, 2**32, 500, dtype=np.uint64),
+        rng.random(500),
+    )
+    path = tmp_path / "m.npz"
+    save_triples_npz(m, path)
+    assert load_triples_npz(path) == m
+
+
+def test_npz_roundtrip_preserves_shape(tmp_path):
+    m = HyperSparseMatrix([1], [2], [3.0], shape=(10, 20))
+    path = tmp_path / "m.npz"
+    save_triples_npz(m, path)
+    assert load_triples_npz(path).shape == (10, 20)
+
+
+def test_text_roundtrip(rng):
+    m = HyperSparseMatrix(
+        rng.integers(0, 100, 50), rng.integers(0, 100, 50), rng.integers(1, 10, 50)
+    )
+    assert from_triples_text(to_triples_text(m)) == m
+
+
+def test_text_integer_formatting():
+    m = HyperSparseMatrix([16843009], [33686018], [3.0])
+    text = to_triples_text(m)
+    assert text == "16843009\t33686018\t3\n"
+
+
+def test_text_float_values_roundtrip():
+    m = HyperSparseMatrix([1], [2], [0.125])
+    assert from_triples_text(to_triples_text(m))[1, 2] == 0.125
+
+
+def test_text_skips_comments_and_blanks():
+    m = from_triples_text("# header\n\n1\t2\t3\n")
+    assert m[1, 2] == 3.0 and m.nnz == 1
+
+
+def test_text_duplicates_accumulate():
+    m = from_triples_text("1\t2\t3\n1\t2\t4\n")
+    assert m[1, 2] == 7.0
+
+
+def test_text_malformed_line_raises():
+    with pytest.raises(ValueError, match="line 2"):
+        from_triples_text("1\t2\t3\n1\t2\n")
+
+
+def test_empty_matrix_roundtrips(tmp_path):
+    m = HyperSparseMatrix(shape=(8, 8))
+    path = tmp_path / "empty.npz"
+    save_triples_npz(m, path)
+    assert load_triples_npz(path) == m
+    assert from_triples_text(to_triples_text(m), shape=(8, 8)).nnz == 0

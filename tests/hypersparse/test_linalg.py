@@ -1,0 +1,128 @@
+"""Graph algorithms on hypersparse matrices, cross-validated with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.hypersparse.linalg import (
+    bfs_levels,
+    connected_components,
+    degree_centrality,
+    pagerank,
+    triangle_count,
+)
+
+
+def random_graph(rng, n=50, m=150):
+    r, c = rng.integers(0, n, m), rng.integers(0, n, m)
+    g = HyperSparseMatrix(r, c, shape=(n, n))
+    G = nx.DiGraph()
+    for rr, cc, vv in zip(*g.find()):
+        G.add_edge(int(rr), int(cc), weight=float(vv))
+    return g, G
+
+
+class TestBfs:
+    def test_matches_networkx(self, rng):
+        for trial in range(5):
+            g, G = random_graph(np.random.default_rng(trial))
+            src = next(iter(G.nodes))
+            got = {int(k): int(v) for k, v in bfs_levels(g, src)}
+            want = dict(nx.single_source_shortest_path_length(G, src))
+            assert got == want
+
+    def test_isolated_source(self):
+        g = HyperSparseMatrix([1], [2], shape=(8, 8))
+        levels = bfs_levels(g, 5)
+        assert levels.to_dict() == {5: 0.0}
+
+    def test_chain(self):
+        g = HyperSparseMatrix([0, 1, 2], [1, 2, 3], shape=(8, 8))
+        assert bfs_levels(g, 0).to_dict() == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_direction_respected(self):
+        g = HyperSparseMatrix([0, 1, 2], [1, 2, 3], shape=(8, 8))
+        assert bfs_levels(g, 3).to_dict() == {3: 0.0}
+
+    def test_max_depth_truncates(self):
+        g = HyperSparseMatrix([0, 1, 2], [1, 2, 3], shape=(8, 8))
+        levels = bfs_levels(g, 0, max_depth=1)
+        assert max(levels.vals) == 1.0
+
+
+class TestComponents:
+    def test_matches_networkx(self, rng):
+        for trial in range(5):
+            g, G = random_graph(np.random.default_rng(trial + 10), n=80, m=90)
+            got = connected_components(g)
+            want = {}
+            for comp in nx.connected_components(G.to_undirected()):
+                rep = min(comp)
+                for node in comp:
+                    want[node] = rep
+            assert got == want
+
+    def test_two_islands(self):
+        g = HyperSparseMatrix([0, 5], [1, 6], shape=(8, 8))
+        cc = connected_components(g)
+        assert cc == {0: 0, 1: 0, 5: 5, 6: 5}
+
+    def test_empty(self):
+        assert connected_components(HyperSparseMatrix(shape=(8, 8))) == {}
+
+
+class TestPagerank:
+    def test_matches_networkx_weighted(self, rng):
+        for trial in range(3):
+            g, G = random_graph(np.random.default_rng(trial + 20))
+            got = pagerank(g).to_dict()
+            want = nx.pagerank(G, alpha=0.85, tol=1e-10, weight="weight")
+            for k, v in want.items():
+                assert abs(got[k] - v) < 1e-6
+
+    def test_ranks_sum_to_one(self, rng):
+        g, _ = random_graph(rng)
+        assert np.isclose(pagerank(g).total(), 1.0)
+
+    def test_hub_ranks_high(self):
+        # Star: everything points at node 0.
+        g = HyperSparseMatrix([1, 2, 3, 4], [0, 0, 0, 0], shape=(8, 8))
+        pr = pagerank(g)
+        assert pr.get(0) > 3 * pr.get(1)
+
+    def test_invalid_damping(self, rng):
+        g, _ = random_graph(rng)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.5)
+
+    def test_empty(self):
+        assert pagerank(HyperSparseMatrix(shape=(4, 4))).nnz == 0
+
+
+class TestTriangles:
+    def test_matches_networkx(self, rng):
+        for trial in range(5):
+            g, G = random_graph(np.random.default_rng(trial + 30), n=30, m=120)
+            want = sum(nx.triangles(G.to_undirected()).values()) // 3
+            assert triangle_count(g) == want
+
+    def test_single_triangle(self):
+        g = HyperSparseMatrix([0, 1, 2], [1, 2, 0], shape=(8, 8))
+        assert triangle_count(g) == 1
+
+    def test_no_triangles_in_star(self):
+        g = HyperSparseMatrix([0, 0, 0], [1, 2, 3], shape=(8, 8))
+        assert triangle_count(g) == 0
+
+    def test_self_loops_ignored(self):
+        g = HyperSparseMatrix([0, 1, 2, 0], [1, 2, 0, 0], shape=(8, 8))
+        assert triangle_count(g) == 1
+
+
+def test_degree_centrality(rng):
+    g, G = random_graph(rng)
+    out_deg, in_deg = degree_centrality(g)
+    for node in G.nodes:
+        assert out_deg.get(node) == G.out_degree(node)
+        assert in_deg.get(node) == G.in_degree(node)

@@ -1,0 +1,203 @@
+"""Extended GraphBLAS operations, validated against dense references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypersparse import (
+    HyperSparseMatrix,
+    MIN_PLUS,
+    complement_mask,
+    concat_blocks,
+    diag,
+    diag_extract,
+    kron,
+    mask,
+    mxv,
+    select,
+    split_blocks,
+    tril,
+    triu,
+    vxm,
+)
+from repro.hypersparse.coo import SparseVec
+
+
+def random_matrix(rng, shape=(16, 16), n=40):
+    return HyperSparseMatrix(
+        rng.integers(0, shape[0], n),
+        rng.integers(0, shape[1], n),
+        rng.integers(1, 9, n).astype(float),
+        shape=shape,
+    )
+
+
+class TestMxv:
+    def test_matches_dense(self, rng):
+        for _ in range(5):
+            m = random_matrix(rng)
+            keys = np.unique(rng.integers(0, 16, 8))
+            v = SparseVec(keys, rng.random(keys.size))
+            dense_v = np.zeros(16)
+            dense_v[keys.astype(int)] = v.vals
+            got = mxv(m, v)
+            want = m.to_dense() @ dense_v
+            for k in range(16):
+                assert np.isclose(got.get(k), want[k]) or (
+                    got.get(k) == 0.0 and np.isclose(want[k], 0.0)
+                )
+
+    def test_vxm_matches_dense(self, rng):
+        m = random_matrix(rng)
+        keys = np.unique(rng.integers(0, 16, 8))
+        v = SparseVec(keys, rng.random(keys.size))
+        dense_v = np.zeros(16)
+        dense_v[keys.astype(int)] = v.vals
+        got = vxm(v, m)
+        want = dense_v @ m.to_dense()
+        for k in range(16):
+            assert np.isclose(got.get(k), want[k]) or np.isclose(want[k], 0.0)
+
+    def test_min_plus_relaxation(self):
+        # One step of Bellman-Ford via min-plus mxv.
+        w = HyperSparseMatrix([0, 1], [1, 2], [3.0, 4.0], shape=(3, 3)).T
+        dist = SparseVec([0], [0.0])
+        step = mxv(w, dist, MIN_PLUS)
+        assert step.get(1) == 3.0
+
+    def test_empty_operands(self, rng):
+        m = random_matrix(rng)
+        assert mxv(m, SparseVec([], [])).nnz == 0
+        assert mxv(HyperSparseMatrix(shape=(16, 16)), SparseVec([1], [1.0])).nnz == 0
+
+    def test_disjoint_support(self):
+        m = HyperSparseMatrix([0], [0], [1.0], shape=(4, 4))
+        v = SparseVec([3], [1.0])
+        assert mxv(m, v).nnz == 0
+
+
+class TestSelect:
+    def test_value_filter(self, rng):
+        m = random_matrix(rng)
+        bright = select(m, lambda r, c, v: v >= 5)
+        assert np.all(bright.vals >= 5)
+        dim = select(m, lambda r, c, v: v < 5)
+        assert bright.nnz + dim.nnz == m.nnz
+
+    def test_positional_filter(self, rng):
+        m = random_matrix(rng)
+        upper = select(m, lambda r, c, v: c > r)
+        assert np.all(upper.cols > upper.rows)
+
+    def test_bad_predicate(self, rng):
+        m = random_matrix(rng)
+        with pytest.raises(ValueError):
+            select(m, lambda r, c, v: np.ones(3, dtype=bool))
+
+    def test_tril_triu_partition(self, rng):
+        m = random_matrix(rng)
+        lower = tril(m, k=-1)
+        upper = triu(m, k=1)
+        diagonal = select(m, lambda r, c, v: r == c)
+        assert lower.nnz + upper.nnz + diagonal.nnz == m.nnz
+
+    def test_tril_matches_dense(self, rng):
+        m = random_matrix(rng)
+        np.testing.assert_array_equal(tril(m).to_dense(), np.tril(m.to_dense()))
+        np.testing.assert_array_equal(triu(m).to_dense(), np.triu(m.to_dense()))
+
+
+class TestMask:
+    def test_mask_keeps_pattern_values(self, rng):
+        m = random_matrix(rng)
+        pattern = select(m, lambda r, c, v: v >= 5)
+        masked = mask(m, pattern)
+        assert masked == pattern  # values came from m itself here
+
+    def test_mask_values_from_matrix(self):
+        m = HyperSparseMatrix([0, 1], [0, 1], [7.0, 9.0], shape=(4, 4))
+        p = HyperSparseMatrix([1], [1], [123.0], shape=(4, 4))
+        out = mask(m, p)
+        assert out.nnz == 1 and out[1, 1] == 9.0
+
+    def test_complement_mask(self, rng):
+        m = random_matrix(rng)
+        pattern = select(m, lambda r, c, v: v >= 5)
+        inside = mask(m, pattern)
+        outside = complement_mask(m, pattern)
+        assert inside.nnz + outside.nnz == m.nnz
+        assert inside.ewise_add(outside) == m
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            mask(random_matrix(rng), HyperSparseMatrix(shape=(4, 4)))
+        with pytest.raises(ValueError):
+            complement_mask(random_matrix(rng), HyperSparseMatrix(shape=(4, 4)))
+
+
+class TestKron:
+    def test_matches_dense(self, rng):
+        a = random_matrix(rng, shape=(4, 5), n=6)
+        b = random_matrix(rng, shape=(3, 2), n=4)
+        np.testing.assert_allclose(
+            kron(a, b).to_dense(), np.kron(a.to_dense(), b.to_dense())
+        )
+
+    def test_empty(self, rng):
+        a = random_matrix(rng, shape=(4, 4), n=5)
+        assert kron(a, HyperSparseMatrix(shape=(3, 3))).nnz == 0
+
+    def test_oversize_rejected(self):
+        big = HyperSparseMatrix([0], [0], [1.0])
+        with pytest.raises(ValueError):
+            kron(big, big)
+
+    def test_iterated_kron_grows_structure(self):
+        seed = HyperSparseMatrix([0, 0, 1], [0, 1, 1], [1, 1, 1], shape=(2, 2))
+        g = kron(seed, seed)
+        assert g.shape == (4, 4) and g.nnz == 9
+
+
+class TestDiag:
+    def test_roundtrip(self):
+        v = SparseVec([1, 3], [5.0, 7.0])
+        m = diag(v, 8)
+        assert m[1, 1] == 5.0 and m[3, 3] == 7.0
+        assert diag_extract(m) == v
+
+    def test_extract_ignores_off_diagonal(self):
+        m = HyperSparseMatrix([0, 0], [0, 1], [2.0, 9.0], shape=(4, 4))
+        assert diag_extract(m).to_dict() == {0: 2.0}
+
+    def test_extent_check(self):
+        with pytest.raises(ValueError):
+            diag(SparseVec([9], [1.0]), 8)
+
+
+class TestBlocks:
+    @given(st.integers(0, 16), st.integers(0, 16), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_split_concat_roundtrip(self, row_split, col_split, seed):
+        rng = np.random.default_rng(seed)
+        m = random_matrix(rng)
+        if row_split == 0 or col_split == 0 or row_split == 16 or col_split == 16:
+            return  # degenerate tiles have clamped shapes; skip roundtrip
+        blocks = split_blocks(m, row_split, col_split)
+        back = concat_blocks(blocks)
+        assert back == m
+
+    def test_block_nnz_partition(self, rng):
+        m = random_matrix(rng)
+        blocks = split_blocks(m, 8, 8)
+        assert sum(b.nnz for row in blocks for b in row) == m.nnz
+
+    def test_split_bounds(self, rng):
+        with pytest.raises(ValueError):
+            split_blocks(random_matrix(rng), 99, 0)
+
+    def test_concat_shape_checks(self, rng):
+        a = HyperSparseMatrix(shape=(2, 2))
+        b = HyperSparseMatrix(shape=(3, 2))
+        with pytest.raises(ValueError):
+            concat_blocks([[a, b], [a, a]])

@@ -1,0 +1,44 @@
+"""Process-pool mapping."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import cpu_count, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def test_preserves_order():
+    assert parallel_map(square, list(range(100))) == [x * x for x in range(100)]
+
+
+def test_serial_fallback_small_input():
+    assert parallel_map(square, [1, 2], min_parallel=4) == [1, 4]
+
+
+def test_forced_serial():
+    assert parallel_map(square, list(range(50)), processes=1) == [
+        x * x for x in range(50)
+    ]
+
+
+def test_empty():
+    assert parallel_map(square, []) == []
+
+
+def test_parallel_matches_serial():
+    items = list(range(200))
+    assert parallel_map(square, items, processes=2) == parallel_map(
+        square, items, processes=1
+    )
+
+
+def test_cpu_count_positive():
+    assert cpu_count() >= 1
+
+
+def test_chunksize_override():
+    out = parallel_map(square, list(range(64)), processes=2, chunksize=5)
+    assert out == [x * x for x in range(64)]

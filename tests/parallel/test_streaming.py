@@ -1,0 +1,69 @@
+"""Sharded parallel accumulation equals direct construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import parallel_accumulate, shard_packets
+from repro.traffic import Packets, build_traffic_matrix
+
+
+def stream(n, rng):
+    return Packets(
+        np.sort(rng.uniform(0, 100, n)),
+        rng.integers(0, 2**32, n),
+        rng.integers(0, 2**32, n),
+    )
+
+
+class TestShard:
+    def test_sizes(self, rng):
+        p = stream(1000, rng)
+        shards = shard_packets(p, 300)
+        assert [len(s) for s in shards] == [300, 300, 300, 100]
+
+    def test_order_preserved(self, rng):
+        p = stream(100, rng)
+        shards = shard_packets(p, 30)
+        np.testing.assert_array_equal(
+            np.concatenate([s.src for s in shards]), p.src
+        )
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            shard_packets(stream(10, rng), 0)
+
+    def test_empty_stream(self):
+        assert shard_packets(Packets.empty(), 10) == []
+
+
+class TestAccumulate:
+    def test_matches_direct_serial(self, rng):
+        p = stream(5000, rng)
+        direct = build_traffic_matrix(p)
+        acc = parallel_accumulate(p, shard_size=512, processes=1)
+        assert acc == direct
+
+    def test_matches_direct_parallel(self, rng):
+        p = stream(5000, rng)
+        direct = build_traffic_matrix(p)
+        acc = parallel_accumulate(p, shard_size=512, processes=2)
+        assert acc == direct
+
+    def test_empty(self):
+        m = parallel_accumulate(Packets.empty(), shard_size=16)
+        assert m.nnz == 0
+
+    @given(st.integers(1, 400), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_any_shard_size_equivalent(self, n, shard_size):
+        rng = np.random.default_rng(n * 100 + shard_size)
+        p = Packets(
+            np.sort(rng.uniform(0, 10, n)),
+            rng.integers(0, 50, n),
+            rng.integers(0, 50, n),
+        )
+        direct = build_traffic_matrix(p)
+        acc = parallel_accumulate(p, shard_size=shard_size, processes=1, cutoff=8)
+        assert acc == direct

@@ -1,0 +1,93 @@
+"""Log2 binning and the differential cumulative probability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypersparse.coo import SparseVec
+from repro.stats import differential_cumulative, log2_bin_edges, log2_bin_index
+from repro.stats.binning import degree_histogram
+
+
+class TestEdges:
+    def test_edges_structure(self):
+        edges = log2_bin_edges(8)
+        np.testing.assert_array_equal(edges, [0, 1, 2, 4, 8])
+
+    def test_edges_round_up(self):
+        assert log2_bin_edges(9)[-1] == 16
+
+    def test_dmax_one(self):
+        np.testing.assert_array_equal(log2_bin_edges(1), [0, 1])
+
+    def test_invalid_dmax(self):
+        with pytest.raises(ValueError):
+            log2_bin_edges(0.5)
+
+
+class TestIndex:
+    def test_powers_of_two_boundaries(self):
+        # Bin j covers (2^(j-1), 2^j]: degree 1 -> 0, 2 -> 1, 3,4 -> 2 …
+        d = np.asarray([1, 2, 3, 4, 5, 8, 9])
+        np.testing.assert_array_equal(log2_bin_index(d), [0, 1, 2, 2, 3, 3, 4])
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            log2_bin_index(np.asarray([0.5]))
+
+    def test_accepts_sparsevec(self):
+        vec = SparseVec([10, 20], [4.0, 5.0])
+        np.testing.assert_array_equal(log2_bin_index(vec), [2, 3])
+
+
+class TestDifferentialCumulative:
+    def test_probability_sums_to_one(self, rng):
+        d = rng.integers(1, 1000, 10_000)
+        binned = differential_cumulative(d)
+        assert np.isclose(binned.prob.sum(), 1.0)
+        assert binned.counts.sum() == 10_000
+
+    def test_equals_cumulative_differences(self, rng):
+        d = rng.integers(1, 500, 5000).astype(float)
+        binned = differential_cumulative(d)
+        # P_t at each upper edge, computed directly.
+        p_cum = np.asarray([(d <= e).mean() for e in binned.edges[1:]])
+        np.testing.assert_allclose(np.diff(np.concatenate([[0], p_cum])), binned.prob)
+        np.testing.assert_allclose(binned.cumulative, p_cum)
+
+    def test_centers_geometric(self):
+        binned = differential_cumulative(np.asarray([1, 2, 4, 8]))
+        assert binned.centers[0] == 1.0
+        assert np.isclose(binned.centers[2], np.sqrt(2 * 4))
+
+    def test_nonempty_filter(self):
+        binned = differential_cumulative(np.asarray([1, 1, 64]))
+        centers, prob = binned.nonempty()
+        assert centers.size == 2
+        assert np.isclose(prob.sum(), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            differential_cumulative(np.asarray([]))
+
+    def test_dmax_recorded(self, rng):
+        d = rng.integers(1, 100, 100)
+        assert differential_cumulative(d).d_max == d.max()
+
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_for_any_sample(self, degrees):
+        binned = differential_cumulative(np.asarray(degrees))
+        assert np.isclose(binned.prob.sum(), 1.0)
+        assert binned.n_total == len(degrees)
+        assert np.all(binned.prob >= 0)
+        assert np.all(np.diff(binned.cumulative) >= -1e-12)
+        assert binned.edges[-1] >= max(degrees)
+
+
+def test_degree_histogram(rng):
+    d = np.asarray([1, 1, 2, 5, 5, 5])
+    values, counts = degree_histogram(d)
+    np.testing.assert_array_equal(values, [1, 2, 5])
+    np.testing.assert_array_equal(counts, [2, 1, 3])

@@ -1,0 +1,66 @@
+"""Heavy-tail diagnostics: power-law MLE, survival function, KS distance."""
+
+import numpy as np
+import pytest
+
+from repro.stats import ZipfMandelbrot, ks_distance, powerlaw_alpha_mle, survival_function
+
+
+class TestAlphaMle:
+    def test_recovers_exponent(self, rng):
+        # Pure discrete power law via ZM with delta=0.
+        truth = ZipfMandelbrot(2.5, 0.0, 10_000)
+        sample = truth.sample(100_000, rng)
+        alpha, stderr = powerlaw_alpha_mle(sample, d_min=5)
+        assert abs(alpha - 2.5) < 0.1
+        assert stderr < 0.05
+
+    def test_dmin_restricts_sample(self, rng):
+        sample = np.concatenate([np.ones(1000), rng.integers(10, 100, 1000)])
+        alpha_all, _ = powerlaw_alpha_mle(sample, d_min=1)
+        alpha_tail, _ = powerlaw_alpha_mle(sample, d_min=10)
+        assert alpha_all != alpha_tail
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            powerlaw_alpha_mle(np.asarray([5.0]), d_min=1)
+
+    def test_degenerate_sample(self):
+        with pytest.raises(ValueError):
+            powerlaw_alpha_mle(np.asarray([]), d_min=1)
+
+
+class TestSurvival:
+    def test_starts_at_one(self, rng):
+        values, tail = survival_function(rng.integers(1, 100, 1000))
+        assert tail[0] == 1.0
+
+    def test_monotone_decreasing(self, rng):
+        _, tail = survival_function(rng.integers(1, 100, 1000))
+        assert np.all(np.diff(tail) <= 0)
+
+    def test_exact_small_case(self):
+        values, tail = survival_function(np.asarray([1, 1, 2, 4]))
+        np.testing.assert_array_equal(values, [1, 2, 4])
+        np.testing.assert_allclose(tail, [1.0, 0.5, 0.25])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            survival_function(np.asarray([]))
+
+
+class TestKs:
+    def test_zero_for_own_cdf(self, rng):
+        zm = ZipfMandelbrot(1.8, 2.0, 500)
+        sample = zm.sample(100_000, rng)
+        assert ks_distance(sample, zm.cdf) < 0.01
+
+    def test_larger_for_wrong_model(self, rng):
+        zm = ZipfMandelbrot(1.8, 2.0, 500)
+        wrong = ZipfMandelbrot(3.5, 0.0, 500)
+        sample = zm.sample(50_000, rng)
+        assert ks_distance(sample, wrong.cdf) > 5 * ks_distance(sample, zm.cdf)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.asarray([]), lambda d: d)

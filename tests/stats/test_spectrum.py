@@ -1,0 +1,60 @@
+"""Distribution spectrum of the Fig 2 quantities."""
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.stats import QUANTITY_NAMES, distribution_spectrum
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(5)
+    # Heavy-tailed sources: a few bright, many dim.
+    n_sources = 300
+    weights = 1.0 / (np.arange(1, n_sources + 1) + 3.0) ** 1.6
+    srcs = rng.choice(n_sources, 20_000, p=weights / weights.sum())
+    dsts = rng.integers(0, 50_000, 20_000)
+    return HyperSparseMatrix(srcs, dsts, shape=(n_sources, 50_000))
+
+
+class TestSpectrum:
+    def test_all_quantities_present(self, matrix):
+        sp = distribution_spectrum(matrix)
+        assert sp.names() == list(QUANTITY_NAMES)
+
+    def test_entry_fields(self, matrix):
+        sp = distribution_spectrum(matrix)
+        e = sp["source_packets"]
+        assert e.n_keys == matrix.row_reduce().nnz
+        assert e.d_max == matrix.row_reduce().max()
+        assert np.isclose(e.binned.prob.sum(), 1.0)
+        assert "alpha_zm" in e.describe()
+
+    def test_source_packets_fit_heavy_tail(self, matrix):
+        sp = distribution_spectrum(matrix)
+        e = sp["source_packets"]
+        assert e.ks < 0.1
+        assert 1.0 < e.fit.alpha < 3.0
+
+    def test_rows_render(self, matrix):
+        rows = distribution_spectrum(matrix).rows()
+        assert len(rows) == 5
+        assert all(len(r) == 6 for r in rows)
+
+    def test_degenerate_distribution_pinned(self):
+        # Every source sends exactly one packet to a distinct destination:
+        # every distribution is single-valued.
+        m = HyperSparseMatrix(np.arange(50), np.arange(50), shape=(64, 64))
+        sp = distribution_spectrum(m)
+        e = sp["source_packets"]
+        assert e.fit.alpha == float("inf")
+        assert e.ks == 0.0
+
+    def test_empty_matrix_spectrum(self):
+        sp = distribution_spectrum(HyperSparseMatrix(shape=(8, 8)))
+        assert sp.names() == []
+
+    def test_fanout_bounded_by_packets(self, matrix):
+        sp = distribution_spectrum(matrix)
+        assert sp["source_fanout"].d_max <= sp["source_packets"].d_max

@@ -1,0 +1,109 @@
+"""Zipf-Mandelbrot distribution and fitting."""
+
+import numpy as np
+import pytest
+
+from repro.stats import ZipfMandelbrot, fit_zipf_mandelbrot
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        zm = ZipfMandelbrot(1.8, 4.0, 1000)
+        assert np.isclose(zm.pmf(np.arange(1, 1001)).sum(), 1.0)
+
+    def test_pmf_zero_outside_support(self):
+        zm = ZipfMandelbrot(2.0, 0.0, 10)
+        assert zm.pmf(np.asarray([0])).item() == 0.0
+        assert zm.pmf(np.asarray([11])).item() == 0.0
+
+    def test_pmf_monotone_decreasing(self):
+        zm = ZipfMandelbrot(1.5, 2.0, 100)
+        p = zm.pmf(np.arange(1, 101))
+        assert np.all(np.diff(p) < 0)
+
+    def test_cdf_endpoints(self):
+        zm = ZipfMandelbrot(1.8, 4.0, 50)
+        assert zm.cdf(np.asarray([0])).item() == 0.0
+        assert np.isclose(zm.cdf(np.asarray([50])).item(), 1.0)
+
+    def test_delta_flattens_head(self):
+        flat = ZipfMandelbrot(2.0, 20.0, 100)
+        steep = ZipfMandelbrot(2.0, 0.0, 100)
+        ratio_flat = flat.pmf(np.asarray([1])) / flat.pmf(np.asarray([2]))
+        ratio_steep = steep.pmf(np.asarray([1])) / steep.pmf(np.asarray([2]))
+        assert ratio_flat < ratio_steep
+
+    def test_mean_matches_sample(self, rng):
+        zm = ZipfMandelbrot(2.2, 3.0, 500)
+        sample = zm.sample(200_000, rng)
+        assert abs(sample.mean() - zm.mean()) < 0.05 * zm.mean()
+
+    def test_sample_within_support(self, rng):
+        zm = ZipfMandelbrot(1.5, 1.0, 64)
+        s = zm.sample(10_000, rng)
+        assert s.min() >= 1 and s.max() <= 64
+
+    def test_sample_frequencies_match_pmf(self, rng):
+        zm = ZipfMandelbrot(1.8, 2.0, 100)
+        s = zm.sample(100_000, rng)
+        for d in (1, 2, 5, 10):
+            empirical = (s == d).mean()
+            assert abs(empirical - zm.pmf(np.asarray([d])).item()) < 0.01
+
+    def test_binned_prob_sums_to_one(self):
+        zm = ZipfMandelbrot(1.8, 4.0, 1024)
+        edges = np.concatenate([[0.0], 2.0 ** np.arange(0, 11)])
+        assert np.isclose(zm.binned_prob(edges).sum(), 1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(1.0, -1.0, 10)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(1.0, 1.0, 0)
+
+    def test_log_likelihood_prefers_truth(self, rng):
+        zm = ZipfMandelbrot(1.8, 4.0, 500)
+        s = zm.sample(20_000, rng)
+        wrong = ZipfMandelbrot(3.0, 0.5, 500)
+        assert zm.log_likelihood(s) > wrong.log_likelihood(s)
+
+    def test_log_likelihood_out_of_support(self):
+        zm = ZipfMandelbrot(1.8, 4.0, 10)
+        assert zm.log_likelihood(np.asarray([11])) == -np.inf
+
+
+class TestFit:
+    def test_recovers_parameters(self, rng):
+        truth = ZipfMandelbrot(1.8, 4.0, 2**14)
+        sample = truth.sample(100_000, rng)
+        fit = fit_zipf_mandelbrot(sample)
+        assert abs(fit.alpha - 1.8) < 0.1
+        assert abs(fit.delta - 4.0) < 1.5
+
+    def test_recovers_pure_power_law(self, rng):
+        truth = ZipfMandelbrot(2.2, 0.0, 4096)
+        fit = fit_zipf_mandelbrot(truth.sample(50_000, rng))
+        assert abs(fit.alpha - 2.2) < 0.15
+        assert fit.delta < 1.0
+
+    def test_model_roundtrip(self, rng):
+        fit = fit_zipf_mandelbrot(
+            ZipfMandelbrot(1.5, 2.0, 256).sample(10_000, rng)
+        )
+        model = fit.model()
+        assert model.alpha == fit.alpha and model.delta == fit.delta
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mandelbrot(np.asarray([], dtype=np.int64))
+
+    def test_rejects_sub_one_degrees(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mandelbrot(np.asarray([0, 1, 2]))
+
+    def test_explicit_dmax(self, rng):
+        sample = ZipfMandelbrot(1.8, 4.0, 100).sample(5000, rng)
+        fit = fit_zipf_mandelbrot(sample, d_max=200)
+        assert fit.d_max == 200

@@ -1,0 +1,95 @@
+"""Online degree tracker: exactness against batch counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream import OnlineDegreeTracker
+
+
+class TestExactness:
+    def test_matches_batch_counts(self, rng):
+        tracker = OnlineDegreeTracker(pending_limit=64)
+        all_keys = []
+        for _ in range(20):
+            batch = rng.integers(0, 500, rng.integers(1, 200))
+            tracker.update(batch)
+            all_keys.append(batch)
+        merged = np.concatenate(all_keys)
+        keys, counts = np.unique(merged, return_counts=True)
+        vec = tracker.as_sparsevec()
+        np.testing.assert_array_equal(vec.keys, keys.astype(np.uint64))
+        np.testing.assert_array_equal(vec.vals, counts.astype(float))
+        assert tracker.total == merged.size
+        assert tracker.n_keys == keys.size
+
+    def test_single_key_count(self, rng):
+        tracker = OnlineDegreeTracker()
+        tracker.update([7, 7, 7, 9])
+        assert tracker.count(7) == 3.0
+        assert tracker.count(9) == 1.0
+        assert tracker.count(8) == 0.0
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 30), min_size=0, max_size=50),
+            min_size=1,
+            max_size=15,
+        ),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_batching_equivalent(self, batches, limit):
+        tracker = OnlineDegreeTracker(pending_limit=limit)
+        flat = []
+        for b in batches:
+            tracker.update(b)
+            flat.extend(b)
+        if not flat:
+            assert tracker.n_keys == 0
+            return
+        keys, counts = np.unique(np.asarray(flat), return_counts=True)
+        vec = tracker.as_sparsevec()
+        np.testing.assert_array_equal(vec.keys, keys.astype(np.uint64))
+        np.testing.assert_array_equal(vec.vals, counts.astype(float))
+
+
+class TestQueries:
+    def test_heavy_hitters_sorted(self, rng):
+        tracker = OnlineDegreeTracker()
+        tracker.update([1] * 50 + [2] * 10 + [3] * 30 + [4])
+        keys, counts = tracker.heavy_hitters(10)
+        assert list(keys) == [1, 3, 2]
+        assert list(counts) == [50.0, 30.0, 10.0]
+
+    def test_distribution_matches_batch(self, rng):
+        from repro.stats import differential_cumulative
+
+        tracker = OnlineDegreeTracker(pending_limit=32)
+        keys = rng.integers(0, 200, 5000)
+        for chunk in np.array_split(keys, 13):
+            tracker.update(chunk)
+        _, counts = np.unique(keys, return_counts=True)
+        want = differential_cumulative(counts)
+        got = tracker.distribution()
+        np.testing.assert_allclose(got.prob, want.prob)
+
+    def test_max_degree(self):
+        tracker = OnlineDegreeTracker()
+        assert tracker.max_degree() == 0.0
+        tracker.update([5, 5, 6])
+        assert tracker.max_degree() == 2.0
+
+    def test_empty_distribution_raises(self):
+        with pytest.raises(ValueError):
+            OnlineDegreeTracker().distribution()
+
+    def test_empty_update_noop(self):
+        tracker = OnlineDegreeTracker()
+        tracker.update([])
+        assert tracker.total == 0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            OnlineDegreeTracker(pending_limit=0)

@@ -1,0 +1,84 @@
+"""Reservoir sampler: capacity, determinism, uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ReservoirSampler
+from repro.traffic import Packets
+
+
+def batch(n, rng, offset=0):
+    return Packets(
+        np.arange(n, dtype=float) + offset,
+        rng.integers(0, 1000, n),
+        rng.integers(0, 1000, n),
+    )
+
+
+class TestBasics:
+    def test_fills_then_caps(self, rng):
+        r = ReservoirSampler(100)
+        r.update(batch(60, rng))
+        assert len(r.sample()) == 60
+        r.update(batch(60, rng, offset=60))
+        assert len(r.sample()) == 100
+        assert r.seen == 120
+
+    def test_small_stream_kept_exactly(self, rng):
+        r = ReservoirSampler(1000)
+        b = batch(50, rng)
+        r.update(b)
+        s = r.sample()
+        np.testing.assert_array_equal(s.src, b.src)
+
+    def test_empty_update(self, rng):
+        r = ReservoirSampler(10)
+        r.update(Packets.empty())
+        assert r.seen == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_deterministic(self, rng):
+        stream = [batch(100, np.random.default_rng(i), offset=i * 100) for i in range(5)]
+        a = ReservoirSampler(32, seed=9)
+        b = ReservoirSampler(32, seed=9)
+        for s in stream:
+            a.update(s)
+            b.update(s)
+        np.testing.assert_array_equal(a.sample().src, b.sample().src)
+
+    def test_sample_is_subset_of_stream(self, rng):
+        r = ReservoirSampler(50, seed=3)
+        seen_src = []
+        for i in range(10):
+            b = batch(100, rng, offset=i * 100)
+            seen_src.append(b.src)
+            r.update(b)
+        universe = np.concatenate(seen_src)
+        assert np.all(np.isin(r.sample().src, universe))
+
+
+class TestUniformity:
+    def test_inclusion_probability_uniform(self):
+        # Each of 1000 packets should end up kept with prob capacity/n.
+        capacity, n, trials = 20, 400, 400
+        hits = np.zeros(n)
+        for t in range(trials):
+            r = ReservoirSampler(capacity, seed=t)
+            p = Packets(
+                np.arange(n, dtype=float),
+                np.arange(n, dtype=np.uint64),
+                np.zeros(n, dtype=np.uint64),
+            )
+            # Feed in uneven batches to exercise the batch logic.
+            for chunk in np.array_split(np.arange(n), 7):
+                r.update(p[chunk])
+            kept = r.sample().src
+            hits[kept.astype(int)] += 1
+        rate = hits / trials
+        expected = capacity / n
+        # Early, middle, late thirds all near the uniform rate.
+        for part in np.array_split(rate, 3):
+            assert abs(part.mean() - expected) < 0.015

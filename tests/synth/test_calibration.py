@@ -1,0 +1,110 @@
+"""Calibration curves and paper reference data."""
+
+import numpy as np
+import pytest
+
+from repro.synth.calibration import (
+    CONFIG_CHANGE_MONTHS,
+    DEFAULT_CALIBRATION,
+    PAPER_TABLE1_CAIDA,
+    PAPER_TABLE1_GREYNOISE,
+    alpha_of_degree,
+    beta_of_degree,
+    detection_probability,
+    month_days,
+    month_labels,
+)
+
+
+class TestDetectionProbability:
+    def test_log_law_below_threshold(self):
+        # N_V = 2^20: threshold 2^10, log2 denominator 10.
+        d = np.asarray([2.0, 32.0, 512.0])
+        p = detection_probability(d, 1 << 20)
+        np.testing.assert_allclose(p, [1 / 10, 5 / 10, 9 / 10])
+
+    def test_saturates_at_ceiling(self):
+        p = detection_probability(np.asarray([1 << 15]), 1 << 20, ceiling=0.97)
+        assert p.item() == 0.97
+
+    def test_floor_applies_to_degree_one(self):
+        p = detection_probability(np.asarray([1.0]), 1 << 20, floor=0.05)
+        assert p.item() == 0.05
+
+    def test_monotone_nondecreasing(self):
+        d = np.geomspace(1, 1 << 16, 60)
+        p = detection_probability(d, 1 << 20)
+        assert np.all(np.diff(p) >= 0)
+
+    def test_scales_with_nv(self):
+        # The same absolute degree is easier to see in a smaller window.
+        d = np.asarray([64.0])
+        assert detection_probability(d, 1 << 14) > detection_probability(d, 1 << 26)
+
+
+class TestCurves:
+    def test_alpha_interpolates_knots(self):
+        for rel, val in DEFAULT_CALIBRATION.alpha_knots:
+            assert np.isclose(DEFAULT_CALIBRATION.alpha(np.asarray([rel])).item(), val)
+
+    def test_beta_interpolates_knots(self):
+        for rel, val in DEFAULT_CALIBRATION.beta_knots:
+            assert np.isclose(DEFAULT_CALIBRATION.beta(np.asarray([rel])).item(), val)
+
+    def test_flat_outside_span(self):
+        lo = DEFAULT_CALIBRATION.alpha(np.asarray([2.0**-20])).item()
+        assert np.isclose(lo, DEFAULT_CALIBRATION.alpha_knots[0][1])
+
+    def test_alpha_of_degree_uses_relative_brightness(self):
+        # Same relative position at different window scales -> same alpha.
+        a_small = alpha_of_degree(np.asarray([2.0**7]), 1 << 18)  # rel 2^-2
+        a_large = alpha_of_degree(np.asarray([2.0**13]), 1 << 30)  # rel 2^-2
+        np.testing.assert_allclose(a_small, a_large)
+
+    def test_beta_mid_brightness_dip(self):
+        # The mid-band beta dips (drop peaks) per Fig 8.
+        rel = np.asarray([2.0**-10, 2.0**-4, 2.0**0])
+        b = DEFAULT_CALIBRATION.beta(rel)
+        assert b[1] < b[0] and b[1] < b[2]
+
+    def test_beta_of_degree_positive(self):
+        assert np.all(beta_of_degree(np.geomspace(1, 2**15, 30), 1 << 20) > 0)
+
+
+class TestPaperData:
+    def test_greynoise_rows(self):
+        assert len(PAPER_TABLE1_GREYNOISE) == 15
+        assert PAPER_TABLE1_GREYNOISE[0][0] == "2020-02"
+        assert PAPER_TABLE1_GREYNOISE[-1][0] == "2021-04"
+        counts = [c for _, _, c in PAPER_TABLE1_GREYNOISE]
+        assert min(counts) > 1_000_000 and max(counts) < 14_000_000
+
+    def test_caida_rows(self):
+        assert len(PAPER_TABLE1_CAIDA) == 5
+        for _, dur, sources, offset in PAPER_TABLE1_CAIDA:
+            assert 900 <= dur <= 1600
+            assert 500_000 <= sources <= 800_000
+            assert 0 <= offset <= 15
+
+    def test_config_change_months_match_labels(self):
+        labels = month_labels()
+        assert [labels[m] for m in CONFIG_CHANGE_MONTHS] == ["2020-03", "2021-04"]
+
+
+class TestMonths:
+    def test_labels_roll_over_year(self):
+        labels = month_labels(15)
+        assert labels[0] == "2020-02"
+        assert labels[10] == "2020-12"
+        assert labels[11] == "2021-01"
+        assert labels[14] == "2021-04"
+
+    def test_month_days(self):
+        assert month_days("2020-02") == 29  # leap year
+        assert month_days("2021-02") == 28
+        assert month_days("2020-04") == 30
+        assert month_days("2020-12") == 31
+
+    def test_paper_durations_match_month_days(self):
+        for label, days, _ in PAPER_TABLE1_GREYNOISE:
+            assert month_days(label) == days

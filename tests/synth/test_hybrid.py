@@ -1,0 +1,106 @@
+"""Hybrid power-law traffic generator (paper ref [59])."""
+
+import numpy as np
+import pytest
+
+from repro.stats import fit_zipf_mandelbrot, ks_distance, powerlaw_alpha_mle
+from repro.synth.hybrid import HybridPowerLawModel
+
+
+@pytest.fixture(scope="module")
+def sample():
+    model = HybridPowerLawModel(p_new=0.3, delta=2.0, adversarial_fraction=0.05)
+    return model.generate(1 << 15, np.random.default_rng(0))
+
+
+class TestGeneration:
+    def test_packet_conservation(self, sample):
+        assert sample.n_packets == 1 << 15
+        assert sample.degrees.sum() == 1 << 15
+
+    def test_all_degrees_positive(self, sample):
+        assert sample.degrees.min() >= 1
+
+    def test_adversarial_mask_size(self, sample):
+        assert sample.adversarial_mask.sum() == 16
+        assert sample.adversarial_mask[:16].all()
+
+    def test_source_count_tracks_p_new(self):
+        rng = np.random.default_rng(1)
+        n = 1 << 14
+        for p_new in (0.2, 0.5, 0.8):
+            model = HybridPowerLawModel(
+                p_new=p_new, adversarial_fraction=0.0, n_adversarial=0
+            )
+            s = model.generate(n, rng)
+            assert abs(s.n_sources / n - p_new) < 0.05
+
+    def test_deterministic_given_rng(self):
+        model = HybridPowerLawModel()
+        a = model.generate(4096, np.random.default_rng(5))
+        b = model.generate(4096, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+
+    def test_heavy_tail(self, sample):
+        organic = sample.degrees[~sample.adversarial_mask]
+        assert organic.max() > 10 * np.median(organic)
+
+    def test_adversarial_sources_bright(self, sample):
+        adv = sample.degrees[sample.adversarial_mask]
+        organic = sample.degrees[~sample.adversarial_mask]
+        assert np.median(adv) > 10 * np.median(organic)
+
+    def test_no_adversarial_component(self):
+        model = HybridPowerLawModel(adversarial_fraction=0.0, n_adversarial=0)
+        s = model.generate(2048, np.random.default_rng(2))
+        assert not s.adversarial_mask.any()
+
+    def test_tiny_run(self):
+        model = HybridPowerLawModel(n_adversarial=4)
+        s = model.generate(2, np.random.default_rng(3))
+        assert s.n_packets == 2
+
+
+class TestTheory:
+    def test_simon_limit(self):
+        # delta = 0 recovers Simon's 1 + 1/(1 - p_new).
+        m = HybridPowerLawModel(p_new=0.4, delta=0.0)
+        assert np.isclose(m.expected_tail_exponent(), 1 + 1 / 0.6)
+
+    def test_delta_steepens_tail(self):
+        flat = HybridPowerLawModel(p_new=0.3, delta=0.0)
+        offset = HybridPowerLawModel(p_new=0.3, delta=4.0)
+        assert offset.expected_tail_exponent() > flat.expected_tail_exponent()
+
+    def test_measured_exponent_near_theory(self):
+        model = HybridPowerLawModel(
+            p_new=0.4, delta=0.0, adversarial_fraction=0.0, n_adversarial=0
+        )
+        s = model.generate(1 << 17, np.random.default_rng(7))
+        alpha, _ = powerlaw_alpha_mle(s.degrees.astype(np.int64), d_min=16)
+        assert abs(alpha - model.expected_tail_exponent()) < 0.5
+
+    def test_zm_fits_output(self, sample):
+        degrees = sample.degrees.astype(np.int64)
+        fit = fit_zipf_mandelbrot(degrees)
+        assert ks_distance(degrees, fit.model().cdf) < 0.05
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_new": 0.0},
+            {"p_new": 1.0},
+            {"delta": -1.0},
+            {"adversarial_fraction": 1.0},
+            {"chunk": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            HybridPowerLawModel(**kwargs)
+
+    def test_bad_packet_count(self):
+        with pytest.raises(ValueError):
+            HybridPowerLawModel().generate(0, np.random.default_rng(0))

@@ -1,0 +1,61 @@
+"""InternetModel and the Table-I scenario."""
+
+import numpy as np
+import pytest
+
+from repro.synth import InternetModel, ModelConfig, StudyScenario
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InternetModel(ModelConfig(log2_nv=12, n_sources=800, seed=17))
+
+
+class TestScenario:
+    def test_default_schedule_matches_paper(self):
+        s = StudyScenario()
+        assert s.n_months == 15
+        assert len(s.telescope_month_times) == 5
+        assert s.telescope_labels[0] == "2020-06-17-12:00:00"
+        # Samples fall within the study window, ~6 weeks apart.
+        gaps = np.diff(s.telescope_month_times)
+        assert np.all((gaps > 1.0) & (gaps < 2.0))
+
+    def test_month_centers(self):
+        s = StudyScenario()
+        assert s.month_centers[0] == 0.5
+        assert s.month_centers[-1] == 14.5
+
+    def test_labels(self):
+        assert StudyScenario().month_labels[0] == "2020-02"
+
+
+class TestModel:
+    def test_shared_population(self, model):
+        assert model.telescope.population is model.population
+        assert model.honeyfarm.population is model.population
+
+    def test_telescope_samples_follow_schedule(self, model):
+        samples = model.telescope_samples()
+        times = [s.month_time for s in samples]
+        assert times == list(model.scenario.telescope_month_times)
+
+    def test_honeyfarm_months_cover_scenario(self, model):
+        months = model.honeyfarm_months()
+        assert len(months) == 15
+        assert [m.month_index for m in months] == list(range(15))
+
+    def test_config_must_cover_scenario(self):
+        with pytest.raises(ValueError):
+            InternetModel(ModelConfig(n_months=10))
+
+    def test_instruments_observe_same_world(self, model):
+        """Coeval telescope and honeyfarm observations overlap far more
+        than the telescope and a far-away month — the paper's premise."""
+        sample = model.telescope_sample(4.55)
+        coeval = model.honeyfarm_month(4).sources
+        far = model.honeyfarm_month(13).sources
+        tel = sample.sources()
+        f_coeval = np.isin(tel, coeval).mean()
+        f_far = np.isin(tel, far).mean()
+        assert f_coeval > f_far

@@ -1,0 +1,98 @@
+"""Telescope simulator: constant-packet windows of darkspace traffic."""
+
+import numpy as np
+import pytest
+
+from repro.synth import ModelConfig, SourcePopulation, TelescopeSimulator
+
+
+@pytest.fixture(scope="module")
+def telescope():
+    pop = SourcePopulation(ModelConfig(log2_nv=13, n_sources=1500, seed=11))
+    return TelescopeSimulator(pop)
+
+
+@pytest.fixture(scope="module")
+def sample(telescope):
+    return telescope.sample(4.55)
+
+
+class TestWindow:
+    def test_exactly_nv_valid_packets(self, telescope, sample):
+        assert sample.n_valid == telescope.config.n_valid
+        assert sample.matrix.total() == telescope.config.n_valid
+
+    def test_raw_includes_legit_traffic(self, sample):
+        assert len(sample.packets_raw) >= sample.n_valid
+
+    def test_no_legit_sources_in_valid(self, telescope, sample):
+        legit = telescope.population.legit_addresses
+        assert not np.any(np.isin(sample.packets.src, legit))
+
+    def test_destinations_in_darkspace(self, telescope, sample):
+        lo, hi = telescope.darkspace
+        assert np.all((sample.packets.dst >= lo) & (sample.packets.dst < hi))
+
+    def test_sources_external(self, telescope, sample):
+        lo, hi = telescope.darkspace
+        assert not np.any((sample.packets.src >= lo) & (sample.packets.src < hi))
+
+    def test_time_sorted_with_plausible_duration(self, sample):
+        assert sample.packets.is_time_sorted()
+        assert 900 <= sample.duration <= 1700
+
+    def test_month_index(self, sample):
+        assert sample.month_index == 4
+        assert sample.month_time == 4.55
+
+    def test_source_packets_matches_matrix(self, sample):
+        vec = sample.matrix.row_reduce()
+        assert vec == sample.source_packets
+        assert sample.unique_sources == vec.nnz
+        np.testing.assert_array_equal(sample.sources(), vec.keys)
+
+
+class TestStatistics:
+    def test_only_active_sources_emit(self, telescope, sample):
+        pop = telescope.population
+        active = set(pop.addresses[pop.active_mask(sample.month_index)].tolist())
+        assert set(sample.sources().tolist()) <= active
+
+    def test_degrees_track_brightness(self, telescope, sample):
+        pop = telescope.population
+        idx = {int(a): i for i, a in enumerate(pop.addresses)}
+        bright = np.asarray([pop.brightness[idx[int(s)]] for s in sample.sources()])
+        degrees = sample.source_packets.vals
+        # Log-log correlation between intended and observed brightness.
+        r = np.corrcoef(np.log2(bright + 1), np.log2(degrees + 1))[0, 1]
+        assert r > 0.8
+
+    def test_heavy_tail_observed(self, sample):
+        degrees = sample.source_packets.vals
+        assert degrees.max() > 15 * np.median(degrees)
+
+    def test_unique_sources_reasonable(self, telescope, sample):
+        # Between N_V^0.4 and N_V itself.
+        nv = telescope.config.n_valid
+        assert nv**0.4 < sample.unique_sources < nv
+
+
+class TestDeterminism:
+    def test_same_call_same_window(self, telescope):
+        a = telescope.sample(7.5)
+        b = telescope.sample(7.5)
+        assert a.matrix == b.matrix
+        assert a.duration == b.duration
+
+    def test_different_times_differ(self, telescope):
+        a = telescope.sample(7.5)
+        b = telescope.sample(8.9)
+        assert a.matrix != b.matrix
+
+    def test_custom_nv(self, telescope):
+        small = telescope.sample(4.55, n_valid=1024)
+        assert small.n_valid == 1024
+
+    def test_invalid_nv(self, telescope):
+        with pytest.raises(ValueError):
+            telescope.sample(4.55, n_valid=0)

@@ -1,0 +1,32 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "table1" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_single_experiment_runs(capsys):
+    code = main(
+        ["table2", "--log2-nv", "12", "--sources", "800", "--seed", "5", "--no-checks"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+
+
+def test_checks_reported(capsys):
+    code = main(["fig1", "--log2-nv", "12", "--sources", "800", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert "[PASS]" in out or "[FAIL]" in out
+    assert code in (0, 1)

@@ -1,0 +1,107 @@
+"""IPv4 utilities: conversions, CIDR ranges, vector forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip import (
+    IPV4_MAX,
+    cidr_to_range,
+    in_range,
+    int_to_ip,
+    ints_to_ips,
+    ip_to_int,
+    ips_to_ints,
+    range_to_cidr,
+)
+
+
+class TestScalar:
+    def test_paper_example(self):
+        # Section II: 1.1.1.1 -> 16843009, 2.2.2.2 -> 33686018.
+        assert ip_to_int("1.1.1.1") == 16843009
+        assert ip_to_int("2.2.2.2") == 33686018
+
+    def test_edges(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == IPV4_MAX - 1
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip(IPV4_MAX - 1) == "255.255.255.255"
+
+    @given(st.integers(0, IPV4_MAX - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    def test_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(IPV4_MAX)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestVector:
+    def test_roundtrip(self, rng):
+        vals = rng.integers(0, IPV4_MAX, 1000, dtype=np.uint64)
+        np.testing.assert_array_equal(ips_to_ints(ints_to_ips(vals)), vals)
+
+    def test_matches_scalar(self, rng):
+        vals = rng.integers(0, IPV4_MAX, 50, dtype=np.uint64)
+        strs = ints_to_ips(vals)
+        for v, s in zip(vals, strs):
+            assert int_to_ip(int(v)) == s
+
+    def test_empty(self):
+        assert ints_to_ips([]).size == 0
+        assert ips_to_ints([]).size == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            ints_to_ips(np.asarray([IPV4_MAX], dtype=np.uint64))
+
+
+class TestCidr:
+    def test_slash8(self):
+        lo, hi = cidr_to_range("10.0.0.0/8")
+        assert lo == 10 << 24 and hi - lo == 1 << 24
+
+    def test_slash32(self):
+        lo, hi = cidr_to_range("1.1.1.1/32")
+        assert lo == 16843009 and hi == lo + 1
+
+    def test_slash0(self):
+        assert cidr_to_range("0.0.0.0/0") == (0, IPV4_MAX)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError, match="host bits"):
+            cidr_to_range("10.0.0.1/8")
+
+    def test_malformed(self):
+        for bad in ("10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"):
+            with pytest.raises(ValueError):
+                cidr_to_range(bad)
+
+    def test_range_to_cidr_roundtrip(self):
+        for cidr in ("10.0.0.0/8", "198.18.0.0/24", "0.0.0.0/0", "1.1.1.1/32"):
+            assert range_to_cidr(*cidr_to_range(cidr)) == cidr
+
+    def test_range_to_cidr_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            range_to_cidr(0, 3)
+
+    def test_range_to_cidr_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            range_to_cidr(1 << 23, (1 << 23) + (1 << 24))
+
+    def test_in_range(self):
+        lo, hi = cidr_to_range("10.0.0.0/8")
+        vals = np.asarray([lo - 1, lo, hi - 1, hi], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            in_range(vals, lo, hi), [False, True, True, False]
+        )

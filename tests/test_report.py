@@ -1,0 +1,85 @@
+"""Terminal plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.report import AsciiPlot, render_series
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        p = AsciiPlot(width=30, height=8, title="demo")
+        p.add_series("a", [0, 1, 2], [0, 1, 4])
+        text = p.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert any("*" in l for l in lines)
+        assert "a" in lines[-1]
+
+    def test_log_axes_drop_nonpositive(self):
+        p = AsciiPlot(x_log=True, y_log=True)
+        p.add_series("s", [0.0, 1.0, 10.0], [1.0, -1.0, 100.0])
+        text = p.render()
+        assert "(no data)" not in text  # one valid point remains
+
+    def test_empty_plot(self):
+        assert "(no data)" in AsciiPlot().render()
+
+    def test_mismatched_series(self):
+        p = AsciiPlot()
+        with pytest.raises(ValueError):
+            p.add_series("bad", [1, 2], [1])
+
+    def test_multiple_series_distinct_glyphs(self):
+        p = AsciiPlot(width=20, height=6)
+        p.add_series("one", [0, 1], [0, 1])
+        p.add_series("two", [0, 1], [1, 0])
+        text = p.render()
+        assert "*" in text and "o" in text
+        assert "one" in text and "two" in text
+
+    def test_constant_series_does_not_crash(self):
+        p = AsciiPlot()
+        p.add_series("flat", [1, 2, 3], [5, 5, 5])
+        assert "flat" in p.render()
+
+    def test_axis_labels_present(self):
+        p = AsciiPlot(width=20, height=6)
+        p.add_series("s", [0, 100], [0, 1])
+        text = p.render()
+        assert "100" in text and "0" in text
+
+    def test_log_axis_labels_are_real_values(self):
+        p = AsciiPlot(x_log=True, width=30, height=6)
+        p.add_series("s", [1.0, 1000.0], [0, 1])
+        text = p.render()
+        assert "1e+03" in text or "1000" in text
+
+    def test_points_within_raster(self):
+        p = AsciiPlot(width=10, height=4)
+        p.add_series("s", np.linspace(0, 1, 50), np.linspace(0, 1, 50))
+        lines = p.render().splitlines()
+        plot_lines = [l for l in lines if "|" in l]
+        assert all(len(l) <= 10 + 12 for l in plot_lines)
+
+
+def test_render_series_helper():
+    text = render_series(
+        {"a": ([1, 2], [3, 4]), "b": ([1, 2], [4, 3])},
+        title="combo",
+        x_log=False,
+    )
+    assert text.startswith("combo")
+    assert "a" in text and "b" in text
+
+
+def test_experiment_plots_render(tiny_study):
+    """Every experiment exposing plot() produces a non-trivial string."""
+    from repro.experiments import EXPERIMENTS
+
+    for name, module in EXPERIMENTS.items():
+        if not hasattr(module, "plot"):
+            continue
+        result = module.run(tiny_study)
+        text = module.plot(result)
+        assert isinstance(text, str) and len(text) > 100, name

@@ -1,0 +1,25 @@
+"""The tutorial's code blocks must actually run (doc-drift protection)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+@pytest.mark.slow
+def test_tutorial_blocks_execute():
+    """Execute every python block in docs/TUTORIAL.md in one namespace."""
+    text = TUTORIAL.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 8
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+
+
+def test_tutorial_mentions_scale_knobs():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    assert "REPRO_LOG2_NV" in text
+    assert "N_V^(1/2)" in text

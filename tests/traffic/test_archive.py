@@ -1,0 +1,133 @@
+"""Window archive: the paper's 2^17 -> 2^30 storage pipeline at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import CryptoPan
+from repro.traffic import Packets, WindowArchive, build_traffic_matrix
+
+
+def stream(n, rng, t0=0.0):
+    return Packets(
+        np.sort(rng.uniform(t0, t0 + 100, n)),
+        rng.integers(0, 2**32, n),
+        rng.integers(0, 2**24, n),
+    )
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    return WindowArchive(tmp_path / "arch", n_valid=256)
+
+
+class TestWriting:
+    def test_append_windows(self, archive, rng):
+        written = archive.append_packets(stream(1000, rng))
+        assert written == 3  # 1000 // 256
+        assert len(archive) == 3
+        assert archive.total_packets() == 768
+
+    def test_residual_buffered_across_appends(self, archive, rng):
+        archive.append_packets(stream(200, rng))
+        assert len(archive) == 0  # below one window
+        archive.append_packets(stream(200, rng, t0=200.0))
+        assert len(archive) == 1  # 400 packets -> one window + residual
+
+    def test_flush_partial(self, archive, rng):
+        archive.append_packets(stream(100, rng))
+        assert archive.flush_partial() == 1
+        assert archive.records[-1].n_packets == 100
+        assert archive.flush_partial() == 0
+
+    def test_every_full_window_has_n_valid(self, archive, rng):
+        archive.append_packets(stream(1111, rng))
+        for rec in archive.records:
+            assert rec.n_packets == 256
+
+    def test_invalid_n_valid(self, tmp_path):
+        with pytest.raises(ValueError):
+            WindowArchive(tmp_path / "bad", n_valid=0)
+
+
+class TestReading:
+    def test_roundtrip_matrix(self, archive, rng):
+        p = stream(512, rng)
+        archive.append_packets(p)
+        sorted_p = p.sort_by_time()
+        first = sorted_p[:256]
+        assert archive.load(0) == build_traffic_matrix(first)
+
+    def test_manifest_reload(self, tmp_path, rng):
+        arch = WindowArchive(tmp_path / "a", n_valid=128)
+        arch.append_packets(stream(512, rng))
+        reopened = WindowArchive(tmp_path / "a", n_valid=128)
+        assert len(reopened) == 4
+        assert reopened.load(2) == arch.load(2)
+
+    def test_reload_with_wrong_window_size(self, tmp_path, rng):
+        arch = WindowArchive(tmp_path / "a", n_valid=128)
+        arch.append_packets(stream(256, rng))
+        with pytest.raises(ValueError):
+            WindowArchive(tmp_path / "a", n_valid=64)
+
+    def test_iter_matrices(self, archive, rng):
+        archive.append_packets(stream(600, rng))
+        pairs = list(archive.iter_matrices())
+        assert len(pairs) == 2
+        for rec, matrix in pairs:
+            assert matrix.total() == rec.n_packets
+
+    def test_select_time_range(self, archive, rng):
+        archive.append_packets(stream(768, rng))
+        recs = archive.records
+        mid = recs[1]
+        hits = archive.select_time_range(mid.start_time, mid.end_time)
+        assert mid in hits
+
+
+class TestSumming:
+    def test_sum_equals_direct(self, archive, rng):
+        p = stream(1024, rng)
+        archive.append_packets(p)
+        total = archive.sum_windows()
+        direct = build_traffic_matrix(p.sort_by_time()[: 4 * 256])
+        assert total == direct
+
+    def test_sum_subset(self, archive, rng):
+        archive.append_packets(stream(1024, rng))
+        partial = archive.sum_windows([0, 2])
+        assert partial.total() == 512
+
+    def test_sum_empty(self, archive):
+        assert archive.sum_windows().nnz == 0
+
+
+class TestAnonymized:
+    def test_archive_never_stores_plain(self, tmp_path, rng):
+        pan = CryptoPan(b"archive-key")
+        arch = WindowArchive(tmp_path / "anon", n_valid=256, anonymizer=pan)
+        p = stream(512, rng)
+        arch.append_packets(p)
+        stored = arch.load(0)
+        plain = build_traffic_matrix(p.sort_by_time()[:256])
+        assert stored != plain
+        # But deanonymization recovers it exactly.
+        recovered = stored.permute(pan.deanonymize)
+        assert recovered == plain
+
+    def test_anonymized_flag_in_manifest(self, tmp_path, rng):
+        pan = CryptoPan(b"archive-key")
+        arch = WindowArchive(tmp_path / "anon", n_valid=128, anonymizer=pan)
+        arch.append_packets(stream(128, rng))
+        assert arch.records[0].anonymized
+
+    def test_quantities_survive_archival(self, tmp_path, rng):
+        from repro.traffic import network_quantities
+
+        pan = CryptoPan(b"archive-key")
+        arch = WindowArchive(tmp_path / "anon", n_valid=256, anonymizer=pan)
+        p = stream(256, rng)
+        arch.append_packets(p)
+        stored = arch.load(0)
+        plain = build_traffic_matrix(p.sort_by_time())
+        assert network_quantities(stored) == network_quantities(plain)

@@ -1,0 +1,95 @@
+"""Composable packet filters."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    Packets,
+    compose_filters,
+    dst_in_range,
+    exclude_sources,
+    protocol_is,
+    src_in_range,
+)
+from repro.traffic.filter import PacketFilter, time_between
+from repro.traffic.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+
+@pytest.fixture()
+def stream(rng):
+    n = 1000
+    return Packets(
+        rng.uniform(0, 100, n),
+        rng.integers(0, 1000, n),
+        rng.integers(0, 1000, n),
+        rng.choice([PROTO_TCP, PROTO_UDP, PROTO_ICMP], n),
+    )
+
+
+def test_src_in_range(stream):
+    out = src_in_range(0, 500).apply(stream)
+    assert np.all(out.src < 500)
+    assert len(out) > 0
+
+
+def test_dst_in_range(stream):
+    out = dst_in_range(100, 200).apply(stream)
+    assert np.all((out.dst >= 100) & (out.dst < 200))
+
+
+def test_protocol_is(stream):
+    out = protocol_is(PROTO_UDP).apply(stream)
+    assert np.all(out.proto == PROTO_UDP)
+    both = protocol_is(PROTO_TCP, PROTO_UDP).apply(stream)
+    assert not np.any(both.proto == PROTO_ICMP)
+
+
+def test_time_between(stream):
+    out = time_between(10.0, 20.0).apply(stream)
+    assert np.all((out.time >= 10.0) & (out.time < 20.0))
+
+
+def test_exclude_sources(stream):
+    banned = stream.src[:10]
+    out = exclude_sources(banned).apply(stream)
+    assert not np.any(np.isin(out.src, banned))
+
+
+def test_and_composition(stream):
+    f = src_in_range(0, 500) & protocol_is(PROTO_TCP)
+    out = f.apply(stream)
+    assert np.all(out.src < 500) and np.all(out.proto == PROTO_TCP)
+
+
+def test_or_composition(stream):
+    f = src_in_range(0, 10) | src_in_range(990, 1000)
+    out = f.apply(stream)
+    assert np.all((out.src < 10) | (out.src >= 990))
+
+
+def test_invert(stream):
+    f = src_in_range(0, 500)
+    a = f.apply(stream)
+    b = (~f).apply(stream)
+    assert len(a) + len(b) == len(stream)
+
+
+def test_compose_filters_list(stream):
+    f = compose_filters([src_in_range(0, 500), dst_in_range(0, 500)])
+    out = f.apply(stream)
+    assert np.all(out.src < 500) and np.all(out.dst < 500)
+
+
+def test_compose_empty_keeps_all(stream):
+    assert len(compose_filters([]).apply(stream)) == len(stream)
+
+
+def test_bad_mask_shape_raises(stream):
+    bad = PacketFilter(lambda p: np.ones(3, dtype=bool), "bad")
+    with pytest.raises(ValueError):
+        bad.apply(stream)
+
+
+def test_filter_names():
+    f = src_in_range(0, 5) & protocol_is(6)
+    assert "src_in" in f.name and "proto_in" in f.name

@@ -1,0 +1,83 @@
+"""Traffic-matrix construction and the Fig-1 quadrant decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.traffic import Packets, TrafficMatrixView, build_traffic_matrix, quadrant_occupancy
+from repro.traffic.matrix import QUADRANTS
+
+
+def test_build_counts_packets():
+    p = Packets([0, 1, 2], [1, 1, 2], [9, 9, 8])
+    m = build_traffic_matrix(p)
+    assert m[1, 9] == 2.0 and m[2, 8] == 1.0
+    assert m.total() == 3.0
+
+
+def test_sum_equals_nv(rng):
+    n = 5000
+    p = Packets(rng.uniform(0, 1, n), rng.integers(0, 100, n), rng.integers(0, 100, n))
+    assert build_traffic_matrix(p).total() == n
+
+
+class TestQuadrants:
+    @pytest.fixture()
+    def view(self, rng):
+        # Internal block 10.0.0.0/8.
+        lo, hi = 10 << 24, 11 << 24
+        n = 4000
+        src = rng.integers(0, 2**32, n, dtype=np.uint64)
+        dst = rng.integers(0, 2**32, n, dtype=np.uint64)
+        p = Packets(rng.uniform(0, 1, n), src, dst)
+        return TrafficMatrixView.from_packets(p, "10.0.0.0/8")
+
+    def test_quadrants_partition_matrix(self, view):
+        total = sum(view.quadrant(q).total() for q in QUADRANTS)
+        assert total == view.matrix.total()
+        nnz = sum(view.quadrant(q).nnz for q in QUADRANTS)
+        assert nnz == view.matrix.nnz
+
+    def test_quadrant_membership(self, view):
+        lo, hi = view.internal
+        ei = view.quadrant("ei")
+        assert np.all((ei.rows < lo) | (ei.rows >= hi))
+        assert np.all((ei.cols >= lo) & (ei.cols < hi))
+        ie = view.quadrant("ie")
+        assert np.all((ie.rows >= lo) & (ie.rows < hi))
+        assert np.all((ie.cols < lo) | (ie.cols >= hi))
+
+    def test_invalid_quadrant(self, view):
+        with pytest.raises(ValueError):
+            view.quadrant("xy")
+
+    def test_occupancy_keys(self, view):
+        occ = view.occupancy()
+        assert set(occ) == set(QUADRANTS)
+
+    def test_named_helpers(self, view):
+        assert view.external_to_internal() == view.quadrant("ei")
+        assert view.internal_to_external() == view.quadrant("ie")
+
+
+def test_darkspace_stream_is_ei_only(rng):
+    lo, hi = 10 << 24, 11 << 24
+    n = 1000
+    src = rng.integers(hi, 2**32, n, dtype=np.uint64)  # external only
+    dst = rng.integers(lo, hi, n, dtype=np.uint64)  # into the darkspace
+    p = Packets(rng.uniform(0, 1, n), src, dst)
+    occ = quadrant_occupancy(p, "10.0.0.0/8")
+    assert occ["ei"] > 0
+    assert occ["ie"] == occ["ii"] == occ["ee"] == 0
+
+
+def test_explicit_integer_range_accepted(rng):
+    p = Packets([0.0], [5], [50])
+    view = TrafficMatrixView.from_packets(p, (0, 10))
+    assert view.quadrant("ie").nnz == 1
+
+
+def test_invalid_range_rejected(rng):
+    p = Packets([0.0], [5], [50])
+    with pytest.raises(ValueError):
+        TrafficMatrixView.from_packets(p, (10, 5))

@@ -1,0 +1,81 @@
+"""Packet-stream container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import Packets
+from repro.traffic.packet import PROTO_TCP, PROTO_UDP
+
+
+def make(n, rng, t_span=(0.0, 100.0)):
+    return Packets(
+        rng.uniform(*t_span, n),
+        rng.integers(0, 2**32, n),
+        rng.integers(0, 2**24, n),
+    )
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        p = make(100, rng)
+        assert len(p) == 100
+        assert p.proto[0] == PROTO_TCP  # default
+
+    def test_explicit_proto(self):
+        p = Packets([0.0], [1], [2], [PROTO_UDP])
+        assert p.proto[0] == PROTO_UDP
+
+    def test_mismatched_columns(self):
+        with pytest.raises(ValueError):
+            Packets([0.0, 1.0], [1], [2])
+
+    def test_empty(self):
+        p = Packets.empty()
+        assert len(p) == 0
+        assert p.span() == (0.0, 0.0)
+        assert p.duration() == 0.0
+
+
+class TestOps:
+    def test_indexing_slice(self, rng):
+        p = make(100, rng)
+        sub = p[10:20]
+        assert len(sub) == 10
+        np.testing.assert_array_equal(sub.src, p.src[10:20])
+
+    def test_indexing_mask(self, rng):
+        p = make(100, rng)
+        mask = p.src % 2 == 0
+        assert len(p[mask]) == int(mask.sum())
+
+    def test_sort_by_time(self, rng):
+        p = make(500, rng)
+        s = p.sort_by_time()
+        assert s.is_time_sorted()
+        # Sorting is a permutation: same multiset of (t, src, dst).
+        np.testing.assert_array_equal(np.sort(s.src), np.sort(p.src))
+
+    def test_is_time_sorted_trivial(self):
+        assert Packets.empty().is_time_sorted()
+        assert Packets([5.0], [1], [1]).is_time_sorted()
+
+    def test_concat(self, rng):
+        a, b = make(10, rng), make(20, rng)
+        c = Packets.concat([a, b])
+        assert len(c) == 30
+        np.testing.assert_array_equal(c.src[:10], a.src)
+
+    def test_concat_skips_empty(self, rng):
+        a = make(5, rng)
+        assert len(Packets.concat([Packets.empty(), a])) == 5
+        assert len(Packets.concat([])) == 0
+
+    def test_span_duration(self):
+        p = Packets([3.0, 1.0, 7.0], [0, 0, 0], [0, 0, 0])
+        assert p.span() == (1.0, 7.0)
+        assert p.duration() == 6.0
+
+    def test_unique_endpoints(self):
+        p = Packets([0, 1, 2], [5, 5, 6], [7, 8, 7])
+        assert list(p.unique_sources()) == [5, 6]
+        assert list(p.unique_destinations()) == [7, 8]

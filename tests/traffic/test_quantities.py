@@ -1,0 +1,97 @@
+"""Table II quantities against a brute-force dense reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.traffic.quantities import (
+    destination_fanin,
+    destination_packets,
+    link_packets,
+    network_quantities,
+    source_fanout,
+    source_packets,
+)
+
+SIZE = 32
+
+
+def dense_reference(dense):
+    nz = dense != 0
+    return {
+        "valid_packets": dense.sum(),
+        "unique_links": int(nz.sum()),
+        "max_link_packets": dense.max(),
+        "unique_sources": int(nz.any(axis=1).sum()),
+        "max_source_packets": dense.sum(axis=1).max(),
+        "max_source_fanout": nz.sum(axis=1).max(),
+        "unique_destinations": int(nz.any(axis=0).sum()),
+        "max_destination_packets": dense.sum(axis=0).max(),
+        "max_destination_fanin": nz.sum(axis=0).max(),
+    }
+
+
+@st.composite
+def matrices(draw):
+    n = draw(st.integers(1, 60))
+    rows = draw(st.lists(st.integers(0, SIZE - 1), min_size=n, max_size=n))
+    cols = draw(st.lists(st.integers(0, SIZE - 1), min_size=n, max_size=n))
+    return HyperSparseMatrix(rows, cols, shape=(SIZE, SIZE))
+
+
+@given(matrices())
+@settings(max_examples=60, deadline=None)
+def test_scalar_quantities_match_dense(m):
+    dense = m.to_dense()
+    got = network_quantities(m).as_dict()
+    want = dense_reference(dense)
+    for key, value in want.items():
+        assert got[key] == value, key
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_vector_quantities_match_dense(m):
+    dense = m.to_dense()
+    sp = source_packets(m)
+    for key, val in sp:
+        assert val == dense[int(key)].sum()
+    fo = source_fanout(m)
+    for key, val in fo:
+        assert val == (dense[int(key)] != 0).sum()
+    dp = destination_packets(m)
+    for key, val in dp:
+        assert val == dense[:, int(key)].sum()
+    fi = destination_fanin(m)
+    for key, val in fi:
+        assert val == (dense[:, int(key)] != 0).sum()
+
+
+def test_link_packets_keys_unique(rng):
+    m = HyperSparseMatrix(
+        rng.integers(0, 100, 500), rng.integers(0, 100, 500), shape=(100, 100)
+    )
+    lp = link_packets(m)
+    assert lp.nnz == m.nnz
+    assert lp.total() == m.total()
+    assert lp.max() == m.max_value()
+
+
+def test_empty_matrix():
+    q = network_quantities(HyperSparseMatrix(shape=(8, 8)))
+    assert q.valid_packets == 0.0
+    assert q.unique_links == 0
+    assert q.unique_sources == 0
+
+
+def test_paper_example():
+    # A_t(16843009, 33686018) = 3.0: three packets 1.1.1.1 -> 2.2.2.2.
+    m = HyperSparseMatrix([16843009] * 3, [33686018] * 3)
+    q = network_quantities(m)
+    assert q.valid_packets == 3.0
+    assert q.unique_links == 1
+    assert q.max_link_packets == 3.0
+    assert q.unique_sources == 1
+    assert q.max_source_fanout == 1.0

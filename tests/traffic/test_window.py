@@ -1,0 +1,100 @@
+"""Windowing invariants: the constant-packet property the paper relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import Packets, constant_packet_windows, constant_time_windows
+
+
+def stream(n, rng):
+    return Packets(
+        np.sort(rng.uniform(0, 1000, n)),
+        rng.integers(0, 1000, n),
+        rng.integers(0, 1000, n),
+    )
+
+
+class TestConstantPacket:
+    def test_every_window_has_exactly_nv(self, rng):
+        p = stream(10_000, rng)
+        for w in constant_packet_windows(p, 1024):
+            assert w.n_packets == 1024
+
+    def test_partial_dropped_by_default(self, rng):
+        p = stream(1000, rng)
+        ws = constant_packet_windows(p, 300)
+        assert len(ws) == 3
+
+    def test_partial_kept_on_request(self, rng):
+        p = stream(1000, rng)
+        ws = constant_packet_windows(p, 300, drop_partial=False)
+        assert len(ws) == 4 and ws[-1].n_packets == 100
+
+    def test_windows_are_contiguous_in_time(self, rng):
+        p = stream(5000, rng)
+        ws = constant_packet_windows(p, 500)
+        for a, b in zip(ws, ws[1:]):
+            assert a.end_time <= b.start_time
+
+    def test_unsorted_input_sorted_internally(self, rng):
+        p = Packets(
+            rng.uniform(0, 100, 1000), rng.integers(0, 10, 1000), rng.integers(0, 10, 1000)
+        )
+        ws = constant_packet_windows(p, 100)
+        assert all(w.packets.is_time_sorted() for w in ws)
+
+    def test_durations_vary(self, rng):
+        # Bursty stream: constant-packet windows have different durations.
+        t = np.concatenate([rng.uniform(0, 1, 500), rng.uniform(1, 100, 500)])
+        p = Packets(np.sort(t), np.zeros(1000), np.zeros(1000))
+        ws = constant_packet_windows(p, 250)
+        durations = [w.duration for w in ws]
+        assert max(durations) > 5 * min(durations)
+
+    def test_invalid_nv(self, rng):
+        with pytest.raises(ValueError):
+            constant_packet_windows(stream(10, rng), 0)
+
+    @given(st.integers(1, 50), st.integers(1, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_all_packets(self, n_valid, n_packets):
+        rng = np.random.default_rng(n_valid * 1000 + n_packets)
+        p = stream(n_packets, rng)
+        ws = constant_packet_windows(p, n_valid, drop_partial=False)
+        assert sum(w.n_packets for w in ws) == n_packets
+        # Windows index consecutively.
+        assert [w.index for w in ws] == list(range(len(ws)))
+
+
+class TestConstantTime:
+    def test_windows_respect_duration(self, rng):
+        p = stream(5000, rng)
+        for w in constant_time_windows(p, 100.0):
+            assert w.duration <= 100.0 + 1e-9
+
+    def test_counts_vary_with_rate(self, rng):
+        t = np.concatenate([rng.uniform(0, 10, 900), rng.uniform(10, 20, 100)])
+        p = Packets(np.sort(t), np.zeros(1000), np.zeros(1000))
+        ws = constant_time_windows(p, 10.0)
+        counts = [w.n_packets for w in ws]
+        assert max(counts) > 3 * min(counts)
+
+    def test_empty_stream(self):
+        assert constant_time_windows(Packets.empty(), 10.0) == []
+
+    def test_all_packets_kept(self, rng):
+        p = stream(3000, rng)
+        ws = constant_time_windows(p, 37.0)
+        assert sum(w.n_packets for w in ws) == 3000
+
+    def test_invalid_duration(self, rng):
+        with pytest.raises(ValueError):
+            constant_time_windows(stream(10, rng), 0.0)
+
+    def test_window_indices_match_time_bins(self, rng):
+        p = stream(1000, rng)
+        ws = constant_time_windows(p, 100.0)
+        for w in ws:
+            assert w.index == int((w.start_time - ws[0].start_time) // 100.0)
