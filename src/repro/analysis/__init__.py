@@ -1,0 +1,44 @@
+"""repro-lint: domain-aware static analysis and runtime invariants.
+
+The reproduction's numerical results are only trustworthy while every
+kernel preserves the hypersparse invariants (canonical sorted-COO,
+``uint64`` coordinates / ``float64`` values, no per-entry Python loops)
+and every experiment stays deterministic under its seeded RNG — the
+discipline GraphBLAS enforces structurally in the original C stack.
+This package makes that discipline machine-checked so refactors can be
+aggressive without silently corrupting the science:
+
+* :mod:`repro.analysis.engine` — an AST-walking rule engine with an
+  in-source allowlist escape hatch (``# lint: allow-<tag>``);
+* :mod:`repro.analysis.rules` — the project rules (RL001–RL006):
+  unseeded randomness, dtype discipline, per-entry loops in hot paths,
+  ``__all__`` coverage, public docstrings, wall-clock reads;
+* :mod:`repro.analysis.contracts` — runtime invariant validation of
+  canonical form, off by default and switched on with
+  ``REPRO_DEBUG_INVARIANTS=1``;
+* :mod:`repro.analysis.report` — findings formatting (aligned tables in
+  the style of :mod:`repro.report.ascii_plot`);
+* ``python -m repro.analysis`` / ``repro lint`` — the CLI.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from .engine import Finding, LintResult, Rule, lint_paths
+from .rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "ALL_RULES",
+    "rule_by_id",
+    "main",
+]
+
+
+def main(argv=None):
+    """CLI entry point (see :mod:`repro.analysis.cli`)."""
+    from .cli import main as _main
+
+    return _main(argv)

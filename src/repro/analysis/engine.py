@@ -1,0 +1,227 @@
+"""The repro-lint rule engine.
+
+A deliberately small AST linter: every rule receives a parsed
+:class:`FileContext` and yields :class:`Finding` objects.  The engine owns
+the parts rules should not reimplement:
+
+* file discovery (``.py`` files under the given paths, skipping caches);
+* module-path normalization, so rules can scope themselves to package
+  subtrees (``repro/hypersparse/...``) regardless of where the tree is
+  checked out — the path is anchored at the last ``repro`` directory
+  component, which also makes test fixture trees that mirror the package
+  layout (``tests/analysis/fixtures/repro/...``) lintable;
+* the allowlist escape hatch: a ``# lint: allow-<tag>`` comment on the
+  flagged line (or the line directly above it) suppresses findings of
+  every rule carrying that tag.
+
+Rules never do I/O and never mutate the tree; the engine is pure apart
+from reading source files, so it is trivially testable and safe to run
+in CI and pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "FileContext", "Rule", "LintResult", "lint_paths", "module_path"]
+
+#: Comment syntax suppressing findings: ``# lint: allow-<tag>``.
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow-([A-Za-z0-9_-]+)")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".egg-info"}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: ID message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``RL001``...), used in CLI selection and fix
+        commit messages.
+    tag:
+        Allowlist tag: ``# lint: allow-<tag>`` suppresses this rule.
+    description:
+        One-line human description shown by ``repro lint --list-rules``.
+    """
+
+    id: str = "RL000"
+    tag: str = "none"
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node."""
+        return Finding(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+@dataclass
+class FileContext:
+    """A parsed source file handed to every rule."""
+
+    path: Path
+    module: str  #: normalized posix path anchored at the package root
+    tree: ast.Module
+    lines: List[str]
+    _allow: Optional[Dict[int, Set[str]]] = field(default=None, repr=False)
+
+    @property
+    def allow(self) -> Dict[int, Set[str]]:
+        """``{line_number: {tags}}`` of allowlist comments (1-based)."""
+        if self._allow is None:
+            self._allow = {}
+            for i, text in enumerate(self.lines, start=1):
+                tags = set(_ALLOW_RE.findall(text))
+                if tags:
+                    self._allow[i] = tags
+        return self._allow
+
+    def allowed(self, line: int, tag: str) -> bool:
+        """True if ``tag`` is allowlisted on ``line`` or the line above."""
+        allow = self.allow
+        return tag in allow.get(line, ()) or tag in allow.get(line - 1, ())
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module path starts with any of the given prefixes."""
+        return any(self.module.startswith(p) for p in prefixes)
+
+    def is_module(self, *names: str) -> bool:
+        """True when the module path equals one of the given names exactly."""
+        return self.module in names
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run: findings plus run metadata."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: int
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean (no findings, no parse errors)."""
+        return not self.findings and not self.errors
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        """Findings grouped by rule id, insertion-ordered by rule."""
+        out: Dict[str, List[Finding]] = {}
+        for f in sorted(self.findings):
+            out.setdefault(f.rule_id, []).append(f)
+        return out
+
+
+def module_path(path: Path) -> str:
+    """Normalize a file path to a package-anchored posix string.
+
+    The path is cut at the *last* directory component named ``repro`` so
+    that ``src/repro/d4m/ops.py``, an installed
+    ``site-packages/repro/d4m/ops.py`` and a test fixture
+    ``tests/analysis/fixtures/repro/d4m/ops.py`` all normalize to
+    ``repro/d4m/ops.py``.  Files outside any ``repro`` tree keep their
+    full posix path.
+    """
+    parts = path.as_posix().split("/")
+    anchors = [i for i, p in enumerate(parts[:-1]) if p == "repro"]
+    if anchors:
+        parts = parts[anchors[-1] :]
+    return "/".join(parts)
+
+
+def _iter_py_files(paths: Sequence[Path]) -> Iterator[Path]:
+    seen = set()  # dedupe overlapping inputs (repeated paths, dir + file within it)
+    for root in paths:
+        if root.is_file():
+            if root.suffix == ".py" and (r := root.resolve()) not in seen:
+                seen.add(r)
+                yield root
+            continue
+        for p in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.endswith(".egg-info") for part in p.parts):
+                continue
+            if (r := p.resolve()) not in seen:
+                seen.add(r)
+                yield p
+
+
+def _parse(path: Path) -> Tuple[Optional[FileContext], Optional[str]]:
+    try:
+        with tokenize.open(path) as fh:  # honours PEP 263 encoding declarations
+            source = fh.read()
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        return None, f"{path}: {exc}"
+    return (
+        FileContext(
+            path=path,
+            module=module_path(path),
+            tree=tree,
+            lines=source.splitlines(),
+        ),
+        None,
+    )
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+) -> LintResult:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Findings on allowlisted lines (``# lint: allow-<tag>`` on the finding's
+    line or the line above) are suppressed.  Unparsable files are reported
+    as errors rather than raising, so one bad file cannot hide findings in
+    the rest of the tree.
+    """
+    findings: List[Finding] = []
+    errors: List[str] = []
+    n_files = 0
+    for path in _iter_py_files([Path(p) for p in paths]):
+        ctx, err = _parse(path)
+        if ctx is None:
+            errors.append(err or str(path))
+            continue
+        n_files += 1
+        for rule in rules:
+            for f in rule.check(ctx):
+                if not ctx.allowed(f.line, rule.tag):
+                    findings.append(f)
+    return LintResult(
+        findings=sorted(findings),
+        files_checked=n_files,
+        rules_run=len(rules),
+        errors=errors,
+    )

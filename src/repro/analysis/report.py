@@ -1,0 +1,81 @@
+"""Findings report formatting for repro-lint.
+
+Mirrors the aligned-column table idiom of :mod:`repro.report.ascii_plot`
+(and the experiment ``format()`` methods): plain monospace tables that
+read well in a terminal transcript, a CI log, or a markdown code block.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .engine import LintResult, Rule
+
+__all__ = ["format_findings", "format_summary", "format_rules", "to_json"]
+
+
+def _table(rows: Sequence[Sequence[str]], header: Sequence[str]) -> List[str]:
+    """Render rows as an aligned two-rule table (header, rule, body)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def format_findings(result: LintResult) -> str:
+    """One conventional ``path:line:col: ID message`` line per finding."""
+    lines = [f.format() for f in result.findings]
+    lines.extend(f"error: {e}" for e in result.errors)
+    return "\n".join(lines)
+
+
+def format_summary(result: LintResult) -> str:
+    """Per-rule finding counts plus a one-line verdict."""
+    grouped = result.by_rule()
+    lines: List[str] = []
+    if grouped:
+        rows = [[rid, str(len(fs)), fs[0].message.split(";")[0]] for rid, fs in grouped.items()]
+        lines.extend(_table(rows, header=("rule", "count", "example")))
+        lines.append("")
+    total = len(result.findings)
+    verdict = "clean" if result.ok else f"{total} finding(s)"
+    if result.errors:
+        verdict += f", {len(result.errors)} file error(s)"
+    lines.append(
+        f"repro-lint: {verdict} across {result.files_checked} file(s), "
+        f"{result.rules_run} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_rules(rules: Sequence[Rule]) -> str:
+    """The rule catalogue as an aligned table (``--list-rules``)."""
+    rows = [[r.id, f"allow-{r.tag}", r.description] for r in rules]
+    return "\n".join(_table(rows, header=("rule", "allowlist tag", "description")))
+
+
+def to_json(result: LintResult) -> str:
+    """Machine-readable findings for editor/CI integration."""
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule_id,
+                    "message": f.message,
+                }
+                for f in result.findings
+            ],
+            "errors": result.errors,
+            "files_checked": result.files_checked,
+            "ok": result.ok,
+        },
+        indent=2,
+    )

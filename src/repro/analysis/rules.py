@@ -1,0 +1,359 @@
+"""The repro-lint rule catalogue (RL001–RL006).
+
+Each rule encodes one of the domain invariants the reproduction's
+correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
+catalogue.  Rules are pure AST checks — scoping (which packages a rule
+patrols) lives here, suppression (``# lint: allow-<tag>``) lives in the
+engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .engine import FileContext, Finding, Rule
+
+__all__ = [
+    "UnseededRandomRule",
+    "DtypeDisciplineRule",
+    "EntryLoopRule",
+    "ModuleAllRule",
+    "PublicDocstringRule",
+    "WallClockRule",
+    "ALL_RULES",
+    "rule_by_id",
+]
+
+#: Packages whose kernels must construct arrays with explicit dtypes.
+_DTYPE_SCOPE = ("repro/hypersparse/", "repro/d4m/", "repro/traffic/")
+
+#: Hot-path modules where per-entry Python loops are forbidden.
+_HOT_MODULES = ("repro/hypersparse/ops.py", "repro/hypersparse/coo.py", "repro/d4m/ops.py")
+
+#: Packages whose kernels must be deterministic (no wall-clock reads).
+_KERNEL_SCOPE = (
+    "repro/experiments/",
+    "repro/core/",
+    "repro/synth/",
+    "repro/stream/",
+    "repro/traffic/",
+)
+
+#: Legacy module-level numpy RNG entry points (global hidden state).
+_NP_RANDOM_FUNCS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "exponential",
+        "binomial",
+        "geometric",
+        "lognormal",
+        "pareto",
+        "zipf",
+        "bytes",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Wall-clock reads whose values could leak into experiment results.
+#: ``time.perf_counter``/``time.monotonic`` are deliberately absent:
+#: duration *measurement* is fine, absolute timestamps are not.
+_WALL_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.ctime",
+    "time.gmtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve an Attribute/Name chain to ``"a.b.c"``, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _imported_names(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the modules they import (``np`` -> ``numpy``)."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+class UnseededRandomRule(Rule):
+    """RL001 — no unseeded randomness outside :mod:`repro.rand`.
+
+    Flags the legacy ``np.random.*`` module-level API (a global, hidden
+    RNG state), the stdlib ``random`` module, and ``np.random.default_rng()``
+    called without a seed.  Explicitly seeded generators
+    (``np.random.default_rng(seed)``) pass.  Counter-mode randomness from
+    :mod:`repro.rand` is always preferred in library code.
+    """
+
+    id = "RL001"
+    tag = "random"
+    description = "unseeded or global-state randomness outside repro.rand"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag unseeded / global-state RNG calls and imports."""
+        if ctx.is_module("repro/rand.py"):
+            return
+        imports = _imported_names(ctx.tree)
+        uses_stdlib_random = imports.get("random") == "random"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in ("random", "numpy.random"):
+                names = ", ".join(a.name for a in node.names)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import of RNG functions from {node.module!r} ({names}); "
+                    "use repro.rand or a seeded np.random.default_rng(seed)",
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            np_random = name.startswith(("np.random.", "numpy.random."))
+            if np_random and name.rsplit(".", 1)[1] in _NP_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level RNG call {name}() uses hidden global state; "
+                    "use repro.rand or a seeded np.random.default_rng(seed)",
+                )
+            elif np_random and name.endswith(".default_rng") and not (node.args or node.keywords):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is irreproducible; pass an "
+                    "explicit seed derived from the experiment config",
+                )
+            elif uses_stdlib_random and name.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib {name}() is unseeded global-state randomness; "
+                    "use repro.rand or a seeded np.random.default_rng(seed)",
+                )
+
+
+class DtypeDisciplineRule(Rule):
+    """RL002 — explicit dtypes for array allocation in kernel packages.
+
+    The hypersparse stack is a dtype contract: ``uint64`` coordinates,
+    ``float64`` values.  Allocators that fall back to NumPy's defaults
+    (``float64`` today, platform-``intp`` for ``arange``) make that
+    contract implicit and fragile, so inside ``hypersparse/``, ``d4m/``
+    and ``traffic/`` every ``np.zeros/ones/empty/full/arange`` must pass
+    ``dtype=`` explicitly.
+    """
+
+    id = "RL002"
+    tag = "dtype"
+    description = "array allocation without an explicit dtype in kernel packages"
+
+    #: allocator name -> number of positional args after which dtype is present
+    _ALLOCATORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2, "arange": 3}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag dtype-less allocator calls inside the kernel packages."""
+        if not ctx.in_package(*_DTYPE_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            root, _, func = name.partition(".")
+            if root not in ("np", "numpy") or func not in self._ALLOCATORS:
+                continue
+            has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+            has_pos = len(node.args) > self._ALLOCATORS[func]
+            if not has_kw and not has_pos:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without an explicit dtype; coordinate arrays are "
+                    "uint64 and value arrays float64 by contract",
+                )
+
+
+class EntryLoopRule(Rule):
+    """RL003 — no per-entry Python loops in hot-path kernels.
+
+    ``hypersparse/ops.py``, ``hypersparse/coo.py`` and ``d4m/ops.py`` are
+    the modules every experiment's inner loop runs through; a Python-level
+    ``for``/``while`` over entry triples turns an O(nnz) vectorized kernel
+    into an interpreter-bound one.  Justified loops (e.g. over a fixed
+    2x2 block grid) carry ``# lint: allow-loop``.
+    """
+
+    id = "RL003"
+    tag = "loop"
+    description = "Python for/while loop in a hot-path kernel module"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag for/while statements in the hot-path modules."""
+        if not ctx.is_module(*_HOT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(node, ast.While) else "for"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"Python {kind}-loop in hot-path module; vectorize with "
+                    "sort/searchsorted/reduceat or mark '# lint: allow-loop' "
+                    "with a justification",
+                )
+
+
+class ModuleAllRule(Rule):
+    """RL004 — every public module declares ``__all__``.
+
+    ``__all__`` is the module's public contract; without it, refactors
+    silently change what ``import *`` and the docs consider API.
+    """
+
+    id = "RL004"
+    tag = "all"
+    description = "public module without __all__"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag public modules lacking a top-level ``__all__``."""
+        stem = ctx.path.stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        for node in ctx.tree.body:
+            targets: Sequence[ast.expr] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = (node.target,)
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    return
+        yield Finding(
+            path=str(ctx.path),
+            line=1,
+            col=1,
+            rule_id=self.id,
+            message="public module does not declare __all__",
+        )
+
+
+class PublicDocstringRule(Rule):
+    """RL005 — every public function, method and class has a docstring."""
+
+    id = "RL005"
+    tag = "docstring"
+    description = "public function/class without a docstring"
+
+    def _public_defs(
+        self, body: Sequence[ast.stmt], prefix: str
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield f"{prefix}{node.name}", node
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                yield f"{prefix}{node.name}", node
+                yield from self._public_defs(node.body, f"{prefix}{node.name}.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag public defs missing docstrings (module-level and in classes)."""
+        stem = ctx.path.stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        for qualname, node in self._public_defs(ctx.tree.body, ""):
+            if not ast.get_docstring(node):
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(ctx, node, f"public {kind} {qualname!r} has no docstring")
+
+
+class WallClockRule(Rule):
+    """RL006 — no wall-clock reads inside experiment kernels.
+
+    Experiment outputs must be a pure function of the seeded config;
+    ``time.time()``/``datetime.now()`` values that reach results break
+    re-runnability.  Duration measurement via ``time.perf_counter`` /
+    ``time.monotonic`` is allowed — elapsed time is reported, not used
+    as data.  Intentional timestamps (report headers) carry
+    ``# lint: allow-wallclock``.
+    """
+
+    id = "RL006"
+    tag = "wallclock"
+    description = "wall-clock read inside an experiment kernel"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag absolute-time calls in the deterministic-kernel packages."""
+        if not ctx.in_package(*_KERNEL_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            if any(name == s or name.endswith("." + s) for s in _WALL_CLOCK_SUFFIXES):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() in a deterministic kernel; derive "
+                    "times from the experiment config or mark "
+                    "'# lint: allow-wallclock' with a justification",
+                )
+
+
+#: Every shipped rule, in catalogue order.
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    DtypeDisciplineRule(),
+    EntryLoopRule(),
+    ModuleAllRule(),
+    PublicDocstringRule(),
+    WallClockRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look up a shipped rule by its ``RLxxx`` identifier."""
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule id {rule_id!r}; known: {', '.join(r.id for r in ALL_RULES)}")

@@ -6,6 +6,7 @@
     repro fig4                      # run one experiment, print its table
     repro all                       # run everything
     repro fig5 --log2-nv 16 --seed 7
+    repro lint                      # static analysis (see repro.analysis)
 
 Exit status is non-zero when any shape check fails, so the CLI doubles as
 a reproduction smoke test in CI.
@@ -33,7 +34,7 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        help="experiment name (see 'repro list'), 'all', 'report', or 'list'",
+        help="experiment name (see 'repro list'), 'all', 'report', 'lint', or 'list'",
     )
     p.add_argument(
         "-o",
@@ -88,6 +89,13 @@ def _run_one(name: str, study, show_checks: bool, show_plot: bool) -> bool:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The linter owns its own argument surface; delegate before parsing.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():

@@ -1,0 +1,13 @@
+"""A module every rule passes: the clean-tree fixture."""
+
+import numpy as np
+
+__all__ = ["documented"]
+
+
+def documented(seed):
+    """Seeded randomness, explicit dtypes, no loops, no clocks."""
+    rng = np.random.default_rng(seed)
+    out = np.zeros(4, dtype=np.float64)
+    out += rng.uniform(size=4)
+    return out

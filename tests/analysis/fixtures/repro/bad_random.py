@@ -1,0 +1,34 @@
+"""RL001 fixture: every flavour of forbidden randomness."""
+
+import random
+
+import numpy as np
+
+__all__ = ["legacy_api", "unseeded_generator", "stdlib_random", "seeded_ok", "allowed"]
+
+
+def legacy_api():
+    """Module-level numpy RNG (hidden global state) — flagged."""
+    np.random.seed(7)
+    return np.random.rand(4)
+
+
+def unseeded_generator():
+    """default_rng() without a seed — flagged."""
+    return np.random.default_rng()
+
+
+def stdlib_random():
+    """stdlib random module — flagged."""
+    return random.random() + random.randint(0, 10)
+
+
+def seeded_ok(seed):
+    """Seeded generator construction — not flagged."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=3)
+
+
+def allowed():
+    """Justified use suppressed by the allowlist comment."""
+    return np.random.rand(2)  # lint: allow-random

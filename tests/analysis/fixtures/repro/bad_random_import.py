@@ -1,0 +1,10 @@
+"""RL001 fixture: importing RNG functions directly is flagged too."""
+
+from random import randint
+
+__all__ = ["roll"]
+
+
+def roll():
+    """Uses the imported unseeded function."""
+    return randint(1, 6)

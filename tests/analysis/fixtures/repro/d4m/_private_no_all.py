@@ -1,0 +1,5 @@
+"""Private module (leading underscore): RL004/RL005 do not apply."""
+
+
+def undocumented():
+    return 0

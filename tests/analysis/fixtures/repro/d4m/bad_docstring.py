@@ -1,0 +1,20 @@
+"""RL005 fixture: public defs without docstrings."""
+
+__all__ = ["undocumented", "Undocumented", "documented"]
+
+
+def undocumented():
+    return 1
+
+
+class Undocumented:
+    def method(self):
+        return 2
+
+    def _private(self):
+        return 3
+
+
+def documented():
+    """Documented — not flagged."""
+    return 4

@@ -1,0 +1,6 @@
+"""RL004 fixture: a public module without ``__all__`` — flagged."""
+
+
+def something():
+    """Has a docstring, so only RL004 fires here."""
+    return 1

@@ -1,0 +1,22 @@
+"""RL006 fixture: wall-clock reads inside an experiment kernel."""
+
+import time
+from datetime import datetime
+
+__all__ = ["stamped", "measured", "allowed"]
+
+
+def stamped():
+    """Absolute time reads — flagged (both calls)."""
+    return time.time(), datetime.now()
+
+
+def measured():
+    """Duration measurement — not flagged."""
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def allowed():
+    """Justified timestamp suppressed by the allowlist comment."""
+    return time.time()  # lint: allow-wallclock

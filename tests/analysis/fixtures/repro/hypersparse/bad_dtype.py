@@ -1,0 +1,29 @@
+"""RL002 fixture: allocators inside a kernel package."""
+
+import numpy as np
+
+__all__ = ["implicit", "explicit", "allowed"]
+
+
+def implicit(n):
+    """Four dtype-less allocations — all flagged."""
+    a = np.zeros(n)
+    b = np.ones(n)
+    c = np.arange(n)
+    d = np.full(n, 2.0)
+    return a, b, c, d
+
+
+def explicit(n):
+    """Explicit dtypes (keyword or positional) — not flagged."""
+    a = np.zeros(n, dtype=np.float64)
+    b = np.ones(n, np.uint64)
+    c = np.arange(0, n, 1, np.uint64)
+    d = np.full(n, 2.0, dtype=np.float64)
+    e = np.zeros_like(a)  # *_like inherits its dtype; out of scope
+    return a, b, c, d, e
+
+
+def allowed(n):
+    """Justified default dtype suppressed by the allowlist comment."""
+    return np.zeros(n)  # lint: allow-dtype

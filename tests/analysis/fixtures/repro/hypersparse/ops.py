@@ -1,0 +1,32 @@
+"""RL003 fixture: named like a hot-path module so the loop rule fires."""
+
+__all__ = ["entry_loop", "while_loop", "block_loop", "comprehension_ok"]
+
+
+def entry_loop(rows, cols, vals):
+    """A per-entry Python loop — flagged."""
+    total = 0.0
+    for r, c, v in zip(rows, cols, vals):
+        total += v if r != c else 0.0
+    return total
+
+
+def while_loop(n):
+    """A while loop — flagged."""
+    while n > 1:
+        n //= 2
+    return n
+
+
+def block_loop(blocks):
+    """A justified fixed-size loop — suppressed by the allowlist."""
+    out = []
+    # lint: allow-loop — iterates a fixed 2x2 grid, not entries
+    for block in blocks:
+        out.append(block)
+    return out
+
+
+def comprehension_ok(vals):
+    """Comprehensions are not statement loops — not flagged."""
+    return [v + 1 for v in vals]

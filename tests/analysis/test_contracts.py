@@ -1,0 +1,170 @@
+"""Runtime invariant layer: catches corruption when on, costs nothing when off."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import (
+    InvariantViolation,
+    checked,
+    debug_invariants,
+    validate_assoc,
+    validate_matrix,
+    validate_vector,
+)
+from repro.d4m import Assoc
+from repro.hypersparse import HyperSparseMatrix
+from repro.hypersparse.coo import SparseVec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_matrix():
+    return HyperSparseMatrix([1, 2, 5], [3, 4, 0], [1.0, 2.0, 3.0], shape=(16, 16))
+
+
+class TestValidators:
+    def test_canonical_matrix_passes(self):
+        validate_matrix(make_matrix())
+
+    def test_unsorted_rows_caught(self):
+        m = make_matrix()
+        m.rows = m.rows[::-1].copy()
+        with pytest.raises(InvariantViolation, match="canonical order"):
+            validate_matrix(m)
+
+    def test_duplicated_coordinates_caught(self):
+        m = make_matrix()
+        m.rows = np.array([1, 1], dtype=np.uint64)
+        m.cols = np.array([3, 3], dtype=np.uint64)
+        m.vals = np.array([1.0, 2.0])
+        with pytest.raises(InvariantViolation, match="canonical order"):
+            validate_matrix(m)
+
+    def test_wrong_coordinate_dtype_caught(self):
+        m = make_matrix()
+        m.rows = m.rows.astype(np.int64)
+        with pytest.raises(InvariantViolation, match="uint64"):
+            validate_matrix(m)
+
+    def test_wrong_value_dtype_caught(self):
+        m = make_matrix()
+        m.vals = m.vals.astype(np.float32)
+        with pytest.raises(InvariantViolation, match="float64"):
+            validate_matrix(m)
+
+    def test_coordinate_outside_shape_caught(self):
+        m = make_matrix()
+        m.rows = np.array([1, 2, 99], dtype=np.uint64)
+        with pytest.raises(InvariantViolation, match="outside shape"):
+            validate_matrix(m)
+
+    def test_vector_unsorted_caught(self):
+        v = SparseVec([1, 2, 3], [1.0, 1.0, 1.0])
+        v.keys = v.keys[::-1].copy()
+        with pytest.raises(InvariantViolation, match="strictly increasing"):
+            validate_vector(v)
+
+    def test_assoc_scrambled_keys_caught(self):
+        a = Assoc(["r1", "r2"], ["c1", "c2"], [1.0, 2.0])
+        a.row = a.row[::-1].copy()
+        with pytest.raises(InvariantViolation, match="row keys"):
+            validate_assoc(a)
+
+
+class TestRuntimeHooks:
+    def test_from_canonical_rejects_unsorted_when_enabled(self):
+        rows = np.array([5, 1], dtype=np.uint64)
+        cols = np.array([0, 0], dtype=np.uint64)
+        vals = np.array([1.0, 1.0])
+        with debug_invariants():
+            with pytest.raises(InvariantViolation):
+                HyperSparseMatrix._from_canonical(rows, cols, vals, (16, 16))
+        # Disabled again: the same corrupt input passes through unchecked
+        # (the fast path trusts its callers).
+        HyperSparseMatrix._from_canonical(rows, cols, vals, (16, 16))
+
+    def test_binary_op_on_corrupted_operand_caught(self):
+        a = make_matrix()
+        b = make_matrix()
+        # Corrupt b in place (bypassing the constructor, as a buggy kernel
+        # would): an out-of-shape coordinate flows through the merge into
+        # the result, where the op's own output validation trips.
+        b.rows = np.array([1, 2, 99], dtype=np.uint64)
+        with debug_invariants():
+            with pytest.raises(InvariantViolation):
+                a.ewise_add(b)
+
+    def test_env_flag_enables_validation(self):
+        code = (
+            "from repro.analysis import contracts\n"
+            "from repro.hypersparse import HyperSparseMatrix\n"
+            "m = HyperSparseMatrix([1], [2], [3.0], shape=(8, 8))\n"
+            "assert contracts.invariants_enabled()\n"
+            "assert contracts.validations_performed() > 0\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_DEBUG_INVARIANTS": "1",
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestZeroOverheadDefault:
+    def test_default_path_performs_no_validations(self):
+        assert not contracts.invariants_enabled()
+        contracts.reset_validation_count()
+        m = make_matrix()
+        v = SparseVec([1, 2], [1.0, 2.0])
+        a = Assoc(["r"], ["c"], [1.0])
+        (m.ewise_add(m).ewise_mult(m).mxm(m.transpose())).row_reduce()
+        v.ewise_add(v)
+        (a + a).sqin()
+        assert contracts.validations_performed() == 0
+
+    def test_enabled_path_counts_validations(self):
+        contracts.reset_validation_count()
+        with debug_invariants():
+            m = make_matrix()
+            m.ewise_add(m)
+        n = contracts.validations_performed()
+        assert n > 0
+        # Leaving the context restores the zero-cost default.
+        make_matrix()
+        assert contracts.validations_performed() == n
+
+
+class TestCheckedDecorator:
+    def test_validates_return_value_when_enabled(self):
+        @checked("vector")
+        def broken():
+            v = SparseVec.__new__(SparseVec)
+            v.keys = np.array([3, 1], dtype=np.uint64)
+            v.vals = np.array([1.0, 2.0])
+            return v
+
+        broken()  # fine while disabled
+        with debug_invariants():
+            with pytest.raises(InvariantViolation):
+                broken()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown contract kind"):
+            checked("tensor")
+
+    def test_preserves_metadata(self):
+        @checked("matrix")
+        def named():
+            """Doc."""
+
+        assert named.__name__ == "named" and named.__doc__ == "Doc."

@@ -1,0 +1,186 @@
+"""Each repro-lint rule: positive, negative, and allowlist-escape cases.
+
+Fixture files under ``fixtures/`` mirror the ``repro/`` package layout so
+the package-scoped rules (RL002/RL003/RL006) fire through the engine's
+normal module-path anchoring rather than through test-only shims.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import lint_paths, module_path
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def run_rule(rule_id, *relpaths):
+    """Lint fixture files with a single rule; returns the findings."""
+    result = lint_paths([FIXTURES / r for r in relpaths], [rule_by_id(rule_id)])
+    assert not result.errors, result.errors
+    return result.findings
+
+
+def lines_of(findings):
+    return sorted(f.line for f in findings)
+
+
+class TestModulePath:
+    def test_anchors_at_last_repro_dir(self):
+        assert module_path(Path("src/repro/d4m/ops.py")) == "repro/d4m/ops.py"
+        assert (
+            module_path(Path("tests/analysis/fixtures/repro/d4m/ops.py"))
+            == "repro/d4m/ops.py"
+        )
+
+    def test_paths_outside_repro_kept(self):
+        assert module_path(Path("somewhere/else/mod.py")) == "somewhere/else/mod.py"
+
+    def test_file_named_repro_is_not_an_anchor(self):
+        assert module_path(Path("x/repro.py")) == "x/repro.py"
+
+
+class TestUnseededRandom:
+    def test_flags_legacy_unseeded_and_stdlib(self):
+        findings = run_rule("RL001", "repro/bad_random.py")
+        # np.random.seed, np.random.rand, default_rng(), random.random,
+        # random.randint — the allowlisted call is suppressed.
+        assert len(findings) == 5
+        assert all(f.rule_id == "RL001" for f in findings)
+
+    def test_flags_rng_imports(self):
+        findings = run_rule("RL001", "repro/bad_random_import.py")
+        assert len(findings) == 1
+        assert "randint" in findings[0].message
+
+    def test_seeded_and_allowlisted_pass(self):
+        findings = run_rule("RL001", "repro/bad_random.py")
+        flagged = lines_of(findings)
+        source = (FIXTURES / "repro/bad_random.py").read_text().splitlines()
+        for line in flagged:
+            assert "seeded_ok" not in source[line - 1]
+            assert "allow-random" not in source[line - 1]
+
+    def test_repro_rand_is_exempt(self):
+        result = lint_paths([SRC_REPRO / "rand.py"], [rule_by_id("RL001")])
+        assert result.findings == []
+
+    def test_clean_module_passes(self):
+        assert run_rule("RL001", "clean/good_module.py") == []
+
+
+class TestDtypeDiscipline:
+    def test_flags_implicit_allocators_in_scope(self):
+        findings = run_rule("RL002", "repro/hypersparse/bad_dtype.py")
+        assert len(findings) == 4
+        assert {"np.zeros", "np.ones", "np.arange", "np.full"} == {
+            f.message.split("(")[0] for f in findings
+        }
+
+    def test_explicit_positional_keyword_and_like_pass(self):
+        findings = run_rule("RL002", "repro/hypersparse/bad_dtype.py")
+        source = (FIXTURES / "repro/hypersparse/bad_dtype.py").read_text().splitlines()
+        for line in lines_of(findings):
+            assert "dtype" not in source[line - 1]
+
+    def test_out_of_scope_module_ignored(self):
+        # Same allocator patterns, but the file is outside the kernel packages.
+        findings = run_rule("RL002", "clean/good_module.py", "repro/bad_random.py")
+        assert findings == []
+
+
+class TestEntryLoop:
+    def test_flags_for_and_while_in_hot_module(self):
+        findings = run_rule("RL003", "repro/hypersparse/ops.py")
+        assert len(findings) == 2
+        kinds = {f.message.split()[1] for f in findings}
+        assert kinds == {"for-loop", "while-loop"}
+
+    def test_allowlist_comment_on_previous_line_suppresses(self):
+        findings = run_rule("RL003", "repro/hypersparse/ops.py")
+        source = (FIXTURES / "repro/hypersparse/ops.py").read_text().splitlines()
+        for line in lines_of(findings):
+            assert "allow-loop" not in source[line - 2]
+
+    def test_non_hot_module_ignored(self):
+        # bad_random has loops nowhere near hot paths; name is not ops/coo.
+        assert run_rule("RL003", "repro/bad_random.py", "clean/good_module.py") == []
+
+
+class TestModuleAll:
+    def test_flags_missing_all(self):
+        findings = run_rule("RL004", "repro/d4m/no_all.py")
+        assert len(findings) == 1
+        assert findings[0].line == 1
+
+    def test_private_module_exempt(self):
+        assert run_rule("RL004", "repro/d4m/_private_no_all.py") == []
+
+    def test_module_with_all_passes(self):
+        assert run_rule("RL004", "clean/good_module.py") == []
+
+
+class TestPublicDocstring:
+    def test_flags_function_class_and_method(self):
+        findings = run_rule("RL005", "repro/d4m/bad_docstring.py")
+        names = {f.message.split("'")[1] for f in findings}
+        assert names == {"undocumented", "Undocumented", "Undocumented.method"}
+
+    def test_private_names_and_documented_pass(self):
+        findings = run_rule("RL005", "repro/d4m/bad_docstring.py")
+        names = {f.message.split("'")[1] for f in findings}
+        assert "_private" not in {n.split(".")[-1] for n in names}
+        assert "documented" not in names
+
+    def test_private_module_exempt(self):
+        assert run_rule("RL005", "repro/d4m/_private_no_all.py") == []
+
+
+class TestWallClock:
+    def test_flags_absolute_time_reads(self):
+        findings = run_rule("RL006", "repro/experiments/bad_wallclock.py")
+        assert len(findings) == 2
+        called = {f.message.split()[2] for f in findings}
+        assert called == {"time.time()", "datetime.now()"}
+
+    def test_perf_counter_and_allowlist_pass(self):
+        findings = run_rule("RL006", "repro/experiments/bad_wallclock.py")
+        source = (FIXTURES / "repro/experiments/bad_wallclock.py").read_text().splitlines()
+        for line in lines_of(findings):
+            assert "perf_counter" not in source[line - 1]
+            assert "allow-wallclock" not in source[line - 1]
+
+    def test_out_of_scope_module_ignored(self):
+        assert run_rule("RL006", "repro/bad_random.py") == []
+
+
+class TestEngine:
+    def test_every_rule_has_fixture_coverage(self):
+        # Run everything over the whole fixture tree: each shipped rule
+        # must produce at least one finding somewhere in the fixtures.
+        result = lint_paths([FIXTURES / "repro"], list(ALL_RULES))
+        fired = {f.rule_id for f in result.findings}
+        assert fired == {r.id for r in ALL_RULES}
+
+    def test_clean_tree_is_clean(self):
+        result = lint_paths([FIXTURES / "clean"], list(ALL_RULES))
+        assert result.ok and result.findings == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([bad], list(ALL_RULES))
+        assert not result.ok
+        assert result.findings == [] and len(result.errors) == 1
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError):
+            rule_by_id("RL999")
+
+    def test_real_tree_is_clean(self):
+        # The acceptance criterion, enforced continuously: the shipped
+        # source tree passes its own linter.
+        result = lint_paths([SRC_REPRO], list(ALL_RULES))
+        assert result.ok, "\n".join(f.format() for f in result.findings)
