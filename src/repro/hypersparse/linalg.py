@@ -58,9 +58,11 @@ def bfs_levels(graph: HyperSparseMatrix, source: int, *, max_depth: int = 64) ->
         fresh_mask = ~np.isin(nxt.keys, levels.keys, assume_unique=True)
         if not fresh_mask.any():
             break
-        frontier = SparseVec(nxt.keys[fresh_mask], np.ones(int(fresh_mask.sum())))
+        frontier = SparseVec(
+            nxt.keys[fresh_mask], np.ones(int(fresh_mask.sum()), dtype=np.float64)
+        )
         levels = levels.ewise_add(
-            SparseVec(frontier.keys, np.full(frontier.nnz, float(depth)))
+            SparseVec(frontier.keys, np.full(frontier.nnz, float(depth), dtype=np.float64))
         )
     return levels
 
@@ -115,11 +117,11 @@ def pagerank(
     # *set* is small even when the address space is 2^32).
     r = np.searchsorted(nodes, graph.rows)
     c = np.searchsorted(nodes, graph.cols)
-    out_weight = np.zeros(n)
+    out_weight = np.zeros(n, dtype=np.float64)
     np.add.at(out_weight, r, graph.vals)
-    rank = np.full(n, 1.0 / n)
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
     for _ in range(max_iter):
-        contrib = np.zeros(n)
+        contrib = np.zeros(n, dtype=np.float64)
         scaled = graph.vals * rank[r] / out_weight[r]
         np.add.at(contrib, c, scaled)
         dangling = rank[out_weight == 0].sum()
