@@ -35,7 +35,7 @@ def val2col(assoc: Assoc, separator: str = SEP) -> Assoc:
     if rows.size == 0:
         return Assoc.empty()
     exploded = np.char.add(np.char.add(cols.astype(np.str_), separator), vals.astype(np.str_))
-    return Assoc(rows, exploded, np.ones(rows.size))
+    return Assoc(rows, exploded, np.ones(rows.size, dtype=np.float64))
 
 
 def col2type(assoc: Assoc, separator: str = SEP) -> Assoc:
@@ -73,17 +73,21 @@ def cat_values(a: Assoc, b: Assoc, separator: str = ";") -> Assoc:
         return b.copy()
     if rb.size == 0:
         return a.copy()
-    # Entries present in both get concatenated; build via dict of pairs.
-    merged = {}
-    for r, c, v in zip(ra.tolist(), ca.tolist(), va.tolist()):
-        merged[(r, c)] = v
-    for r, c, v in zip(rb.tolist(), cb.tolist(), vb.tolist()):
-        key = (r, c)
-        merged[key] = merged[key] + separator + v if key in merged else v
-    rows = [k[0] for k in merged]
-    cols = [k[1] for k in merged]
-    vals = [merged[k] for k in merged]
-    return Assoc(rows, cols, vals, collision="first")
+    # Join on (row, col) pairs through a composite key.  Canonical triples
+    # have unique coordinate pairs, and the NUL separator cannot collide
+    # with printable D4M keys, so the composites are unique.
+    ka = np.char.add(np.char.add(ra.astype(np.str_), "\x00"), ca.astype(np.str_))
+    kb = np.char.add(np.char.add(rb.astype(np.str_), "\x00"), cb.astype(np.str_))
+    _, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+    # Object dtype sidesteps fixed-width string truncation on assignment.
+    vals_a = va.astype(object)
+    vals_a[ia] = vals_a[ia] + separator + vb[ib].astype(object)
+    only_b = np.ones(rb.size, dtype=bool)
+    only_b[ib] = False
+    rows = np.concatenate([ra, rb[only_b]])
+    cols = np.concatenate([ca, cb[only_b]])
+    vals = np.concatenate([vals_a, vb[only_b].astype(object)])
+    return Assoc(rows, cols, list(vals), collision="first")
 
 
 def nnz_by_row(assoc: Assoc) -> Assoc:
