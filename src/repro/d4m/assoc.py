@@ -25,6 +25,7 @@ from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.contracts import check_assoc
 from ..hypersparse import HyperSparseMatrix
 from ..hypersparse.coo import SparseVec
 from . import keys as K
@@ -148,6 +149,7 @@ class Assoc:
                 self.adj = HyperSparseMatrix(r2, c2, v2, shape=(nrows, ncols))
             else:
                 raise ValueError(f"unknown collision {collision!r}")
+        check_assoc(self)
 
     # -- internal constructors ---------------------------------------------
 
@@ -164,7 +166,7 @@ class Assoc:
         out.col = col
         out.val = val
         out.adj = adj
-        return out
+        return check_assoc(out)
 
     @classmethod
     def empty(cls) -> "Assoc":
@@ -190,6 +192,7 @@ class Assoc:
         return cls(rows, col, vec.vals)
 
     def copy(self) -> "Assoc":
+        """An independent deep copy."""
         return self._from_parts(
             self.row.copy(),
             self.col.copy(),
@@ -206,6 +209,7 @@ class Assoc:
 
     @property
     def is_string_valued(self) -> bool:
+        """True when this array stores string values (as 1-based codes)."""
         return self.val is not None
 
     @property
@@ -362,7 +366,7 @@ class Assoc:
         if used.size == self.val.size:
             return
         remap = np.zeros(self.val.size, dtype=np.int64)
-        remap[used] = np.arange(used.size)
+        remap[used] = np.arange(used.size, dtype=np.int64)
         self.val = self.val[used]
         self.adj = self.adj.apply(lambda v: (remap[(v - 1).astype(np.int64)] + 1).astype(np.float64))
 
@@ -474,6 +478,7 @@ class Assoc:
 
     @property
     def T(self) -> "Assoc":
+        """Transpose shorthand (alias of :meth:`transpose`)."""
         return self.transpose()
 
     def sum(self, axis: int) -> "Assoc":

@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.contracts import check_matrix, check_vector
 from .semiring import PLUS_TIMES, Semiring
 
 __all__ = ["HyperSparseMatrix", "SparseVec", "IPV4_SPACE"]
@@ -88,6 +89,7 @@ class SparseVec:
         if keys.shape != vals.shape:
             raise ValueError("keys and vals must have identical shape")
         self.keys, self.vals = _combine_duplicates(keys, vals, accumulate)
+        check_vector(self)
 
     # -- basic protocol ---------------------------------------------------
 
@@ -118,6 +120,7 @@ class SparseVec:
         raise TypeError("SparseVec is unhashable")
 
     def copy(self) -> "SparseVec":
+        """An independent deep copy."""
         out = SparseVec.__new__(SparseVec)
         out.keys = self.keys.copy()
         out.vals = self.vals.copy()
@@ -171,7 +174,7 @@ class SparseVec:
         vals = np.concatenate([self.vals, other.vals])
         out = SparseVec.__new__(SparseVec)
         out.keys, out.vals = _combine_duplicates(keys, vals, op)
-        return out
+        return check_vector(out)
 
     def ewise_mult(self, other: "SparseVec", op: Callable = np.multiply) -> "SparseVec":
         """Intersection combine: entries present in *both* vectors."""
@@ -181,7 +184,7 @@ class SparseVec:
         out = SparseVec.__new__(SparseVec)
         out.keys = common
         out.vals = np.asarray(op(self.vals[ia], other.vals[ib]), dtype=np.float64)
-        return out
+        return check_vector(out)
 
     def __add__(self, other: "SparseVec") -> "SparseVec":
         return self.ewise_add(other, np.add)
@@ -267,6 +270,7 @@ class HyperSparseMatrix:
         keys, vals = _combine_duplicates(keys, vals, accumulate)
         self.rows, self.cols = self._delinearize(keys)
         self.vals = vals
+        check_matrix(self)
 
     # -- construction helpers -------------------------------------------------
 
@@ -292,7 +296,7 @@ class HyperSparseMatrix:
         out.cols = cols
         out.vals = vals
         out.shape = shape
-        return out
+        return check_matrix(out)
 
     @classmethod
     def from_triples(
@@ -315,6 +319,7 @@ class HyperSparseMatrix:
         return cls(shape=shape)
 
     def copy(self) -> "HyperSparseMatrix":
+        """An independent deep copy."""
         return self._from_canonical(
             self.rows.copy(), self.cols.copy(), self.vals.copy(), self.shape
         )
@@ -378,10 +383,11 @@ class HyperSparseMatrix:
         out.rows = self.cols[order]
         out.cols = self.rows[order]
         out.vals = self.vals[order]
-        return out
+        return check_matrix(out)
 
     @property
     def T(self) -> "HyperSparseMatrix":
+        """Transpose shorthand (alias of :meth:`transpose`)."""
         return self.transpose()
 
     def zero_norm(self) -> "HyperSparseMatrix":
@@ -549,7 +555,7 @@ class HyperSparseMatrix:
         keys, counts = np.unique(self.rows, return_counts=True)
         out.keys = keys
         out.vals = counts.astype(np.float64)
-        return out
+        return check_vector(out)
 
     def col_degree(self) -> SparseVec:
         """``1^T |A|_0`` — destination fan-in (unique sources per destination)."""
@@ -557,7 +563,7 @@ class HyperSparseMatrix:
         keys, counts = np.unique(self.cols, return_counts=True)
         out.keys = keys
         out.vals = counts.astype(np.float64)
-        return out
+        return check_vector(out)
 
     def _reduce(self, coord: np.ndarray, op: np.ufunc) -> SparseVec:
         out = SparseVec.__new__(SparseVec)
@@ -574,7 +580,7 @@ class HyperSparseMatrix:
         starts = np.flatnonzero(first)
         out.keys = sorted_coord[starts]
         out.vals = op.reduceat(sorted_vals, starts)
-        return out
+        return check_vector(out)
 
     def unique_rows(self) -> np.ndarray:
         """Sorted unique row coordinates (unique sources)."""

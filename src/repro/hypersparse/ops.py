@@ -24,6 +24,7 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import checked
 from .coo import HyperSparseMatrix, SparseVec
 from .semiring import PLUS_TIMES, Semiring
 
@@ -43,6 +44,7 @@ __all__ = [
 ]
 
 
+@checked("vector")
 def mxv(
     matrix: HyperSparseMatrix, vec: SparseVec, semiring: Semiring = PLUS_TIMES
 ) -> SparseVec:
@@ -155,6 +157,7 @@ def diag(vec: SparseVec, n: int) -> HyperSparseMatrix:
     )
 
 
+@checked("vector")
 def diag_extract(matrix: HyperSparseMatrix) -> SparseVec:
     """The stored diagonal entries of a matrix as a sparse vector."""
     on_diag = matrix.rows == matrix.cols
@@ -196,11 +199,13 @@ def split_blocks(
     top = r < np.uint64(row_split)
     left = c < np.uint64(col_split)
     out: List[List[HyperSparseMatrix]] = []
+    # lint: allow-loop — iterates the fixed 2x2 block grid, not entries
     for row_side, row_mask, row_off in (
         ("top", top, 0),
         ("bottom", ~top, row_split),
     ):
         row_blocks = []
+        # lint: allow-loop — fixed two-column block pass, not per-entry
         for col_side, col_mask, col_off in (
             ("left", left, 0),
             ("right", ~left, col_split),
@@ -233,6 +238,7 @@ def concat_blocks(blocks: Sequence[Sequence[HyperSparseMatrix]]) -> HyperSparseM
     row_split, col_split = tl.shape
     shape = (row_split + bl.shape[0], col_split + tr.shape[1])
     rows, cols, vals = [], [], []
+    # lint: allow-loop — iterates the four blocks, not entries
     for block, (ro, co) in (
         (tl, (0, 0)),
         (tr, (0, col_split)),
