@@ -45,6 +45,7 @@ class AblationResult:
     hier_equals_flat: bool
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             [
                 "fit norm (tail |resid|)",
@@ -65,6 +66,7 @@ class AblationResult:
         return "Ablations\n" + ascii_table(["choice", "paper's option", "alternative"], rows)
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         return [
             Check(
                 "half norm fits the correlation tail competitively with L2",

@@ -71,6 +71,7 @@ class Check:
     detail: str
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         mark = "PASS" if self.ok else "FAIL"
         return f"[{mark}] {self.claim} — {self.detail}"
 

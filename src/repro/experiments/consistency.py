@@ -43,6 +43,7 @@ class ConsistencyResult:
     drop_interval: Tuple[float, float, float]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         k = self.ks_matrix
         short = [l[:10] for l in self.sample_labels]
         ks_rows = [
@@ -77,6 +78,7 @@ class ConsistencyResult:
         return "\n".join(lines)
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         off_diag = self.ks_matrix[~np.eye(self.ks_matrix.shape[0], dtype=bool)]
         coeval = np.asarray([o for _, o in self.coeval_overlap])
         reverse = np.asarray([o for _, o in self.reverse_overlap])

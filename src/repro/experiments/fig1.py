@@ -27,6 +27,7 @@ class Fig1Result:
     honeyfarm: Dict[str, int]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             ["telescope"] + [self.telescope[q] for q in ("ei", "ie", "ii", "ee")],
             ["honeyfarm"] + [self.honeyfarm[q] for q in ("ei", "ie", "ii", "ee")],
@@ -36,6 +37,7 @@ class Fig1Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         return [
             Check(
                 "telescope data lies only in the external->internal quadrant",

@@ -34,6 +34,7 @@ class Fig2Result:
     equivalent: bool
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [[k, v] for k, v in self.quantities.items()]
         rate_direct = self.n_valid / self.direct_seconds
         rate_sharded = self.n_valid / self.sharded_seconds
@@ -45,6 +46,7 @@ class Fig2Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         return [
             Check(
                 "all Fig 2 quantities computed from one constant-packet window",

@@ -29,6 +29,7 @@ class Fig3Result:
     samples: List[Tuple[str, BinnedDistribution, ZipfFit, float]]  # +KS distance
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         lines = ["Fig 3 (source-packet degree distributions, log2 bins)"]
         # Distribution table: one column per sample.
         labels = [label for label, *_ in self.samples]
@@ -56,6 +57,7 @@ class Fig3Result:
         return "\n".join(lines)
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         alphas = np.asarray([fit.alpha for _, _, fit, _ in self.samples])
         kss = np.asarray([ks for _, _, _, ks in self.samples])
         # Cross-sample stability: max pairwise distance between binned

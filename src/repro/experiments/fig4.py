@@ -27,6 +27,7 @@ class Fig4Result:
     log_law: Dict[str, float]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         peak = self.peak.nonempty()
         rows = []
         for b in peak.bins:
@@ -49,6 +50,7 @@ class Fig4Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         peak = self.peak.nonempty()
         centers = peak.centers()
         fracs = peak.fractions()

@@ -29,6 +29,7 @@ class Fig5Result:
     fits: Dict[str, FitResult]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             [f"{t:.1f}", f"{f:.3f}"]
             + [f"{self.fits[fam].predict(np.asarray([t]))[0]:.3f}" for fam in self.fits]
@@ -43,6 +44,7 @@ class Fig5Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         losses = {fam: fit.loss for fam, fit in self.fits.items()}
         mc = self.fits["modified_cauchy"]
         peak = self.curve.peak_fraction()

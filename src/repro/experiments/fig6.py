@@ -29,6 +29,7 @@ class Fig6Result:
     sample_labels: Tuple[str, ...]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = []
         for (si, bin_label), (curve, fit) in sorted(self.curves.items()):
             resid = curve.fractions - fit.predict(curve.times)
@@ -48,6 +49,7 @@ class Fig6Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         if not self.curves:
             return [
                 Check(

@@ -25,6 +25,7 @@ class Fig7Result:
     sweep: StudyResults
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             [r["bin"], r["n_curves"], f"{r['alpha']:.3f}", f"{r['alpha_std']:.3f}"]
             for r in self.sweep.rows()
@@ -34,6 +35,7 @@ class Fig7Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         alphas = np.asarray(self.sweep.alpha_mean)
         return [
             Check(

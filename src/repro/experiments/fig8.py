@@ -28,6 +28,7 @@ class Fig8Result:
     threshold: float
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             [
                 r["bin"],
@@ -42,6 +43,7 @@ class Fig8Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         drops = np.asarray(self.sweep.drop_mean)
         centers = np.asarray([b.center for b in self.sweep.bins])
         rel = centers / self.threshold

@@ -46,6 +46,7 @@ class GenerativeResult:
     telescope_ks: float
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             ["packets generated", self.sample.n_packets],
             ["sources", self.sample.n_sources],
@@ -62,6 +63,7 @@ class GenerativeResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         adv = self.sample.degrees[self.sample.adversarial_mask]
         organic = self.sample.degrees[~self.sample.adversarial_mask]
         return [

@@ -31,6 +31,7 @@ class PredictionResult:
     holdout_label: str
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = [
             [
                 s.bin_label,
@@ -51,6 +52,7 @@ class PredictionResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         maes = np.asarray([s.mae_model for s in self.scores])
         skills = np.asarray([s.skill for s in self.scores])
         return [

@@ -38,6 +38,7 @@ def generate_report(
     lines: List[str] = [
         "# Reproduction report",
         "",
+        # lint: allow-wallclock — report header timestamp, never enters results
         f"- generated: {datetime.now(timezone.utc).isoformat(timespec='seconds')}",
         f"- window size: N_V = 2^{cfg.log2_nv}",
         f"- population: {cfg.n_sources} sources, seed {cfg.seed}",

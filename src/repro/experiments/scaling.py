@@ -44,6 +44,7 @@ class ScalingResult:
     intercept: float
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         table = [
             [f"2^{lg}", nv, uniq, f"{uniq / nv**0.5:.2f}"]
             for lg, nv, uniq in self.rows
@@ -55,6 +56,7 @@ class ScalingResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         counts = np.asarray([u for _, _, u in self.rows], dtype=float)
         return [
             Check(

@@ -33,6 +33,7 @@ class SpectrumResult:
     fanin_max: float
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         return (
             "Fig 2 quantity spectrum (per-quantity log2-binned ZM fits)\n"
             + ascii_table(
@@ -42,6 +43,7 @@ class SpectrumResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         sp = self.spectrum
         heavy = ["source_packets", "source_fanout", "link_packets"]
         ks_vals = {n: sp[n].ks for n in heavy if n in sp.entries}

@@ -40,6 +40,7 @@ class SubnetResult:
     anonymized: List[SubnetOverlap]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         rows = []
         for p, a in zip(self.plain, self.anonymized):
             rows.append(
@@ -68,6 +69,7 @@ class SubnetResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         exact = all(
             (p.n_a, p.n_b, p.n_common) == (a.n_a, a.n_b, a.n_common)
             for p, a in zip(self.plain, self.anonymized)

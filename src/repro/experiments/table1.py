@@ -34,6 +34,7 @@ class Table1Result:
     n_valid: int
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         headers = [
             "GN start",
             "GN days",
@@ -68,6 +69,7 @@ class Table1Result:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         gn_counts = np.asarray([r["gn_sources"] for r in self.rows], dtype=float)
         tel_rows = [r for r in self.rows if "caida_sources" in r]
         tel_sources = np.asarray([r["caida_sources"] for r in tel_rows], dtype=float)

@@ -30,11 +30,13 @@ class Table2Result:
     rows: List[Tuple[str, float, float, float]]  # name, summation, matrix, anon
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         return "Table II (summation vs matrix vs anonymized-matrix)\n" + ascii_table(
             ["quantity", "summation", "matrix", "anonymized"], self.rows
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         eq = all(s == m for _, s, m, _ in self.rows)
         inv = all(m == a for _, _, m, a in self.rows)
         return [

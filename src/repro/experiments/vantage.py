@@ -52,6 +52,7 @@ class VantageResult:
     rows: List[Tuple[int, int, float, float, int]]
 
     def format(self) -> str:
+        """Render the result as an aligned text table."""
         table = [
             [f"2^{lg}", uniq, f"{ov:.3f}", f"{bin_ov:.3f}" if n >= 10 else "-", n]
             for lg, uniq, ov, bin_ov, n in self.rows
@@ -71,6 +72,7 @@ class VantageResult:
         )
 
     def checks(self) -> List[Check]:
+        """Shape checks against the paper's claims (see EXPERIMENTS.md)."""
         overall = np.asarray([r[2] for r in self.rows])
         populated = [(r[3], r[4]) for r in self.rows if r[4] >= 10]
         bin_ovs = np.asarray([b for b, _ in populated])

@@ -42,6 +42,7 @@ class WindowStats:
 
     @property
     def unique_sources(self) -> int:
+        """Distinct source addresses observed in the window."""
         return self.quantities.unique_sources
 
 

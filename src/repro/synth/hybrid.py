@@ -50,10 +50,12 @@ class HybridSample:
 
     @property
     def n_sources(self) -> int:
+        """Number of sources in the sample."""
         return int(self.degrees.size)
 
     @property
     def n_packets(self) -> int:
+        """Total packets across all sources."""
         return int(self.degrees.sum())
 
 

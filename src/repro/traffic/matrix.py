@@ -78,6 +78,7 @@ class TrafficMatrixView:
         *,
         shape: Tuple[int, int] = (IPV4_SPACE, IPV4_SPACE),
     ) -> "TrafficMatrixView":
+        """Build the view directly from a packet set."""
         return cls(build_traffic_matrix(packets, shape=shape), _as_range(internal))
 
     def quadrant(self, which: str) -> HyperSparseMatrix:

@@ -102,6 +102,7 @@ class Packets:
 
     @classmethod
     def empty(cls) -> "Packets":
+        """A packet set with zero packets."""
         return cls(
             np.zeros(0, dtype=np.float64),
             np.zeros(0, dtype=np.uint64),
