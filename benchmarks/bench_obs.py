@@ -1,0 +1,90 @@
+"""Observability overhead: instrumentation must cost <2% when off.
+
+The subsystem's contract (docs/OBSERVABILITY.md) is that with
+``REPRO_TRACE`` unset every ``span()`` / ``inc()`` site degenerates to a
+flag check plus a shared no-op object.  Two comparisons enforce it:
+
+1. **Budget ratio** — measure the per-call cost of a disabled span+inc
+   pair and the cost of the smallest instrumented unit of real work (one
+   2^17-packet hierarchical insert).  Even charging a generous 64
+   instrumentation touches per batch, the overhead fraction must stay
+   under 2%.  A ratio of costs measured back-to-back in the same process
+   is far more stable than differencing two noisy end-to-end timings.
+2. **Throughput** — report disabled-span calls/sec via pytest-benchmark
+   so regressions in the no-op path show up in the ops/sec column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HierarchicalMatrix
+from repro.obs import span, stopwatch, tracing_enabled
+from repro.obs.metrics import PACKETS_INGESTED, enable_metrics, inc
+
+BATCH = 1 << 17
+#: Deliberately pessimistic: real hot loops touch a handful of sites per
+#: batch, not 64.
+SITES_PER_BATCH = 64
+REPEATS = 3
+NOOP_CALLS = 20_000
+
+
+@pytest.fixture()
+def metrics_off():
+    """Run with metrics-only mode off; restore the session's setting."""
+    enable_metrics(False)
+    yield
+    enable_metrics(True)
+
+
+def _disabled_site_cost() -> float:
+    """Best-of-``REPEATS`` per-call cost of a disabled span + counter inc."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        with stopwatch() as w:
+            for _ in range(NOOP_CALLS):
+                with span("noop", level=1):
+                    pass
+                inc(PACKETS_INGESTED, BATCH)
+        best = min(best, w.seconds / NOOP_CALLS)
+    return best
+
+
+def _batch_work_cost() -> float:
+    """Best-of-``REPEATS`` cost of one 2^17-packet hierarchical insert."""
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, 2**32, BATCH, dtype=np.uint64)
+    dst = rng.integers(0, 2**32, BATCH, dtype=np.uint64)
+    best = float("inf")
+    for _ in range(REPEATS):
+        acc = HierarchicalMatrix(shape=(2**32, 2**32), cutoff=1 << 16)
+        with stopwatch() as w:
+            acc.insert(src, dst)
+        best = min(best, w.seconds)
+    return best
+
+
+def test_disabled_overhead_under_two_percent(metrics_off):
+    """The acceptance bound: <2% overhead with REPRO_TRACE unset."""
+    if tracing_enabled():
+        pytest.skip("overhead contract applies to disabled mode only")
+    site = _disabled_site_cost()
+    work = _batch_work_cost()
+    overhead = SITES_PER_BATCH * site / work
+    assert overhead < 0.02, (
+        f"disabled instrumentation costs {overhead:.2%} of a batch insert "
+        f"({site * 1e9:.0f} ns/site vs {work * 1e3:.2f} ms/batch)"
+    )
+
+
+def test_disabled_span_throughput(benchmark, metrics_off):
+    """Ops/sec of the no-op path (one op == span enter/exit + inc)."""
+
+    def site():
+        with span("noop"):
+            pass
+        inc(PACKETS_INGESTED, 1)
+
+    benchmark(site)

@@ -5,17 +5,67 @@ The study is built once per session at benchmark scale (env
 every experiment benchmark.  Experiment outputs are written to
 ``benchmarks/output/<name>.txt`` so the regenerated tables/series can be
 inspected — and diffed against EXPERIMENTS.md — after a run.
+
+Every session additionally runs with metrics-only observability on
+(:func:`repro.obs.enable_metrics` — counters without span recording, so
+timings are not perturbed) and writes ``benchmarks/output/metrics.json``
+at exit: the process-wide counter/gauge/histogram snapshot, per-benchmark
+wall durations, and peak RSS.  CI uploads the file as a run artifact.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import resource
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import build_study, format_checks
+from repro.obs import enable_metrics, snapshot, wall_timestamp
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+METRICS_FILE = OUTPUT_DIR / "metrics.json"
+
+_durations: dict = {}
+_metrics: dict = {}
+
+
+def pytest_configure(config):
+    """Record counters for the whole benchmark session."""
+    enable_metrics(True)
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-benchmark wall durations (call phase only).
+
+    The metric snapshot is refreshed after every benchmark rather than at
+    session end: in a combined tests+benchmarks session the test suite's
+    isolation fixtures reset the registry after the benchmarks have run.
+    """
+    if report.when == "call" and report.nodeid.startswith("benchmarks/"):
+        _durations[report.nodeid] = round(report.duration, 6)
+        _metrics.clear()
+        _metrics.update(snapshot())
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the metrics snapshot for dashboards and CI artifacts."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    payload = {
+        "schema": 1,
+        "written": wall_timestamp(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "exitstatus": int(exitstatus),
+        "max_rss_kb": rss_kb,
+        "durations_s": dict(sorted(_durations.items())),
+        **(_metrics or snapshot()),
+    }
+    METRICS_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

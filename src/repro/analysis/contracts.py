@@ -17,8 +17,12 @@ or programmatically via :func:`enable_invariants` /
 assert the default path does zero validation work.
 
 This module deliberately imports nothing from the rest of the package
-(everything is duck-typed on ``rows``/``cols``/``vals``/``shape``), so
-the kernel layers can depend on it without cycles.
+except :mod:`repro.obs.metrics` — itself free of repro imports — so the
+kernel layers can depend on it without cycles (everything validated is
+duck-typed on ``rows``/``cols``/``vals``/``shape``).  When observability
+is on alongside invariant checking, each hook-triggered validation also
+increments the ``invariant_checks`` counter, so traces show how much
+debug work a run performed.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from functools import wraps
 from typing import Any, Callable, Iterator, TypeVar
 
 import numpy as np
+
+from ..obs.metrics import INVARIANT_CHECKS, inc
 
 __all__ = [
     "InvariantViolation",
@@ -200,6 +206,7 @@ def check_matrix(matrix: Any) -> Any:
     """Validate ``matrix`` iff invariant checking is enabled."""
     if _enabled:
         validate_matrix(matrix)
+        inc(INVARIANT_CHECKS)
     return matrix
 
 
@@ -207,6 +214,7 @@ def check_vector(vec: Any) -> Any:
     """Validate ``vec`` iff invariant checking is enabled."""
     if _enabled:
         validate_vector(vec)
+        inc(INVARIANT_CHECKS)
     return vec
 
 
@@ -214,6 +222,7 @@ def check_assoc(assoc: Any) -> Any:
     """Validate ``assoc`` iff invariant checking is enabled."""
     if _enabled:
         validate_assoc(assoc)
+        inc(INVARIANT_CHECKS)
     return assoc
 
 
@@ -245,6 +254,7 @@ def checked(kind: str = "matrix") -> Callable[[F], F]:
             result = fn(*args, **kwargs)
             if _enabled and result is not None:
                 validator(result)
+                inc(INVARIANT_CHECKS)
             return result
 
         return wrapper  # type: ignore[return-value]

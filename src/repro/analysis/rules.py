@@ -1,4 +1,4 @@
-"""The repro-lint rule catalogue (RL001–RL006).
+"""The repro-lint rule catalogue (RL001–RL007).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
@@ -21,6 +21,7 @@ __all__ = [
     "ModuleAllRule",
     "PublicDocstringRule",
     "WallClockRule",
+    "TimerDisciplineRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -70,20 +71,38 @@ _NP_RANDOM_FUNCS = frozenset(
     }
 )
 
-#: Wall-clock reads whose values could leak into experiment results.
-#: ``time.perf_counter``/``time.monotonic`` are deliberately absent:
-#: duration *measurement* is fine, absolute timestamps are not.
+#: Absolute-date reads whose values could leak into experiment results.
+#: The ``time``-module clocks are not listed here — *every* time-module
+#: clock read is RL007's territory (timer discipline), while RL006 keeps
+#: watch over calendar timestamps entering deterministic kernels.
 _WALL_CLOCK_SUFFIXES = (
-    "time.time",
-    "time.time_ns",
-    "time.localtime",
-    "time.ctime",
-    "time.gmtime",
     "datetime.now",
     "datetime.utcnow",
     "datetime.today",
     "date.today",
 )
+
+#: ``time``-module clock reads; all timing belongs to :mod:`repro.obs`.
+_TIMER_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "time.localtime",
+    "time.ctime",
+    "time.gmtime",
+)
+
+#: The one package allowed to read the process clocks directly.
+_TIMER_HOME = "repro/obs/"
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -306,22 +325,22 @@ class PublicDocstringRule(Rule):
 
 
 class WallClockRule(Rule):
-    """RL006 — no wall-clock reads inside experiment kernels.
+    """RL006 — no calendar-timestamp reads inside experiment kernels.
 
     Experiment outputs must be a pure function of the seeded config;
-    ``time.time()``/``datetime.now()`` values that reach results break
-    re-runnability.  Duration measurement via ``time.perf_counter`` /
-    ``time.monotonic`` is allowed — elapsed time is reported, not used
-    as data.  Intentional timestamps (report headers) carry
-    ``# lint: allow-wallclock``.
+    ``datetime.now()``-family values that reach results break
+    re-runnability.  Trace/report headers obtain their stamp from
+    :func:`repro.obs.wall_timestamp` instead.  The ``time``-module
+    clocks are policed separately by RL007 (timer discipline).
+    Intentional calendar reads carry ``# lint: allow-wallclock``.
     """
 
     id = "RL006"
     tag = "wallclock"
-    description = "wall-clock read inside an experiment kernel"
+    description = "calendar-timestamp read inside an experiment kernel"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        """Flag absolute-time calls in the deterministic-kernel packages."""
+        """Flag absolute-date calls in the deterministic-kernel packages."""
         if not ctx.in_package(*_KERNEL_SCOPE):
             return
         for node in ast.walk(ctx.tree):
@@ -335,8 +354,50 @@ class WallClockRule(Rule):
                     ctx,
                     node,
                     f"wall-clock call {name}() in a deterministic kernel; derive "
-                    "times from the experiment config or mark "
+                    "times from the experiment config, use "
+                    "repro.obs.wall_timestamp() for report metadata, or mark "
                     "'# lint: allow-wallclock' with a justification",
+                )
+
+
+class TimerDisciplineRule(Rule):
+    """RL007 — ``time``-module clocks only inside :mod:`repro.obs`.
+
+    All wall/CPU timing flows through the observability layer — spans for
+    traced stages, :func:`repro.obs.stopwatch` for reported durations —
+    so traces account for every measured second and kernels stay free of
+    scattered ad-hoc timers.  ``repro/obs/`` is the one sanctioned home
+    for direct clock reads; anywhere else in the package a
+    ``time.perf_counter()``/``time.time()``/... call is flagged.
+    Justified exceptions carry ``# lint: allow-timer``.
+    """
+
+    id = "RL007"
+    tag = "timer"
+    description = "time-module clock read outside repro.obs"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag time-module clock calls outside the observability package."""
+        if ctx.in_package(_TIMER_HOME):
+            return
+        imports = _imported_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None:
+                continue
+            if "." not in name:
+                # Resolve `from time import perf_counter` style aliases.
+                name = imports.get(name, name)
+            if any(name == s or name.endswith("." + s) for s in _TIMER_SUFFIXES):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct clock read {name}(); use repro.obs "
+                    "(span/traced for traced stages, stopwatch() for "
+                    "reported durations, wall_timestamp() for metadata) or "
+                    "mark '# lint: allow-timer' with a justification",
                 )
 
 
@@ -348,6 +409,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     ModuleAllRule(),
     PublicDocstringRule(),
     WallClockRule(),
+    TimerDisciplineRule(),
 )
 
 

@@ -7,9 +7,16 @@
     repro all                       # run everything
     repro fig5 --log2-nv 16 --seed 7
     repro lint                      # static analysis (see repro.analysis)
+    repro fig5 --trace-out t.jsonl  # run traced, write JSON-lines trace
+    repro trace summarize t.jsonl   # span table / flame view of a trace
 
 Exit status is non-zero when any shape check fails, so the CLI doubles as
 a reproduction smoke test in CI.
+
+``--trace`` (or ``--trace-out FILE``, or the ``REPRO_TRACE=1``
+environment flag) records spans and counters via :mod:`repro.obs` while
+the experiments run, writes the JSON-lines trace file and prints the
+span summary at the end of the run.
 """
 
 from __future__ import annotations
@@ -19,8 +26,12 @@ import sys
 from typing import List, Optional
 
 from .experiments import EXPERIMENTS, build_study, default_config, format_checks
+from .obs import span
 
 __all__ = ["main"]
+
+#: Where ``--trace`` writes its events unless ``--trace-out`` says otherwise.
+DEFAULT_TRACE_FILE = "trace.jsonl"
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -67,12 +78,25 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the figure as a terminal plot where available",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans/counters while running; write "
+        f"{DEFAULT_TRACE_FILE} and print the span summary",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="like --trace, writing the JSON-lines trace to FILE",
+    )
     return p
 
 
 def _run_one(name: str, study, show_checks: bool, show_plot: bool) -> bool:
     module = EXPERIMENTS[name]
-    result = module.run(study)
+    with span("experiment", fig=name):
+        result = module.run(study)
     print(f"=== {name} ===")
     print(result.format())
     if show_plot and hasattr(module, "plot"):
@@ -87,6 +111,58 @@ def _run_one(name: str, study, show_checks: bool, show_plot: bool) -> bool:
     return ok
 
 
+def _trace_main(argv: List[str]) -> int:
+    """The ``repro trace`` subcommand (summarize recorded trace files)."""
+    from .obs import format_summary, read_trace, write_chrome_trace
+
+    p = argparse.ArgumentParser(
+        prog="repro trace", description="Inspect recorded trace files."
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    s = sub.add_parser("summarize", help="print span table, flame view, counters")
+    s.add_argument("file", help="JSON-lines trace written by --trace[-out]")
+    s.add_argument(
+        "--top", type=int, default=12, help="bar-profile rows (default 12)"
+    )
+    s.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="also convert to a Chrome trace_event file (chrome://tracing)",
+    )
+    args = p.parse_args(argv)
+    try:
+        data = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_summary(
+            data.spans,
+            data.counters,
+            top=args.top,
+            title=f"trace summary: {args.file}",
+        )
+    )
+    if args.chrome:
+        n = write_chrome_trace(args.chrome, data.spans)
+        print(f"\nchrome trace: {n} events -> {args.chrome}")
+    return 0
+
+
+def _finish_trace(trace_out: str, argv: List[str]) -> None:
+    """Write the recorded spans/metrics and print the terminal summary."""
+    from .obs import format_summary, snapshot, take_spans, write_trace
+
+    spans = take_spans()
+    metrics = snapshot()
+    n = write_trace(
+        trace_out, spans, metrics, meta={"command": "repro " + " ".join(argv)}
+    )
+    print(f"trace: {n} events -> {trace_out}")
+    print(format_summary(spans, metrics["counters"]))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     if argv is None:
@@ -96,7 +172,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = _parser().parse_args(argv)
+
+    from .obs import enable_tracing, tracing_enabled
+
+    trace_out: Optional[str] = args.trace_out
+    if (args.trace or tracing_enabled()) and trace_out is None:
+        trace_out = DEFAULT_TRACE_FILE
+    if trace_out is not None:
+        enable_tracing(True)
+
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -117,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"report written to {args.output}")
         else:
             print(text)
+        if trace_out is not None:
+            _finish_trace(trace_out, argv)
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -135,6 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         ok &= _run_one(
             name, study, show_checks=not args.no_checks, show_plot=args.plot
         )
+    if trace_out is not None:
+        _finish_trace(trace_out, argv)
     return 0 if ok else 1
 
 

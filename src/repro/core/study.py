@@ -18,6 +18,7 @@ import numpy as np
 
 from ..anonymize import AnonymizationDomain, share_mode1_return_to_source
 from ..fits import FitResult, one_month_drop
+from ..obs.spans import span
 from ..stats import ZipfFit, differential_cumulative, fit_zipf_mandelbrot
 from ..stats.binning import BinnedDistribution
 from ..synth import HoneyfarmMonth, InternetModel, ModelConfig, TelescopeSample
@@ -109,12 +110,14 @@ class CorrelationStudy:
     @cached_property
     def samples(self) -> List[TelescopeSample]:
         """The scenario's telescope samples."""
-        return self.model.telescope_samples()
+        with span("collect_samples"):
+            return self.model.telescope_samples()
 
     @cached_property
     def months(self) -> List[HoneyfarmMonth]:
         """The scenario's honeyfarm months."""
-        return self.model.honeyfarm_months()
+        with span("collect_months"):
+            return self.model.honeyfarm_months()
 
     @cached_property
     def monthly_sources(self) -> List[np.ndarray]:

@@ -14,6 +14,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs.metrics import ASSOC_JOIN_ROWS, inc
+from ..obs.spans import annotate, traced
 from .assoc import Assoc
 
 __all__ = ["val2col", "col2type", "cat_values", "nnz_by_row", "row_overlap"]
@@ -22,6 +24,7 @@ __all__ = ["val2col", "col2type", "cat_values", "nnz_by_row", "row_overlap"]
 SEP = "|"
 
 
+@traced
 def val2col(assoc: Assoc, separator: str = SEP) -> Assoc:
     """Explode a string-valued array into the ``field|value`` schema.
 
@@ -38,6 +41,7 @@ def val2col(assoc: Assoc, separator: str = SEP) -> Assoc:
     return Assoc(rows, exploded, np.ones(rows.size, dtype=np.float64))
 
 
+@traced
 def col2type(assoc: Assoc, separator: str = SEP) -> Assoc:
     """Collapse ``field|value`` columns back to a string-valued array.
 
@@ -58,6 +62,7 @@ def col2type(assoc: Assoc, separator: str = SEP) -> Assoc:
     return Assoc(rows, fields, values, collision="max")
 
 
+@traced
 def cat_values(a: Assoc, b: Assoc, separator: str = ";") -> Assoc:
     """Union two string-valued arrays, concatenating values on collisions.
 
@@ -79,6 +84,8 @@ def cat_values(a: Assoc, b: Assoc, separator: str = ";") -> Assoc:
     ka = np.char.add(np.char.add(ra.astype(np.str_), "\x00"), ca.astype(np.str_))
     kb = np.char.add(np.char.add(rb.astype(np.str_), "\x00"), cb.astype(np.str_))
     _, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+    inc(ASSOC_JOIN_ROWS, ia.size)
+    annotate(joined=int(ia.size))
     # Object dtype sidesteps fixed-width string truncation on assignment.
     vals_a = va.astype(object)
     vals_a[ia] = vals_a[ia] + separator + vb[ib].astype(object)
@@ -95,6 +102,7 @@ def nnz_by_row(assoc: Assoc) -> Assoc:
     return assoc.logical().sum(axis=1)
 
 
+@traced
 def row_overlap(a: Assoc, b: Assoc) -> Tuple[np.ndarray, float]:
     """Shared row keys of two arrays and the overlap fraction of ``a``.
 
@@ -106,5 +114,7 @@ def row_overlap(a: Assoc, b: Assoc) -> Tuple[np.ndarray, float]:
     ra = a.row_set()
     rb = b.row_set()
     common = np.intersect1d(ra, rb, assume_unique=True)
+    inc(ASSOC_JOIN_ROWS, common.size)
+    annotate(joined=int(common.size))
     frac = float(common.size) / float(ra.size) if ra.size else 0.0
     return common, frac

@@ -12,11 +12,13 @@ from typing import List
 
 import numpy as np
 
+from ..obs.spans import traced
 from .assoc import Assoc
 
 __all__ = ["print_full", "spy"]
 
 
+@traced
 def print_full(
     assoc: Assoc, *, max_rows: int = 20, max_cols: int = 8, empty: str = ""
 ) -> str:
@@ -56,6 +58,7 @@ def print_full(
     return "\n".join(lines)
 
 
+@traced
 def spy(assoc: Assoc, *, max_rows: int = 40, max_cols: int = 72) -> str:
     """Structure plot: ``#`` where an entry is stored, ``.`` elsewhere."""
     if assoc.nnz == 0:

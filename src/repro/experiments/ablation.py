@@ -16,7 +16,6 @@ paper (or its cited prior work) makes:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List
 
@@ -24,6 +23,7 @@ import numpy as np
 
 from ..core import CorrelationStudy
 from ..hypersparse import HierarchicalMatrix, HyperSparseMatrix
+from ..obs import stopwatch
 from ..traffic.window import constant_packet_windows, constant_time_windows
 from .common import Check, ascii_table
 
@@ -150,19 +150,17 @@ def _accumulation_ablation(study: CorrelationStudy, n_batches: int = 64):
         (packets.src[i : i + batch], packets.dst[i : i + batch])
         for i in range(0, len(packets), batch)
     ]
-    t0 = time.perf_counter()
-    acc = HierarchicalMatrix(cutoff=1 << 14)
-    for src, dst in shards:
-        acc.insert(src, dst)
-    hier = acc.total()
-    hier_s = time.perf_counter() - t0
+    with stopwatch() as hier_w:
+        acc = HierarchicalMatrix(cutoff=1 << 14)
+        for src, dst in shards:
+            acc.insert(src, dst)
+        hier = acc.total()
 
-    t0 = time.perf_counter()
-    flat = HyperSparseMatrix.empty((2**32, 2**32))
-    for src, dst in shards:
-        flat = flat.ewise_add(HyperSparseMatrix(src, dst))
-    flat_s = time.perf_counter() - t0
-    return hier_s, flat_s, hier == flat
+    with stopwatch() as flat_w:
+        flat = HyperSparseMatrix.empty((2**32, 2**32))
+        for src, dst in shards:
+            flat = flat.ewise_add(HyperSparseMatrix(src, dst))
+    return hier_w.seconds, flat_w.seconds, hier == flat
 
 
 def run(study: CorrelationStudy) -> AblationResult:

@@ -16,14 +16,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core import CorrelationStudy
+from ..obs.metrics import STUDY_CACHE_HITS, STUDY_CACHE_MISSES, inc
+from ..obs.spans import annotate, span
 from ..synth import ModelConfig
 
 __all__ = ["default_config", "build_study", "Check", "format_checks", "ascii_table"]
 
-_STUDIES: Dict[Tuple, CorrelationStudy] = {}
+_STUDIES: Dict[ModelConfig, CorrelationStudy] = {}
 
 
 def default_config(
@@ -46,20 +48,23 @@ def default_config(
 
 
 def build_study(config: Optional[ModelConfig] = None) -> CorrelationStudy:
-    """A (memoized) correlation study for the given configuration."""
+    """A (memoized) correlation study for the given configuration.
+
+    The memo key is the frozen :class:`~repro.synth.ModelConfig` itself,
+    so *every* field participates — configurations differing in any field
+    get distinct studies (hand-listing fields here once dropped the ones
+    added after the list was written).
+    """
     cfg = config if config is not None else default_config()
-    key = (
-        cfg.log2_nv,
-        cfg.n_sources,
-        cfg.seed,
-        cfg.zm_alpha,
-        cfg.zm_delta,
-        cfg.bg_activity,
-        cfg.episode_floor,
-    )
-    if key not in _STUDIES:
-        _STUDIES[key] = CorrelationStudy(config=cfg)
-    return _STUDIES[key]
+    study = _STUDIES.get(cfg)
+    if study is not None:
+        inc(STUDY_CACHE_HITS)
+        return study
+    inc(STUDY_CACHE_MISSES)
+    with span("build_study"):
+        annotate(log2_nv=cfg.log2_nv, n_sources=cfg.n_sources, seed=cfg.seed)
+        study = _STUDIES[cfg] = CorrelationStudy(config=cfg)
+    return study
 
 
 @dataclass(frozen=True)

@@ -10,11 +10,11 @@ path (the paper's §II performance motivation).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List
 
 from ..core import CorrelationStudy
+from ..obs import stopwatch
 from ..parallel import parallel_accumulate
 from ..traffic.matrix import build_traffic_matrix
 from ..traffic.quantities import network_quantities
@@ -64,17 +64,15 @@ class Fig2Result:
 def run(study: CorrelationStudy) -> Fig2Result:
     """Compute the Fig 2 quantities on the first telescope window."""
     packets = study.samples[0].packets
-    t0 = time.perf_counter()
-    direct = build_traffic_matrix(packets)
-    direct_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    sharded = parallel_accumulate(packets, shard_size=max(1024, len(packets) // 64))
-    sharded_s = time.perf_counter() - t0
+    with stopwatch() as direct_w:
+        direct = build_traffic_matrix(packets)
+    with stopwatch() as sharded_w:
+        sharded = parallel_accumulate(packets, shard_size=max(1024, len(packets) // 64))
     q = network_quantities(direct).as_dict()
     return Fig2Result(
         n_valid=len(packets),
         quantities=q,
-        direct_seconds=direct_s,
-        sharded_seconds=sharded_s,
+        direct_seconds=direct_w.seconds,
+        sharded_seconds=sharded_w.seconds,
         equivalent=(direct == sharded),
     )

@@ -9,11 +9,11 @@ configuration and seed.
 
 from __future__ import annotations
 
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import List, Optional, Union
 
 from ..core import CorrelationStudy
+from ..obs import span, wall_timestamp
 
 __all__ = ["generate_report"]
 
@@ -38,8 +38,7 @@ def generate_report(
     lines: List[str] = [
         "# Reproduction report",
         "",
-        # lint: allow-wallclock — report header timestamp, never enters results
-        f"- generated: {datetime.now(timezone.utc).isoformat(timespec='seconds')}",
+        f"- generated: {wall_timestamp()}",
         f"- window size: N_V = 2^{cfg.log2_nv}",
         f"- population: {cfg.n_sources} sources, seed {cfg.seed}",
         "",
@@ -49,7 +48,8 @@ def generate_report(
     for name in names:
         module = EXPERIMENTS[name]
         try:
-            result = module.run(study)
+            with span("experiment", fig=name):
+                result = module.run(study)
         except Exception as exc:  # a report must survive one bad experiment
             total += 1
             lines.append(f"## {name}")

@@ -19,6 +19,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import HIER_SUM_REDUCTIONS, MATRIX_NNZ, inc
+from ..obs.spans import span
 from .coo import IPV4_SPACE, HyperSparseMatrix
 
 __all__ = ["HierarchicalMatrix"]
@@ -77,9 +79,11 @@ class HierarchicalMatrix:
             if slot is None:
                 self._levels[level] = matrix
             else:
-                matrix = slot.ewise_add(matrix)
+                with span("hier_sum", level=level):
+                    matrix = slot.ewise_add(matrix)
                 self._levels[level] = matrix
                 self._merges += 1
+                inc(HIER_SUM_REDUCTIONS)
             if self._levels[level].nnz <= self.cutoff << level:
                 return
             # Overflow: evict this level upward.
@@ -119,14 +123,16 @@ class HierarchicalMatrix:
 
     def total(self) -> HyperSparseMatrix:
         """Collapse the ladder into one canonical matrix (non-destructive)."""
-        result: Optional[HyperSparseMatrix] = None
-        for m in self._levels:
-            if m is None:
-                continue
-            result = m if result is None else result.ewise_add(m)
-        if result is None:
-            return HyperSparseMatrix.empty(self.shape)
-        return result
+        with span("hier_total", levels=len(self._levels)):
+            result: Optional[HyperSparseMatrix] = None
+            for m in self._levels:
+                if m is None:
+                    continue
+                result = m if result is None else result.ewise_add(m)
+            if result is None:
+                return HyperSparseMatrix.empty(self.shape)
+            inc(MATRIX_NNZ, result.nnz)
+            return result
 
     def clear(self) -> None:
         """Reset to empty, keeping configuration."""

@@ -25,6 +25,7 @@ from typing import Callable, List, Sequence
 import numpy as np
 
 from ..analysis.contracts import checked
+from ..obs.spans import traced
 from .coo import HyperSparseMatrix, SparseVec
 from .semiring import PLUS_TIMES, Semiring
 
@@ -44,6 +45,7 @@ __all__ = [
 ]
 
 
+@traced
 @checked("vector")
 def mxv(
     matrix: HyperSparseMatrix, vec: SparseVec, semiring: Semiring = PLUS_TIMES
@@ -86,6 +88,7 @@ def vxm(
     return mxv(matrix.transpose(), vec, semiring)
 
 
+@traced
 def select(
     matrix: HyperSparseMatrix,
     predicate: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
@@ -129,6 +132,7 @@ def complement_mask(
     )
 
 
+@traced
 def kron(a: HyperSparseMatrix, b: HyperSparseMatrix) -> HyperSparseMatrix:
     """Kronecker product ``A (x) B``.
 

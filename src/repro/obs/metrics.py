@@ -1,0 +1,254 @@
+"""Process-wide counters, gauges and histograms for the pipeline.
+
+The throughput accounting the paper's companion studies lean on
+(packets/sec per hierarchy level, join rows, cache hit rates) needs
+process-wide totals, not just per-span durations.  This module keeps a
+small registry of named metrics:
+
+* **counters** — monotonically increasing totals
+  (``packets_ingested``, ``hier_sum_reductions``...);
+* **gauges** — last-written values (current ladder height);
+* **histograms** — count/total/min/max summaries of observed values.
+
+Like :mod:`repro.obs.spans`, recording is a no-op unless observability is
+on: the module-level helpers (:func:`inc`, :func:`set_gauge`,
+:func:`observe`) check :func:`metrics_enabled` first and return
+immediately when off.  Metrics can be enabled *without* span recording
+(``REPRO_METRICS=1`` or :func:`enable_metrics`) — the benchmark harness
+uses that mode to total counters without perturbing timings — and are
+always enabled while tracing is on.
+
+Metric names used across the code base are declared here as constants so
+instrumentation sites and dashboards cannot drift apart.
+
+This module imports nothing from the package outside :mod:`repro.obs`,
+so any layer (including :mod:`repro.analysis.contracts`) can depend on
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Union
+
+from .spans import tracing_enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "metrics_enabled",
+    "enable_metrics",
+    "counter",
+    "gauge",
+    "histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    "counter_value",
+    "snapshot",
+    "reset_metrics",
+    "PACKETS_INGESTED",
+    "MATRIX_NNZ",
+    "HIER_SUM_REDUCTIONS",
+    "ASSOC_JOIN_ROWS",
+    "STUDY_CACHE_HITS",
+    "STUDY_CACHE_MISSES",
+    "INVARIANT_CHECKS",
+]
+
+_ENV_FLAG = "REPRO_METRICS"
+_TRUTHY = ("1", "true", "yes", "on")
+
+_metrics_only: bool = os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+
+# -- the counter catalogue ---------------------------------------------------
+
+#: Packets entering matrix construction (telescope windows, streaming).
+PACKETS_INGESTED = "packets_ingested"
+#: Stored entries of finalized traffic matrices.
+MATRIX_NNZ = "matrix_nnz"
+#: Pairwise level merges performed by hierarchical accumulators.
+HIER_SUM_REDUCTIONS = "hier_sum_reductions"
+#: Rows joined across associative arrays (D4M joins / overlaps).
+ASSOC_JOIN_ROWS = "assoc_join_rows"
+#: ``build_study`` memo hits.
+STUDY_CACHE_HITS = "study_cache_hits"
+#: ``build_study`` memo misses (full study builds).
+STUDY_CACHE_MISSES = "study_cache_misses"
+#: Runtime invariant validations (``REPRO_DEBUG_INVARIANTS=1``).
+INVARIANT_CHECKS = "invariant_checks"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        """Add ``n`` (must be non-negative) to the total."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} increment must be >= 0")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, v: Union[int, float]) -> None:
+        """Overwrite the gauge value."""
+        with self._lock:
+            self._value = float(v)
+
+    @property
+    def value(self) -> float:
+        """The most recently written value."""
+        return self._value
+
+
+class Histogram:
+    """A count/total/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, v: Union[int, float]) -> None:
+        """Record one observation."""
+        v = float(v)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-friendly ``{count, total, mean, min, max}`` view."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+_registry_lock = threading.Lock()
+_counters: Dict[str, Counter] = {}
+_gauges: Dict[str, Gauge] = {}
+_histograms: Dict[str, Histogram] = {}
+
+
+def metrics_enabled() -> bool:
+    """True when metric recording is active (tracing on, or metrics-only)."""
+    return _metrics_only or tracing_enabled()
+
+
+def enable_metrics(on: bool = True) -> None:
+    """Switch metrics-only recording on or off (tracing implies metrics)."""
+    global _metrics_only
+    _metrics_only = bool(on)
+
+
+def counter(name: str) -> Counter:
+    """Get or create the named counter."""
+    with _registry_lock:
+        c = _counters.get(name)
+        if c is None:
+            c = _counters[name] = Counter(name)
+        return c
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create the named gauge."""
+    with _registry_lock:
+        g = _gauges.get(name)
+        if g is None:
+            g = _gauges[name] = Gauge(name)
+        return g
+
+
+def histogram(name: str) -> Histogram:
+    """Get or create the named histogram."""
+    with _registry_lock:
+        h = _histograms.get(name)
+        if h is None:
+            h = _histograms[name] = Histogram(name)
+        return h
+
+
+def inc(name: str, n: Union[int, float] = 1) -> None:
+    """Increment a counter iff metric recording is enabled."""
+    if _metrics_only or tracing_enabled():
+        counter(name).inc(n)
+
+
+def set_gauge(name: str, v: Union[int, float]) -> None:
+    """Write a gauge iff metric recording is enabled."""
+    if _metrics_only or tracing_enabled():
+        gauge(name).set(v)
+
+
+def observe(name: str, v: Union[int, float]) -> None:
+    """Record a histogram observation iff metric recording is enabled."""
+    if _metrics_only or tracing_enabled():
+        histogram(name).observe(v)
+
+
+def counter_value(name: str) -> float:
+    """Current total of a counter (0.0 if it was never incremented)."""
+    with _registry_lock:
+        c = _counters.get(name)
+    return c.value if c is not None else 0.0
+
+
+def snapshot() -> Dict[str, Any]:
+    """All metric values as plain data, for sinks and test assertions."""
+    with _registry_lock:
+        return {
+            "counters": {n: c.value for n, c in sorted(_counters.items())},
+            "gauges": {n: g.value for n, g in sorted(_gauges.items())},
+            "histograms": {n: h.summary() for n, h in sorted(_histograms.items())},
+        }
+
+
+def reset_metrics() -> None:
+    """Drop every registered metric (test isolation helper)."""
+    with _registry_lock:
+        _counters.clear()
+        _gauges.clear()
+        _histograms.clear()

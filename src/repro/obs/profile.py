@@ -1,0 +1,134 @@
+"""Opt-in cProfile capture around traced spans.
+
+When a span's wall time says *where* a stage is slow, a deterministic
+profile says *why*.  Set ``REPRO_PROFILE`` to a comma-separated list of
+span-name glob patterns and every matching span (while tracing is on)
+runs under :mod:`cProfile`, dumping a ``pstats`` file per capture::
+
+    REPRO_TRACE=1 REPRO_PROFILE='build_study,hier_*' repro fig5
+    python -m pstats profile-build_study-1.prof
+
+Files land in ``REPRO_PROFILE_DIR`` (default: the working directory) and
+the producing span is annotated with the file name.  cProfile cannot
+nest, so while one capture is active, inner matching spans are skipped.
+
+:func:`profiled` offers the same capture as a standalone context manager
+for ad-hoc use, independent of tracing.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import threading
+from contextlib import contextmanager
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional
+
+from .spans import Span, set_profile_hook
+
+__all__ = [
+    "profiling_patterns",
+    "set_patterns",
+    "profiled",
+    "install_profile_hook",
+]
+
+_ENV_PATTERNS = "REPRO_PROFILE"
+_ENV_DIR = "REPRO_PROFILE_DIR"
+
+_lock = threading.Lock()
+_active = False  # cProfile cannot nest; one capture at a time
+_capture_seq = 0
+
+_patterns: List[str] = [
+    p.strip() for p in os.environ.get(_ENV_PATTERNS, "").split(",") if p.strip()
+]
+
+
+def profiling_patterns() -> List[str]:
+    """The span-name glob patterns currently armed for capture."""
+    return list(_patterns)
+
+
+def set_patterns(patterns: List[str]) -> None:
+    """Replace the armed patterns (programmatic ``REPRO_PROFILE``)."""
+    global _patterns
+    _patterns = [p.strip() for p in patterns if p.strip()]
+
+
+def _output_dir() -> Path:
+    return Path(os.environ.get(_ENV_DIR, "") or ".")
+
+
+def _matches(name: str) -> bool:
+    return any(fnmatch(name, pat) for pat in _patterns)
+
+
+def _begin_capture() -> Optional[cProfile.Profile]:
+    global _active
+    with _lock:
+        if _active:
+            return None
+        _active = True
+    prof = cProfile.Profile()
+    prof.enable()
+    return prof
+
+
+def _end_capture(prof: cProfile.Profile, name: str) -> Path:
+    global _active, _capture_seq
+    prof.disable()
+    with _lock:
+        _active = False
+        _capture_seq += 1
+        seq = _capture_seq
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+    out = _output_dir() / f"profile-{safe}-{seq}.prof"
+    prof.dump_stats(str(out))
+    return out
+
+
+def _hook(span_name: str) -> Optional[Callable[[Span], None]]:
+    """The :func:`repro.obs.spans.set_profile_hook` implementation."""
+    if not _patterns or not _matches(span_name):
+        return None
+    prof = _begin_capture()
+    if prof is None:
+        return None
+
+    def stop(span: Span) -> None:
+        out = _end_capture(prof, span_name)
+        span.attrs["profile"] = str(out)
+
+    return stop
+
+
+def install_profile_hook() -> None:
+    """Wire the profiler into the span layer (done by ``repro.obs``)."""
+    set_profile_hook(_hook)
+
+
+@contextmanager
+def profiled(name: str = "block") -> Iterator[List[Path]]:
+    """Profile a block unconditionally; the ``.prof`` path lands in the
+    yielded list once the block exits (empty if a capture was already
+    active — cProfile cannot nest).
+
+    Unlike the span hook, this ignores ``REPRO_PROFILE`` patterns and the
+    tracing flag — it is the direct escape hatch::
+
+        with profiled("join") as out:
+            val2col(assoc)
+        # out == [Path("profile-join-1.prof")]
+    """
+    written: List[Path] = []
+    prof = _begin_capture()
+    if prof is None:  # another capture is active
+        yield written
+        return
+    try:
+        yield written
+    finally:
+        written.append(_end_capture(prof, name))

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar, cast
+
+from ..obs.spans import TimedCall, annotate, record_span, span, trace_epoch, tracing_enabled
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -58,9 +60,32 @@ def parallel_map(
         return []
     n_proc = processes if processes is not None else min(cpu_count(), len(items))
     if n_proc <= 1 or len(items) < min_parallel:
-        return [fn(x) for x in items]
+        with span("parallel_map", mode="serial"):
+            annotate(items=len(items))
+            return [fn(x) for x in items]
     if chunksize is None:
         chunksize = max(1, len(items) // (n_proc * 4))
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(n_proc) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    fork = ctx.get_start_method() == "fork"
+    with span("parallel_map", mode="pool"):
+        annotate(items=len(items), processes=n_proc, chunksize=chunksize)
+        if not tracing_enabled():
+            with ctx.Pool(n_proc) as pool:
+                return pool.map(fn, items, chunksize=chunksize)
+        # Workers time each item (TimedCall); the parent re-ingests the
+        # measurements as child spans of this parallel_map span.  On fork
+        # pools the worker's perf_counter shares the parent clock, so the
+        # re-anchored start times place items on the real timeline; on
+        # spawn pools only durations are trustworthy.
+        with ctx.Pool(n_proc) as pool:
+            timed = pool.map(TimedCall(fn), items, chunksize=chunksize)
+        results: List[R] = []
+        for result, (t0_abs, wall_s, cpu_s) in timed:
+            record_span(
+                "pool_task",
+                wall_s,
+                cpu_s,
+                t_start=(t0_abs - trace_epoch()) if fork else None,
+            )
+            results.append(cast("R", result))
+        return results

@@ -15,6 +15,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..hypersparse import HierarchicalMatrix, HyperSparseMatrix
+from ..obs.metrics import PACKETS_INGESTED, inc
+from ..obs.spans import annotate, span
 from ..traffic.packet import Packets
 from .pool import parallel_map
 
@@ -55,13 +57,16 @@ def parallel_accumulate(
     pipeline: per-shard matrices built in parallel, then merged through a
     hierarchical accumulator.
     """
-    shards = shard_packets(packets, shard_size)
-    if not shards:
-        return HyperSparseMatrix.empty(shape)
-    arrays = [(s.src, s.dst) for s in shards]
-    worker = partial(_shard_matrix, shape=shape)
-    shard_matrices = parallel_map(worker, arrays, processes=processes)
-    acc = HierarchicalMatrix(shape=shape, cutoff=cutoff)
-    for m in shard_matrices:
-        acc.insert_matrix(m)
-    return acc.total()
+    with span("parallel_accumulate"):
+        shards = shard_packets(packets, shard_size)
+        if not shards:
+            return HyperSparseMatrix.empty(shape)
+        inc(PACKETS_INGESTED, len(packets))
+        annotate(packets=len(packets), shards=len(shards))
+        arrays = [(s.src, s.dst) for s in shards]
+        worker = partial(_shard_matrix, shape=shape)
+        shard_matrices = parallel_map(worker, arrays, processes=processes)
+        acc = HierarchicalMatrix(shape=shape, cutoff=cutoff)
+        for m in shard_matrices:
+            acc.insert_matrix(m)
+        return acc.total()

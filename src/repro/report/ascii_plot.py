@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["AsciiPlot", "render_series"]
+__all__ = ["AsciiPlot", "render_series", "render_bars"]
 
 #: Glyphs assigned to successive series.
 _GLYPHS = "*o+x#@%&"
@@ -139,6 +139,36 @@ class AsciiPlot:
         legend = "   ".join(f"{s.glyph} {s.name}" for s in self._series)
         lines.append(" " * (label_w + 1) + legend)
         return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labelled row per value.
+
+    Bars scale linearly to the maximum value; rows keep input order.  Used
+    by the trace summary (``repro trace summarize``) for span wall-time
+    profiles, but generic to any labelled magnitudes.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have identical length")
+    lines: List[str] = [title] if title else []
+    if not labels:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    vmax = max(float(v) for v in values)
+    label_w = max(len(str(lb)) for lb in labels)
+    for lb, v in zip(labels, values):
+        n = int(round(float(v) / vmax * width)) if vmax > 0 else 0
+        bar = "#" * max(n, 1 if v > 0 else 0)
+        val = f"{float(v):.4g}{unit}"
+        lines.append(f"{str(lb):<{label_w}}  {bar:<{width}}  {val}")
+    return "\n".join(lines)
 
 
 def render_series(

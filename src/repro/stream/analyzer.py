@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..hypersparse import HierarchicalMatrix, HyperSparseMatrix
+from ..obs.metrics import PACKETS_INGESTED, inc
+from ..obs.spans import annotate, span
 from ..stats.binning import BinnedDistribution, differential_cumulative
 from ..traffic.packet import Packets
 from ..traffic.quantities import NetworkQuantities, network_quantities
@@ -105,6 +107,7 @@ class StreamingWindowAnalyzer:
             take = min(room, n - pos)
             chunk = packets[pos : pos + take]
             self._acc.insert(chunk.src, chunk.dst)
+            inc(PACKETS_INGESTED, take)
             self._in_window += take
             self._last_time = float(chunk.time[-1])
             pos += take
@@ -113,9 +116,11 @@ class StreamingWindowAnalyzer:
         return out
 
     def _close_window(self) -> WindowStats:
-        matrix = self._acc.total()
-        quantities = network_quantities(matrix)
-        degrees = matrix.row_reduce().vals
+        with span("stream_window"):
+            annotate(index=self._window_index)
+            matrix = self._acc.total()
+            quantities = network_quantities(matrix)
+            degrees = matrix.row_reduce().vals
         stats = WindowStats(
             index=self._window_index,
             start_time=float(self._start_time if self._start_time is not None else 0.0),

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..d4m import Assoc
 from ..ip import ints_to_ips
+from ..obs.spans import annotate, traced
 from ..rand import hash_u64
 from ..traffic.packet import Packets
 from .calibration import CONFIG_CHANGE_MONTHS, month_days, month_labels
@@ -110,6 +111,7 @@ class HoneyfarmSimulator:
         """Sensitivity multiplier for a month (config-change spikes)."""
         return self.config_boost if month in self.boost_months else 1.0
 
+    @traced(name="honeyfarm_month")
     def observe_month(self, month: int) -> HoneyfarmMonth:
         """Observe one month; deterministic given the population seed."""
         pop = self.population
@@ -130,6 +132,7 @@ class HoneyfarmSimulator:
             enrichment = Assoc.empty()
             hits = Assoc.empty()
         responses = self._build_responses(det_addrs, m)
+        annotate(month=m, sources=int(sources.size))
         return HoneyfarmMonth(
             month_index=m,
             label=label,

@@ -18,6 +18,8 @@ import numpy as np
 
 from ..hypersparse import HyperSparseMatrix
 from ..hypersparse.coo import SparseVec
+from ..obs.metrics import PACKETS_INGESTED, inc
+from ..obs.spans import annotate, traced
 from ..traffic.filter import exclude_sources
 from ..traffic.matrix import TrafficMatrixView
 from ..traffic.packet import Packets
@@ -110,6 +112,7 @@ class TelescopeSimulator:
         lo, hi = population.darkspace
         self.darkspace = (lo, hi)
 
+    @traced(name="telescope_sample")
     def sample(
         self, month_time: float, *, n_valid: int | None = None
     ) -> TelescopeSample:
@@ -161,6 +164,8 @@ class TelescopeSimulator:
         raw = Packets(times, src, dst)
 
         valid = exclude_sources(pop.legit_addresses).apply(raw)
+        inc(PACKETS_INGESTED, len(valid))
+        annotate(month=m, nv=nv, n_raw=len(raw))
         matrix = TrafficMatrixView.from_packets(
             valid, self.darkspace
         ).external_to_internal()

@@ -1,22 +1,30 @@
-"""RL006 fixture: wall-clock reads inside an experiment kernel."""
+"""RL006/RL007 fixture: clock reads inside an experiment kernel."""
 
 import time
 from datetime import datetime
+from time import perf_counter
 
-__all__ = ["stamped", "measured", "allowed"]
+__all__ = ["stamped", "measured", "measured_from_import", "allowed"]
 
 
 def stamped():
-    """Absolute time reads — flagged (both calls)."""
+    """Absolute reads — datetime.now() is RL006, time.time() RL007."""
     return time.time(), datetime.now()
 
 
 def measured():
-    """Duration measurement — not flagged."""
+    """Ad-hoc duration timing — RL007 (route through repro.obs)."""
     t0 = time.perf_counter()
     return time.perf_counter() - t0
 
 
+def measured_from_import():
+    """From-import aliases resolve to the time module — RL007."""
+    return perf_counter()
+
+
 def allowed():
-    """Justified timestamp suppressed by the allowlist comment."""
-    return time.time()  # lint: allow-wallclock
+    """Justified reads suppressed by the allowlist comments."""
+    stamp = datetime.now()  # lint: allow-wallclock
+    t = time.time()  # lint: allow-timer
+    return stamp, t

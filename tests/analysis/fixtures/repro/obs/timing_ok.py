@@ -1,0 +1,11 @@
+"""RL007 negative fixture: repro.obs is the sanctioned timer home."""
+
+import time
+
+__all__ = ["measure"]
+
+
+def measure():
+    """Direct clock reads are legal inside ``repro/obs/``."""
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0, time.time()

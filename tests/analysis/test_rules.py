@@ -139,21 +139,51 @@ class TestPublicDocstring:
 
 
 class TestWallClock:
-    def test_flags_absolute_time_reads(self):
+    def test_flags_calendar_reads_only(self):
+        # time-module clocks moved to RL007; RL006 keeps the datetime family.
         findings = run_rule("RL006", "repro/experiments/bad_wallclock.py")
-        assert len(findings) == 2
-        called = {f.message.split()[2] for f in findings}
-        assert called == {"time.time()", "datetime.now()"}
+        assert len(findings) == 1
+        assert "datetime.now()" in findings[0].message
 
-    def test_perf_counter_and_allowlist_pass(self):
+    def test_allowlist_pass(self):
         findings = run_rule("RL006", "repro/experiments/bad_wallclock.py")
         source = (FIXTURES / "repro/experiments/bad_wallclock.py").read_text().splitlines()
         for line in lines_of(findings):
-            assert "perf_counter" not in source[line - 1]
             assert "allow-wallclock" not in source[line - 1]
 
     def test_out_of_scope_module_ignored(self):
         assert run_rule("RL006", "repro/bad_random.py") == []
+
+
+class TestTimerDiscipline:
+    def test_flags_all_time_module_clocks(self):
+        findings = run_rule("RL007", "repro/experiments/bad_wallclock.py")
+        # time.time (stamped), 2x time.perf_counter (measured), and the
+        # from-import alias (measured_from_import); allow-timer suppressed.
+        assert len(findings) == 4
+        called = {f.message.split()[3].rstrip(";") for f in findings}
+        assert called == {"time.time()", "time.perf_counter()"}
+
+    def test_allowlist_and_calendar_reads_pass(self):
+        findings = run_rule("RL007", "repro/experiments/bad_wallclock.py")
+        source = (FIXTURES / "repro/experiments/bad_wallclock.py").read_text().splitlines()
+        for line in lines_of(findings):
+            assert "allow-timer" not in source[line - 1]
+        # Calendar reads are RL006's territory, never RL007's.
+        assert all("datetime" not in f.message for f in findings)
+
+    def test_obs_package_is_sanctioned(self):
+        assert run_rule("RL007", "repro/obs/timing_ok.py") == []
+
+    def test_applies_outside_kernel_scope_too(self):
+        # Unlike RL006, timer discipline covers the whole package: the
+        # fixture below is in repro/ root, not an experiment kernel.
+        findings = run_rule("RL007", "repro/bad_random.py")
+        assert findings == []  # no clocks there, but the file is in scope
+
+    def test_real_obs_package_sanctioned(self):
+        result = lint_paths([SRC_REPRO / "obs"], [rule_by_id("RL007")])
+        assert result.findings == []
 
 
 class TestEngine:

@@ -1,9 +1,19 @@
 """Experiment infrastructure: config resolution and study memoization."""
 
+import dataclasses
+
 import pytest
 
 from repro.experiments import build_study, default_config
 from repro.experiments.common import _STUDIES, ascii_table
+from repro.obs.metrics import (
+    STUDY_CACHE_HITS,
+    STUDY_CACHE_MISSES,
+    counter_value,
+    enable_metrics,
+    reset_metrics,
+)
+from repro.synth import ModelConfig
 
 
 class TestDefaultConfig:
@@ -38,6 +48,48 @@ class TestBuildStudy:
         a = build_study(default_config(log2_nv=10, n_sources=200, seed=1))
         b = build_study(default_config(log2_nv=10, n_sources=200, seed=2))
         assert a is not b
+
+    def test_every_config_field_participates_in_memo_key(self):
+        """Regression: the memo key once hand-listed fields and silently
+        dropped the ones added later; keying on the frozen config makes a
+        change to *any* field produce a distinct study."""
+        base = ModelConfig(log2_nv=10, n_sources=200, seed=12345)
+        baseline = build_study(base)
+        strings = {
+            "darkspace": "11.0.0.0/8",
+            "sensor_block": "198.19.0.0/24",
+        }
+        for f in dataclasses.fields(ModelConfig):
+            value = getattr(base, f.name)
+            if f.name in strings:
+                bumped = strings[f.name]
+            elif value is None:  # zm_log2_dmax
+                bumped = 9
+            elif f.name == "n_sensors":  # capped at the /24 block size
+                bumped = value // 2
+            elif isinstance(value, int):
+                bumped = value + 1
+            else:  # floats: shrink, keeping probabilities inside (0, 1)
+                bumped = value * 0.9
+            variant = dataclasses.replace(base, **{f.name: bumped})
+            assert variant != base, f.name
+            assert build_study(variant) is not baseline, (
+                f"field {f.name!r} is ignored by the build_study memo key"
+            )
+
+    def test_cache_counters_track_hits_and_misses(self):
+        enable_metrics(True)
+        try:
+            reset_metrics()
+            cfg = default_config(log2_nv=10, n_sources=150, seed=7)
+            _STUDIES.pop(cfg, None)
+            build_study(cfg)
+            build_study(cfg)
+            assert counter_value(STUDY_CACHE_MISSES) == 1
+            assert counter_value(STUDY_CACHE_HITS) == 1
+        finally:
+            enable_metrics(False)
+            reset_metrics()
 
 
 def test_study_determinism(tiny_config):

@@ -1,0 +1,106 @@
+"""Metrics registry: gating, counter semantics, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    PACKETS_INGESTED,
+    counter,
+    counter_value,
+    enable_metrics,
+    gauge,
+    histogram,
+    inc,
+    metrics_enabled,
+    observe,
+    reset_metrics,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.spans import tracing
+
+
+class TestGating:
+    def test_disabled_helpers_record_nothing(self):
+        enable_metrics(False)
+        reset_metrics()
+        inc(PACKETS_INGESTED, 100)
+        set_gauge("ladder_height", 3)
+        observe("batch_ms", 1.5)
+        snap = snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_metrics_only_mode(self):
+        enable_metrics(True)
+        reset_metrics()
+        inc(PACKETS_INGESTED, 7)
+        assert counter_value(PACKETS_INGESTED) == 7
+        enable_metrics(False)
+        inc(PACKETS_INGESTED, 7)
+        assert counter_value(PACKETS_INGESTED) == 7
+
+    def test_tracing_implies_metrics(self):
+        enable_metrics(False)
+        reset_metrics()
+        with tracing():
+            assert metrics_enabled()
+            inc(PACKETS_INGESTED, 3)
+        assert counter_value(PACKETS_INGESTED) == 3
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        c = counter("test_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_registry_returns_same_instance(self):
+        assert counter("same") is counter("same")
+        assert gauge("same_g") is gauge("same_g")
+        assert histogram("same_h") is histogram("same_h")
+
+    def test_gauge_overwrites(self):
+        g = gauge("height")
+        g.set(2)
+        g.set(5)
+        assert g.value == 5.0
+
+    def test_histogram_summary(self):
+        h = histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["total"] == 6.0
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        assert histogram("never").summary() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+
+    def test_unknown_counter_reads_zero(self):
+        reset_metrics()
+        assert counter_value("nope") == 0.0
+
+
+def test_snapshot_is_sorted_plain_data():
+    enable_metrics(True)
+    reset_metrics()
+    inc("b_total", 2)
+    inc("a_total", 1)
+    set_gauge("g", 4)
+    observe("h", 0.5)
+    snap = snapshot()
+    assert list(snap["counters"]) == ["a_total", "b_total"]
+    assert snap["gauges"] == {"g": 4.0}
+    assert snap["histograms"]["h"]["count"] == 1

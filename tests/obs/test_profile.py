@@ -1,0 +1,55 @@
+"""Opt-in cProfile capture: pattern matching and span annotation."""
+
+from __future__ import annotations
+
+import pstats
+
+from repro.obs.profile import profiled, profiling_patterns, set_patterns
+from repro.obs.spans import reset_tracing, span, take_spans, tracing
+
+
+class TestProfiledContext:
+    def test_writes_a_pstats_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        with profiled("unit") as written:
+            sum(range(1000))
+        (path,) = written
+        assert path.parent == tmp_path
+        assert path.name.startswith("profile-unit")
+        # The dump is loadable by the stdlib stats reader.
+        pstats.Stats(str(path))
+
+    def test_name_is_sanitized_for_filenames(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        with profiled("hier_sum level=3") as written:
+            pass
+        (path,) = written
+        assert "=" not in path.name and " " not in path.name
+
+
+class TestSpanHook:
+    def test_matching_span_captures_profile(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        set_patterns(["hier_*"])
+        assert profiling_patterns() == ["hier_*"]
+        with tracing():
+            reset_tracing()
+            with span("hier_sum"):
+                sum(range(1000))
+            with span("unrelated"):
+                pass
+            spans = {s.name: s for s in take_spans()}
+        assert "profile" in spans["hier_sum"].attrs
+        assert tmp_path / spans["hier_sum"].attrs["profile"]
+        assert "profile" not in spans["unrelated"].attrs
+
+    def test_no_patterns_means_no_capture(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+        set_patterns([])
+        with tracing():
+            reset_tracing()
+            with span("hier_sum"):
+                pass
+            (s,) = take_spans()
+        assert "profile" not in s.attrs
+        assert list(tmp_path.iterdir()) == []

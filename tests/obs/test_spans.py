@@ -1,0 +1,194 @@
+"""Span layer: disabled-mode no-ops, recording semantics, thread locality."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    TimedCall,
+    _NOOP,
+    annotate,
+    current_span,
+    enable_tracing,
+    record_span,
+    reset_tracing,
+    span,
+    spans_recorded,
+    stopwatch,
+    take_spans,
+    trace_epoch,
+    traced,
+    tracing,
+    tracing_enabled,
+)
+
+
+class TestDisabledMode:
+    def test_span_is_the_shared_noop_object(self):
+        enable_tracing(False)
+        # True no-op: not merely equal — the very same singleton, so the
+        # disabled hot path allocates nothing.
+        assert span("a") is span("b", level=3) is _NOOP
+
+    def test_noop_span_contextmanager_and_set(self):
+        enable_tracing(False)
+        with span("quiet", level=1) as s:
+            s.set(rows=10)
+        assert spans_recorded() == 0
+
+    def test_traced_is_a_direct_call(self):
+        enable_tracing(False)
+
+        @traced
+        def double(x):
+            """Doc preserved."""
+            return 2 * x
+
+        assert double(21) == 42
+        assert double.__name__ == "double"
+        assert double.__doc__ == "Doc preserved."
+        assert take_spans() == []
+
+    def test_annotate_and_record_span_noop(self):
+        enable_tracing(False)
+        annotate(ignored=True)
+        record_span("external", 0.5)
+        assert spans_recorded() == 0
+
+
+class TestRecording:
+    def test_nesting_links_parent_ids(self):
+        with tracing():
+            reset_tracing()
+            with span("outer"):
+                with span("inner"):
+                    pass
+            spans = take_spans()
+        by_name = {s.name: s for s in spans}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_label_attrs_vs_annotations(self):
+        with tracing():
+            reset_tracing()
+            with span("hier_sum", level=3):
+                annotate(rows=128)
+            (s,) = take_spans()
+        assert s.label == "hier_sum level=3"
+        assert s.label_attrs == {"level": 3}
+        assert s.attrs == {"rows": 128}
+        assert s.to_dict()["attrs"] == {"level": 3, "rows": 128}
+
+    def test_timings_and_epoch_anchor(self):
+        with tracing():
+            reset_tracing()
+            with span("work"):
+                sum(range(10_000))
+            (s,) = take_spans()
+        assert s.wall_s >= 0.0 and s.cpu_s >= 0.0
+        assert s.t_start > 0.0  # relative to the process trace epoch
+        assert trace_epoch() > 0.0
+
+    def test_exception_still_records_and_propagates(self):
+        with tracing():
+            reset_tracing()
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+            (s,) = take_spans()
+        assert s.name == "doomed"
+
+    def test_traced_records_qualname_and_override(self):
+        with tracing():
+            reset_tracing()
+
+            @traced
+            def plain():
+                return 1
+
+            @traced(name="renamed")
+            def other():
+                return 2
+
+            assert plain() == 1 and other() == 2
+            names = {s.name for s in take_spans()}
+        assert "renamed" in names
+        assert any(n.endswith("plain") for n in names)
+
+    def test_take_spans_drains(self):
+        with tracing():
+            reset_tracing()
+            with span("once"):
+                pass
+            assert spans_recorded() == 1
+            assert len(take_spans()) == 1
+            assert take_spans() == []
+
+    def test_cross_thread_spans_do_not_nest(self):
+        """The span stack is thread-local: a span opened on a worker
+        thread while the main thread has one open must not adopt the main
+        thread's span as its parent."""
+        recorded = {}
+
+        def worker():
+            with span("worker_side"):
+                recorded["open"] = current_span().name
+
+        with tracing():
+            reset_tracing()
+            with span("main_side"):
+                t = threading.Thread(target=worker, name="obs-worker")
+                t.start()
+                t.join()
+            spans = take_spans()
+        by_name = {s.name: s for s in spans}
+        assert recorded["open"] == "worker_side"
+        assert by_name["worker_side"].parent_id is None
+        assert by_name["worker_side"].thread_id != by_name["main_side"].thread_id
+        assert by_name["worker_side"].thread_name == "obs-worker"
+
+    def test_record_span_parents_under_current(self):
+        with tracing():
+            reset_tracing()
+            with span("driver"):
+                record_span("pool_task", 0.25, 0.2, index=7)
+            spans = take_spans()
+        by_name = {s.name: s for s in spans}
+        task = by_name["pool_task"]
+        assert task.parent_id == by_name["driver"].span_id
+        assert task.wall_s == 0.25 and task.cpu_s == 0.2
+        assert task.label == "pool_task index=7"
+        # Default anchor: the span "just finished", so it starts in the past.
+        assert task.t_start >= 0.0
+
+    def test_record_span_explicit_t_start(self):
+        with tracing():
+            reset_tracing()
+            record_span("anchored", 0.1, t_start=1.5)
+            (s,) = take_spans()
+        assert s.t_start == 1.5
+
+
+class TestAlwaysOnHelpers:
+    def test_stopwatch_measures_regardless_of_flag(self):
+        enable_tracing(False)
+        with stopwatch() as w:
+            sum(range(1000))
+        assert w.seconds > 0.0
+
+    def test_timed_call_wraps_result_and_timing(self):
+        result, (t0, wall, cpu) = TimedCall(lambda x: x + 1)(41)
+        assert result == 42
+        assert t0 > 0.0 and wall >= 0.0 and cpu >= 0.0
+
+    def test_tracing_context_restores_prior_state(self):
+        enable_tracing(False)
+        with tracing():
+            assert tracing_enabled()
+            with tracing(False):
+                assert not tracing_enabled()
+            assert tracing_enabled()
+        assert not tracing_enabled()

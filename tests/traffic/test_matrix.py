@@ -5,7 +5,8 @@ import pytest
 
 from repro.hypersparse import HyperSparseMatrix
 from repro.traffic import Packets, TrafficMatrixView, build_traffic_matrix, quadrant_occupancy
-from repro.traffic.matrix import QUADRANTS
+from repro.traffic import matrix as matrix_mod
+from repro.traffic.matrix import HIERARCHICAL_THRESHOLD, QUADRANTS
 
 
 def test_build_counts_packets():
@@ -19,6 +20,33 @@ def test_sum_equals_nv(rng):
     n = 5000
     p = Packets(rng.uniform(0, 1, n), rng.integers(0, 100, n), rng.integers(0, 100, n))
     assert build_traffic_matrix(p).total() == n
+
+
+class TestHierarchicalPath:
+    def _packets(self, rng, n):
+        return Packets(
+            rng.uniform(0, 1, n),
+            rng.integers(0, 1 << 20, n, dtype=np.uint64),
+            rng.integers(0, 1 << 20, n, dtype=np.uint64),
+        )
+
+    def test_sharded_build_equals_direct(self, rng, monkeypatch):
+        """Streams above the threshold route through the hierarchical
+        accumulator; the result must be entry-wise identical to a direct
+        single-shot construction."""
+        monkeypatch.setattr(matrix_mod, "HIERARCHICAL_THRESHOLD", 512)
+        p = self._packets(rng, 5000)  # ~10 shards
+        sharded = build_traffic_matrix(p)
+        direct = HyperSparseMatrix(p.src, p.dst, shape=sharded.shape)
+        assert sharded == direct
+        assert isinstance(sharded, HyperSparseMatrix)
+
+    def test_real_threshold_crossing(self, rng):
+        n = HIERARCHICAL_THRESHOLD + 3
+        p = self._packets(rng, n)
+        m = build_traffic_matrix(p)
+        assert m.total() == n
+        assert m == HyperSparseMatrix(p.src, p.dst, shape=m.shape)
 
 
 class TestQuadrants:
