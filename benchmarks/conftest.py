@@ -8,9 +8,17 @@ inspected — and diffed against EXPERIMENTS.md — after a run.
 
 Every session additionally runs with metrics-only observability on
 (:func:`repro.obs.enable_metrics` — counters without span recording, so
-timings are not perturbed) and writes ``benchmarks/output/metrics.json``
-at exit: the process-wide counter/gauge/histogram snapshot, per-benchmark
-wall durations, and peak RSS.  CI uploads the file as a run artifact.
+timings are not perturbed) and writes two artifacts at exit:
+
+* ``benchmarks/output/metrics.json`` — the process-wide
+  counter/gauge/histogram snapshot, per-benchmark wall durations, and
+  peak RSS (as before; CI uploads it as a run artifact);
+* ``benchmarks/output/BENCH_results.json`` — the schema-versioned
+  benchmark-regression record consumed by ``repro bench compare``:
+  per-benchmark wall medians/means over the pytest-benchmark rounds,
+  call-phase CPU time, a machine fingerprint, and the counter snapshot.
+  Written only when timed benchmarks actually ran (not under
+  ``--benchmark-disable``).  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -23,19 +31,39 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import BENCH_SCHEMA
 from repro.experiments import build_study, format_checks
 from repro.obs import enable_metrics, snapshot, wall_timestamp
+from repro.parallel import cpu_count
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 METRICS_FILE = OUTPUT_DIR / "metrics.json"
+BENCH_FILE = OUTPUT_DIR / "BENCH_results.json"
 
 _durations: dict = {}
 _metrics: dict = {}
+_cpu_times: dict = {}
 
 
 def pytest_configure(config):
     """Record counters for the whole benchmark session."""
     enable_metrics(True)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Measure each benchmark's call-phase CPU time (user + system).
+
+    ``resource.getrusage`` deltas bracket the whole call phase — warmup
+    and calibration rounds included — giving the CPU cost that pairs
+    with the wall medians in ``BENCH_results.json``.
+    """
+    before = resource.getrusage(resource.RUSAGE_SELF)
+    yield
+    after = resource.getrusage(resource.RUSAGE_SELF)
+    _cpu_times[item.nodeid] = round(
+        (after.ru_utime - before.ru_utime) + (after.ru_stime - before.ru_stime), 6
+    )
 
 
 def pytest_runtest_logreport(report):
@@ -49,6 +77,51 @@ def pytest_runtest_logreport(report):
         _durations[report.nodeid] = round(report.duration, 6)
         _metrics.clear()
         _metrics.update(snapshot())
+
+
+def _machine_fingerprint() -> dict:
+    """Host facts a benchmark number is only comparable within."""
+    import numpy
+
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
+def _write_bench_results(session, exitstatus) -> None:
+    """Persist the schema-versioned record for ``repro bench compare``."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    benchmarks = {}
+    for meta in bench_session.benchmarks:
+        stats = meta.stats
+        if meta.has_error or not getattr(stats, "data", None):
+            continue
+        benchmarks[meta.fullname] = {
+            "wall_median_s": stats.median,
+            "wall_mean_s": stats.mean,
+            "wall_min_s": stats.min,
+            "wall_stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
+            "rounds": stats.rounds,
+            "iterations": meta.iterations,
+            "cpu_s": _cpu_times.get(meta.fullname, None),
+        }
+    if not benchmarks:
+        return
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "written": wall_timestamp(),
+        "machine": _machine_fingerprint(),
+        "exitstatus": int(exitstatus),
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "counters": (_metrics or snapshot()).get("counters", {}),
+    }
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -66,6 +139,7 @@ def pytest_sessionfinish(session, exitstatus):
         **(_metrics or snapshot()),
     }
     METRICS_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _write_bench_results(session, exitstatus)
 
 
 @pytest.fixture(scope="session")

@@ -144,6 +144,17 @@ def validate_matrix(matrix: Any) -> Any:
             matrix,
             "triples not in canonical order (unsorted or duplicated coordinates)",
         )
+        # Matrices cache a packed-key view of the same canonical order
+        # (duck-typed: absent on vectors/assocs).  If present it must
+        # agree with rows/cols — the invariant the lazy dual
+        # representation in repro.hypersparse.coo rests on.
+        cached_keys = getattr(matrix, "_keys", None)
+        if cached_keys is not None:
+            _require(
+                bool(np.array_equal(cached_keys, keys)),
+                matrix,
+                "cached packed-key view disagrees with rows/cols",
+            )
     return matrix
 
 

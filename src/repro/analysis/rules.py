@@ -1,4 +1,4 @@
-"""The repro-lint rule catalogue (RL001–RL007).
+"""The repro-lint rule catalogue (RL001–RL008).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
@@ -22,6 +22,7 @@ __all__ = [
     "PublicDocstringRule",
     "WallClockRule",
     "TimerDisciplineRule",
+    "ResortRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -30,7 +31,15 @@ __all__ = [
 _DTYPE_SCOPE = ("repro/hypersparse/", "repro/d4m/", "repro/traffic/")
 
 #: Hot-path modules where per-entry Python loops are forbidden.
-_HOT_MODULES = ("repro/hypersparse/ops.py", "repro/hypersparse/coo.py", "repro/d4m/ops.py")
+_HOT_MODULES = (
+    "repro/hypersparse/ops.py",
+    "repro/hypersparse/coo.py",
+    "repro/hypersparse/merge.py",
+    "repro/d4m/ops.py",
+)
+
+#: The package whose canonical-form data must never be re-sorted.
+_CANONICAL_SCOPE = "repro/hypersparse/"
 
 #: Packages whose kernels must be deterministic (no wall-clock reads).
 _KERNEL_SCOPE = (
@@ -401,6 +410,47 @@ class TimerDisciplineRule(Rule):
                 )
 
 
+class ResortRule(Rule):
+    """RL008 — no re-sorting of canonical data in ``hypersparse/``.
+
+    Everything in the hypersparse package maintains the canonical-form
+    invariant: keys sorted, unique, values aligned.  An ``np.argsort`` /
+    ``np.lexsort`` over data that is already one-or-two canonical runs
+    throws that invariant away and buys it back at ``O(n log n)`` — the
+    exact cost :mod:`repro.hypersparse.merge` exists to avoid.  The
+    sanctioned full-sort sites (canonicalization of arbitrary triples at
+    construction, transpose, cross-axis reductions) carry
+    ``# lint: allow-resort`` with a justification.
+    """
+
+    id = "RL008"
+    tag = "resort"
+    description = "argsort/lexsort over canonical data in hypersparse kernels"
+
+    _SORTERS = ("argsort", "lexsort")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag argsort/lexsort calls inside the hypersparse package."""
+        if not ctx.in_package(_CANONICAL_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            if name.rsplit(".", 1)[1] in self._SORTERS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() re-sorts canonical data; already-sorted runs "
+                    "combine via repro.hypersparse.merge "
+                    "(merge_combine/intersect_sorted/in_sorted), or mark a "
+                    "sanctioned canonicalization site '# lint: allow-resort' "
+                    "with a justification",
+                )
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -410,6 +460,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     PublicDocstringRule(),
     WallClockRule(),
     TimerDisciplineRule(),
+    ResortRule(),
 )
 
 

@@ -1,0 +1,150 @@
+"""Benchmark-result files and regression comparison.
+
+The benchmark session (``benchmarks/conftest.py``) writes a
+schema-versioned ``BENCH_results.json`` next to its other artifacts:
+per-benchmark wall-time medians over the pytest-benchmark repeats, the
+call-phase CPU time, a machine fingerprint, and the :mod:`repro.obs`
+counter snapshot.  This module is the consumer side: load such files,
+compare a current run against a committed baseline, and render the
+verdict — the engine behind ``repro bench compare``::
+
+    repro bench compare benchmarks/baseline.json \\
+        benchmarks/output/BENCH_results.json --tolerance 25
+
+A benchmark *regresses* when its current wall median exceeds the baseline
+median by more than the tolerance percentage.  ``compare_results``
+reports per-benchmark rows; the CLI exits non-zero iff any row regressed,
+so CI can gate merges on kernel throughput the same way it gates on
+tests.  Benchmarks present on only one side are reported but never fail
+the comparison — adding or retiring a benchmark is not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "load_results",
+    "compare_results",
+    "format_comparison",
+]
+
+#: Schema version understood by this reader (and written by the harness).
+BENCH_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One benchmark's baseline-vs-current verdict.
+
+    ``status`` is one of ``"ok"``, ``"improved"``, ``"regressed"``,
+    ``"baseline-only"`` or ``"current-only"``; ``delta_pct`` is the
+    relative wall-median change (positive = slower), ``nan`` when the
+    benchmark is missing on either side.
+    """
+
+    name: str
+    baseline_s: float
+    current_s: float
+    delta_pct: float
+    status: str
+
+    @property
+    def regressed(self) -> bool:
+        """True when this row fails the comparison."""
+        return self.status == "regressed"
+
+
+def load_results(path: Union[str, Path]) -> Dict:
+    """Load and validate a ``BENCH_results.json`` file.
+
+    Raises ``ValueError`` on schema mismatch or a malformed payload, and
+    ``OSError`` when the file cannot be read — callers map both onto a
+    usage-error exit status.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object, got {type(data).__name__}")
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported benchmark schema {schema!r} (expected {BENCH_SCHEMA})"
+        )
+    benches = data.get("benchmarks")
+    if not isinstance(benches, dict):
+        raise ValueError(f"{path}: missing 'benchmarks' mapping")
+    for name, entry in benches.items():
+        if not isinstance(entry, dict) or "wall_median_s" not in entry:
+            raise ValueError(f"{path}: benchmark {name!r} lacks 'wall_median_s'")
+    return data
+
+
+def compare_results(
+    baseline: Dict, current: Dict, tolerance_pct: float = 10.0
+) -> List[BenchComparison]:
+    """Compare two loaded result payloads benchmark by benchmark.
+
+    ``tolerance_pct`` is the allowed slowdown of the wall median before a
+    benchmark counts as regressed; improvements beyond the same margin
+    are labelled ``"improved"`` (informational).
+    """
+    if tolerance_pct < 0:
+        raise ValueError("tolerance must be non-negative")
+    base = baseline["benchmarks"]
+    cur = current["benchmarks"]
+    rows: List[BenchComparison] = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            rows.append(
+                BenchComparison(name, float(base[name]["wall_median_s"]), float("nan"),
+                                float("nan"), "baseline-only")
+            )
+            continue
+        if name not in base:
+            rows.append(
+                BenchComparison(name, float("nan"), float(cur[name]["wall_median_s"]),
+                                float("nan"), "current-only")
+            )
+            continue
+        b = float(base[name]["wall_median_s"])
+        c = float(cur[name]["wall_median_s"])
+        delta = (c / b - 1.0) * 100.0 if b > 0 else float("nan")
+        if delta > tolerance_pct:
+            status = "regressed"
+        elif delta < -tolerance_pct:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(BenchComparison(name, b, c, delta, status))
+    return rows
+
+
+def format_comparison(rows: List[BenchComparison], tolerance_pct: float) -> str:
+    """Render comparison rows as an aligned terminal table."""
+    name_w = max([len(r.name) for r in rows] + [len("benchmark")])
+    lines = [
+        f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  "
+        f"{'delta':>8}  status",
+    ]
+    for r in rows:
+        base = f"{r.baseline_s:.6f}s" if r.baseline_s == r.baseline_s else "-"
+        curr = f"{r.current_s:.6f}s" if r.current_s == r.current_s else "-"
+        delta = f"{r.delta_pct:+.1f}%" if r.delta_pct == r.delta_pct else "-"
+        lines.append(f"{r.name:<{name_w}}  {base:>12}  {curr:>12}  {delta:>8}  {r.status}")
+    n_reg = sum(r.regressed for r in rows)
+    verdict = (
+        f"{n_reg} regression(s) beyond {tolerance_pct:g}% tolerance"
+        if n_reg
+        else f"no regressions beyond {tolerance_pct:g}% tolerance"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)

@@ -9,6 +9,7 @@
     repro lint                      # static analysis (see repro.analysis)
     repro fig5 --trace-out t.jsonl  # run traced, write JSON-lines trace
     repro trace summarize t.jsonl   # span table / flame view of a trace
+    repro bench compare OLD NEW     # gate on benchmark regressions
 
 Exit status is non-zero when any shape check fails, so the CLI doubles as
 a reproduction smoke test in CI.
@@ -150,6 +151,39 @@ def _trace_main(argv: List[str]) -> int:
     return 0
 
 
+def _bench_main(argv: List[str]) -> int:
+    """The ``repro bench`` subcommand (benchmark-regression gating)."""
+    from .bench import compare_results, format_comparison, load_results
+
+    p = argparse.ArgumentParser(
+        prog="repro bench", description="Compare benchmark result files."
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    s = sub.add_parser(
+        "compare",
+        help="compare two BENCH_results.json files; exit 1 on regression",
+    )
+    s.add_argument("baseline", help="committed baseline BENCH_results.json")
+    s.add_argument("current", help="freshly measured BENCH_results.json")
+    s.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed wall-median slowdown in percent (default 10)",
+    )
+    args = p.parse_args(argv)
+    try:
+        baseline = load_results(args.baseline)
+        current = load_results(args.current)
+        rows = compare_results(baseline, current, tolerance_pct=args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_comparison(rows, tolerance_pct=args.tolerance))
+    return 1 if any(r.regressed for r in rows) else 0
+
+
 def _finish_trace(trace_out: str, argv: List[str]) -> None:
     """Write the recorded spans/metrics and print the terminal summary."""
     from .obs import format_summary, snapshot, take_spans, write_trace
@@ -174,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     args = _parser().parse_args(argv)
 
     from .obs import enable_tracing, tracing_enabled

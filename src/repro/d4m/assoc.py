@@ -529,7 +529,7 @@ class Assoc:
 
     def row_set(self) -> np.ndarray:
         """Sorted unique row keys that actually hold entries."""
-        r = np.unique(self.adj.rows)
+        r = self.adj.unique_rows()  # adjacency rows are pre-sorted
         return self.row[r.astype(np.int64)]
 
     def col_set(self) -> np.ndarray:

@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..hypersparse.merge import intersect_sorted
 from ..obs.metrics import ASSOC_JOIN_ROWS, inc
 from ..obs.spans import annotate, traced
 from .assoc import Assoc
@@ -113,7 +114,9 @@ def row_overlap(a: Assoc, b: Assoc) -> Tuple[np.ndarray, float]:
     """
     ra = a.row_set()
     rb = b.row_set()
-    common = np.intersect1d(ra, rb, assume_unique=True)
+    # Row-key sets are canonical (sorted unique), so the join is a
+    # searchsorted intersection — no concatenate-and-argsort.
+    common, _, _ = intersect_sorted(ra, rb)
     inc(ASSOC_JOIN_ROWS, common.size)
     annotate(joined=int(common.size))
     frac = float(common.size) / float(ra.size) if ra.size else 0.0

@@ -13,6 +13,15 @@ in a canonical form:
 All kernels are vectorized NumPy: sorting, ``searchsorted`` joins and
 ``ufunc.reduceat`` run-combining.  No Python-level loop touches per-entry
 data, per the HPC guidance of keeping hot paths inside compiled ufuncs.
+
+Canonical form is also *exploited*, not just guaranteed: packed
+``(row, col)`` keys are cached per instance (matrices are immutable, so
+the cache never invalidates) and every union/intersection runs through
+the :mod:`repro.hypersparse.merge` sorted-merge kernels instead of
+re-sorting data that is already two canonical runs.  Matrices produced
+by those kernels carry their keys forward and delinearize rows/columns
+lazily, so merge chains (hierarchical accumulation) never round-trip
+``(row, col) -> key -> (row, col)``.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ from typing import Callable, Iterable, Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.contracts import check_matrix, check_vector
+from ..obs.metrics import MERGE_FASTPATH_MISSES, inc
+from .merge import in_sorted, intersect_sorted, merge_combine
 from .semiring import PLUS_TIMES, Semiring
 
 __all__ = ["HyperSparseMatrix", "SparseVec", "IPV4_SPACE"]
@@ -53,24 +64,100 @@ def _as_u64(a: ArrayLike) -> np.ndarray:
     return np.ascontiguousarray(arr)
 
 
+def _run_starts(sorted_arr: np.ndarray) -> np.ndarray:
+    """Indices where each run of equal values begins (input pre-sorted)."""
+    first = np.empty(sorted_arr.size, dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_arr[1:], sorted_arr[:-1], out=first[1:])
+    return np.flatnonzero(first)
+
+
+def _pack_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Map (row, col) to a single uint64 key preserving lexicographic order.
+
+    For power-of-two column extents (the ``2^32``-wide IPv4 plane — every
+    matrix the paper builds) the multiply/add collapses to a shift/or,
+    which also lets :func:`_unpack_keys` undo it with a shift/mask
+    instead of 64-bit division.
+    """
+    if ncols & (ncols - 1) == 0:
+        return (rows << np.uint64(ncols.bit_length() - 1)) | cols
+    return rows * np.uint64(ncols) + cols
+
+
+def _unpack_keys(keys: np.ndarray, ncols: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`_pack_keys`."""
+    if ncols & (ncols - 1) == 0:
+        shift = np.uint64(ncols.bit_length() - 1)
+        return keys >> shift, keys & np.uint64(ncols - 1)
+    ncols_u = np.uint64(ncols)
+    return keys // ncols_u, keys % ncols_u
+
+
 def _combine_duplicates(
     keys: np.ndarray, vals: np.ndarray, add: np.ufunc
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Sort ``keys`` and combine values of equal keys with ``add``.
 
-    Returns (unique sorted keys, combined values).  The workhorse of every
-    construction and union operation in this module.
+    Returns (unique sorted keys, combined values).  The canonicalization
+    workhorse: the one sanctioned full sort, paid only where the input
+    really is arbitrary (construction from raw triples, ``mxm`` product
+    streams).  Operations whose operands are already canonical runs go
+    through :func:`repro.hypersparse.merge.merge_combine` instead and
+    never land here — the ``merge_fastpath_misses`` counter tracks how
+    often this slow path still runs.
     """
     if keys.size == 0:
         return keys, vals
-    order = np.argsort(keys, kind="stable")
+    inc(MERGE_FASTPATH_MISSES)
+    order = np.argsort(keys, kind="stable")  # lint: allow-resort — canonicalization site
     keys = keys[order]
     vals = vals[order]
-    first = np.empty(keys.size, dtype=bool)
-    first[0] = True
-    np.not_equal(keys[1:], keys[:-1], out=first[1:])
-    starts = np.flatnonzero(first)
+    starts = _run_starts(keys)
     return keys[starts], add.reduceat(vals, starts)
+
+
+def _stable_sorted_with_order(
+    coord: np.ndarray, bound: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable-sorted copy of ``coord`` plus the sorting permutation.
+
+    When ``coord`` values (all ``< bound``) and the element indices
+    together fit in 64 bits, pack ``(value << index_bits) | index`` and
+    run one plain ``np.sort`` — about an order of magnitude faster than
+    ``argsort(kind="stable")`` because no permutation array is threaded
+    through the sort.  Index ties reproduce the stable order exactly.
+    Falls back to the stable argsort when the packing would overflow.
+    """
+    n = coord.size
+    shift = (n - 1).bit_length() if n > 1 else 1
+    if n == 0 or (int(bound) - 1) >> (64 - shift):
+        order = np.argsort(coord, kind="stable")  # lint: allow-resort — cross-axis reduce
+        return coord[order], order
+    shift_u = np.uint64(shift)
+    combined = (coord << shift_u) | np.arange(n, dtype=np.uint64)
+    combined.sort()
+    order = (combined & np.uint64((1 << shift) - 1)).astype(np.intp)
+    return combined >> shift_u, order
+
+
+def _count_duplicates(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort ``keys`` and count multiplicities (the implicit-ones case).
+
+    When every triple carries the default value 1 and duplicates combine
+    with ``+`` — a batch of packets — the combined value of a coordinate
+    is just its multiplicity.  That needs only the sorted *keys*: a plain
+    ``np.sort`` beats the stable argsort of :func:`_combine_duplicates`
+    because no permutation is materialized and no value array is gathered
+    or reduced.  Counts are exact in float64 (integers far below 2^53).
+    """
+    if keys.size == 0:
+        return keys, np.zeros(0, dtype=np.float64)
+    inc(MERGE_FASTPATH_MISSES)
+    keys = np.sort(keys)
+    starts = _run_starts(keys)
+    counts = np.diff(np.append(starts, keys.size)).astype(np.float64)
+    return keys[starts], counts
 
 
 class SparseVec:
@@ -169,18 +256,18 @@ class SparseVec:
     # -- algebra ------------------------------------------------------------
 
     def ewise_add(self, other: "SparseVec", op: np.ufunc = np.add) -> "SparseVec":
-        """Union combine: ``op`` where both present, pass-through elsewhere."""
-        keys = np.concatenate([self.keys, other.keys])
-        vals = np.concatenate([self.vals, other.vals])
+        """Union combine: ``op`` where both present, pass-through elsewhere.
+
+        Both operands are canonical sorted runs, so this is a two-run
+        sorted merge — no re-sort.
+        """
         out = SparseVec.__new__(SparseVec)
-        out.keys, out.vals = _combine_duplicates(keys, vals, op)
+        out.keys, out.vals = merge_combine(self.keys, self.vals, other.keys, other.vals, op)
         return check_vector(out)
 
     def ewise_mult(self, other: "SparseVec", op: Callable = np.multiply) -> "SparseVec":
         """Intersection combine: entries present in *both* vectors."""
-        common, ia, ib = np.intersect1d(
-            self.keys, other.keys, assume_unique=True, return_indices=True
-        )
+        common, ia, ib = intersect_sorted(self.keys, other.keys)
         out = SparseVec.__new__(SparseVec)
         out.keys = common
         out.vals = np.asarray(op(self.vals[ia], other.vals[ib]), dtype=np.float64)
@@ -204,9 +291,7 @@ class SparseVec:
     def select_keys(self, keys: ArrayLike) -> "SparseVec":
         """Restrict to the given key set (sparse intersection)."""
         want = np.unique(_as_u64(keys))
-        common, ia, _ = np.intersect1d(
-            self.keys, want, assume_unique=True, return_indices=True
-        )
+        common, ia, _ = intersect_sorted(self.keys, want)
         out = SparseVec.__new__(SparseVec)
         out.keys = common
         out.vals = self.vals[ia]
@@ -238,7 +323,7 @@ class HyperSparseMatrix:
         packets between the same pair sum, exactly the paper's ``A_t``).
     """
 
-    __slots__ = ("rows", "cols", "vals", "shape")
+    __slots__ = ("_rows", "_cols", "vals", "shape", "_keys")
 
     def __init__(
         self,
@@ -251,11 +336,14 @@ class HyperSparseMatrix:
     ):
         rows = _as_u64(rows)
         cols = _as_u64(cols)
-        if vals is None:
-            vals = np.ones(rows.size, dtype=np.float64)
+        implicit_ones = vals is None
+        if implicit_ones:
+            vals = None
         else:
             vals = np.ascontiguousarray(np.asarray(vals, dtype=np.float64))
-        if not (rows.shape == cols.shape == vals.shape):
+            if not (rows.shape == cols.shape == vals.shape):
+                raise ValueError("rows, cols, vals must have identical shape")
+        if rows.shape != cols.shape:
             raise ValueError("rows, cols, vals must have identical shape")
         nrows, ncols = int(shape[0]), int(shape[1])
         if nrows <= 0 or ncols <= 0:
@@ -267,20 +355,57 @@ class HyperSparseMatrix:
                 raise ValueError("coordinate outside matrix shape")
         self.shape = (nrows, ncols)
         keys = self._linearize(rows, cols)
-        keys, vals = _combine_duplicates(keys, vals, accumulate)
-        self.rows, self.cols = self._delinearize(keys)
+        if implicit_ones and accumulate is np.add:
+            keys, vals = _count_duplicates(keys)
+        else:
+            if implicit_ones:
+                vals = np.ones(rows.size, dtype=np.float64)
+            keys, vals = _combine_duplicates(keys, vals, accumulate)
+        # rows/cols delinearize lazily from the canonical keys on first
+        # access; streaming construction feeding straight into merges
+        # (hierarchical insert) never pays for the unpack.
+        self._rows = None
+        self._cols = None
+        self._keys = keys
         self.vals = vals
         check_matrix(self)
 
     # -- construction helpers -------------------------------------------------
 
     def _linearize(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
-        """Map (row, col) to a single uint64 key preserving lexicographic order."""
-        return rows * np.uint64(self.shape[1]) + cols
+        """Pack (row, col) into uint64 keys for this matrix's shape."""
+        return _pack_keys(rows, cols, self.shape[1])
 
     def _delinearize(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        ncols = np.uint64(self.shape[1])
-        return keys // ncols, keys % ncols
+        return _unpack_keys(keys, self.shape[1])
+
+    # -- lazy canonical views --------------------------------------------------
+    #
+    # A matrix is defined by (keys, vals, shape); rows/cols and keys are
+    # interchangeable views of the same canonical order.  Whichever side a
+    # constructor provides is stored, the other is derived on first use and
+    # cached — instances are immutable, so neither cache ever invalidates.
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row coordinates in canonical order (lazily delinearized)."""
+        if self._rows is None:
+            self._rows, self._cols = self._delinearize(self._keys)
+        return self._rows
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Column coordinates in canonical order (lazily delinearized)."""
+        if self._cols is None:
+            self._rows, self._cols = self._delinearize(self._keys)
+        return self._cols
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Packed ``(row, col)`` keys, strictly increasing (lazily packed)."""
+        if self._keys is None:
+            self._keys = self._linearize(self._rows, self._cols)
+        return self._keys
 
     @classmethod
     def _from_canonical(
@@ -289,13 +414,40 @@ class HyperSparseMatrix:
         cols: np.ndarray,
         vals: np.ndarray,
         shape: Tuple[int, int],
+        keys: Optional[np.ndarray] = None,
     ) -> "HyperSparseMatrix":
-        """Internal fast path: inputs already canonical (sorted, unique)."""
+        """Internal fast path: inputs already canonical (sorted, unique).
+
+        ``keys`` may hand through an already-packed key array so later
+        key consumers skip re-linearizing.
+        """
         out = cls.__new__(cls)
-        out.rows = rows
-        out.cols = cols
+        out._rows = rows
+        out._cols = cols
         out.vals = vals
         out.shape = shape
+        out._keys = keys
+        return check_matrix(out)
+
+    @classmethod
+    def _from_keys(
+        cls,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "HyperSparseMatrix":
+        """Internal fast path from packed canonical keys.
+
+        Rows/columns are delinearized lazily on first access, so merge
+        chains that only feed further merges never pay the
+        key -> (row, col) -> key round trip.
+        """
+        out = cls.__new__(cls)
+        out._rows = None
+        out._cols = None
+        out.vals = vals
+        out.shape = shape
+        out._keys = keys
         return check_matrix(out)
 
     @classmethod
@@ -319,10 +471,14 @@ class HyperSparseMatrix:
         return cls(shape=shape)
 
     def copy(self) -> "HyperSparseMatrix":
-        """An independent deep copy."""
-        return self._from_canonical(
-            self.rows.copy(), self.cols.copy(), self.vals.copy(), self.shape
-        )
+        """An independent deep copy (preserving whichever views are cached)."""
+        out = HyperSparseMatrix.__new__(HyperSparseMatrix)
+        out._rows = None if self._rows is None else self._rows.copy()
+        out._cols = None if self._cols is None else self._cols.copy()
+        out._keys = None if self._keys is None else self._keys.copy()
+        out.vals = self.vals.copy()
+        out.shape = self.shape
+        return out
 
     # -- basic protocol ---------------------------------------------------------
 
@@ -337,8 +493,8 @@ class HyperSparseMatrix:
 
     def __getitem__(self, ij: Tuple[int, int]) -> float:
         i, j = ij
-        key = np.uint64(i) * np.uint64(self.shape[1]) + np.uint64(j)
-        keys = self._linearize(self.rows, self.cols)
+        key = self._linearize(np.uint64(i), np.uint64(j))
+        keys = self.keys  # cached: one binary search per lookup, no re-packing
         idx = np.searchsorted(keys, key)
         if idx < keys.size and keys[idx] == key:
             return float(self.vals[idx])
@@ -347,13 +503,15 @@ class HyperSparseMatrix:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HyperSparseMatrix):
             return NotImplemented
-        return bool(
-            self.shape == other.shape
-            and self.nnz == other.nnz
-            and np.array_equal(self.rows, other.rows)
-            and np.array_equal(self.cols, other.cols)
-            and np.array_equal(self.vals, other.vals)
-        )
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        if self._keys is not None and other._keys is not None:
+            same_coords = np.array_equal(self._keys, other._keys)
+        else:
+            same_coords = np.array_equal(self.rows, other.rows) and np.array_equal(
+                self.cols, other.cols
+            )
+        return bool(same_coords and np.array_equal(self.vals, other.vals))
 
     def __hash__(self):
         raise TypeError("HyperSparseMatrix is unhashable")
@@ -378,10 +536,11 @@ class HyperSparseMatrix:
         """Swap rows and columns (sources <-> destinations)."""
         out = HyperSparseMatrix.__new__(HyperSparseMatrix)
         out.shape = (self.shape[1], self.shape[0])
-        keys = self.cols * np.uint64(out.shape[1]) + self.rows
-        order = np.argsort(keys, kind="stable")
-        out.rows = self.cols[order]
-        out.cols = self.rows[order]
+        keys = out._linearize(self.cols, self.rows)
+        order = np.argsort(keys, kind="stable")  # lint: allow-resort — transpose site
+        out._rows = self.cols[order]
+        out._cols = self.rows[order]
+        out._keys = keys[order]
         out.vals = self.vals[order]
         return check_matrix(out)
 
@@ -390,25 +549,40 @@ class HyperSparseMatrix:
         """Transpose shorthand (alias of :meth:`transpose`)."""
         return self.transpose()
 
+    def _with_vals(self, vals: np.ndarray) -> "HyperSparseMatrix":
+        """Same sparsity pattern, new values (shares coordinate arrays)."""
+        out = HyperSparseMatrix.__new__(HyperSparseMatrix)
+        out._rows = self._rows
+        out._cols = self._cols
+        out._keys = self._keys
+        out.vals = vals
+        out.shape = self.shape
+        return check_matrix(out)
+
+    def _masked(self, mask: np.ndarray) -> "HyperSparseMatrix":
+        """Entry subset selected by a boolean mask over canonical order."""
+        out = HyperSparseMatrix.__new__(HyperSparseMatrix)
+        out._rows = None if self._rows is None else self._rows[mask]
+        out._cols = None if self._cols is None else self._cols[mask]
+        out._keys = None if self._keys is None else self._keys[mask]
+        out.vals = self.vals[mask]
+        out.shape = self.shape
+        return check_matrix(out)
+
     def zero_norm(self) -> "HyperSparseMatrix":
         """``|A|_0`` — every stored value set to 1 (Table II's zero-norm)."""
-        return self._from_canonical(
-            self.rows.copy(), self.cols.copy(), np.ones_like(self.vals), self.shape
-        )
+        return self._with_vals(np.ones_like(self.vals))
 
     def prune(self, value: float = 0.0) -> "HyperSparseMatrix":
         """Drop stored entries equal to ``value``."""
-        mask = self.vals != value
-        return self._from_canonical(
-            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
-        )
+        return self._masked(self.vals != value)
 
     def apply(self, fn: Callable[[np.ndarray], np.ndarray]) -> "HyperSparseMatrix":
         """Apply an element-wise function to stored values only."""
         vals = np.asarray(fn(self.vals), dtype=np.float64)
         if vals.shape != self.vals.shape:
             raise ValueError("apply() function changed the number of entries")
-        return self._from_canonical(self.rows.copy(), self.cols.copy(), vals, self.shape)
+        return self._with_vals(vals)
 
     def permute(
         self,
@@ -435,16 +609,16 @@ class HyperSparseMatrix:
     def ewise_add(
         self, other: "HyperSparseMatrix", op: np.ufunc = np.add
     ) -> "HyperSparseMatrix":
-        """Union combine (GraphBLAS eWiseAdd): ``op`` where both stored."""
+        """Union combine (GraphBLAS eWiseAdd): ``op`` where both stored.
+
+        Both operands are canonical, so this is a two-run sorted merge on
+        the cached packed keys — no argsort, and the result's rows/cols
+        stay packed until someone asks for them.
+        """
         if self.shape != other.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
-        keys = np.concatenate(
-            [self._linearize(self.rows, self.cols), other._linearize(other.rows, other.cols)]
-        )
-        vals = np.concatenate([self.vals, other.vals])
-        keys, vals = _combine_duplicates(keys, vals, op)
-        rows, cols = self._delinearize(keys)
-        return self._from_canonical(rows, cols, vals, self.shape)
+        keys, vals = merge_combine(self.keys, self.vals, other.keys, other.vals, op)
+        return self._from_keys(keys, vals, self.shape)
 
     def ewise_mult(
         self, other: "HyperSparseMatrix", op: Callable = np.multiply
@@ -452,25 +626,30 @@ class HyperSparseMatrix:
         """Intersection combine (GraphBLAS eWiseMult)."""
         if self.shape != other.shape:
             raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
-        ka = self._linearize(self.rows, self.cols)
-        kb = other._linearize(other.rows, other.cols)
-        common, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+        common, ia, ib = intersect_sorted(self.keys, other.keys)
         vals = np.asarray(op(self.vals[ia], other.vals[ib]), dtype=np.float64)
-        rows, cols = self._delinearize(common)
-        return self._from_canonical(rows, cols, vals, self.shape)
+        return self._from_keys(common, vals, self.shape)
 
     def __add__(self, other: "HyperSparseMatrix") -> "HyperSparseMatrix":
         return self.ewise_add(other, np.add)
 
     def __sub__(self, other: "HyperSparseMatrix") -> "HyperSparseMatrix":
-        return self.ewise_add(other * -1.0, np.add)
+        """Difference: ``op`` where both stored, ``-b`` passed through.
+
+        Runs straight through the merge kernel with subtract semantics —
+        no negated copy of ``other`` is materialized.
+        """
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        keys, vals = merge_combine(
+            self.keys, self.vals, other.keys, other.vals, np.subtract, right_op=np.negative
+        )
+        return self._from_keys(keys, vals, self.shape)
 
     def __mul__(self, other):
         if isinstance(other, HyperSparseMatrix):
             return self.ewise_mult(other, np.multiply)
-        return self._from_canonical(
-            self.rows.copy(), self.cols.copy(), self.vals * float(other), self.shape
-        )
+        return self._with_vals(self.vals * float(other))
 
     __rmul__ = __mul__
 
@@ -518,18 +697,11 @@ class HyperSparseMatrix:
             dtype=np.float64,
         )
 
-        keys = out_rows * np.uint64(out_shape[1]) + out_cols
-        order = np.argsort(keys, kind="stable")
-        keys = keys[order]
-        prods = prods[order]
-        first = np.empty(keys.size, dtype=bool)
-        first[0] = True
-        np.not_equal(keys[1:], keys[:-1], out=first[1:])
-        starts = np.flatnonzero(first)
-        vals = semiring.reduce_runs(prods, starts)
-        ncols = np.uint64(out_shape[1])
-        ukeys = keys[starts]
-        return self._from_canonical(ukeys // ncols, ukeys % ncols, vals, out_shape)
+        # The join emits products in arbitrary key order, so this is a
+        # sanctioned canonicalization (counted as a merge-fastpath miss).
+        keys = _pack_keys(out_rows, out_cols, out_shape[1])
+        keys, vals = _combine_duplicates(keys, prods, semiring.add)
+        return self._from_keys(keys, vals, out_shape)
 
     # -- reductions (Table II) -----------------------------------------------------
 
@@ -542,53 +714,79 @@ class HyperSparseMatrix:
         return float(self.vals.max()) if self.vals.size else 0.0
 
     def row_reduce(self, op: np.ufunc = np.add) -> SparseVec:
-        """Reduce along columns: ``A 1`` — packets from each source."""
-        return self._reduce(self.rows, op)
+        """Reduce along columns: ``A 1`` — packets from each source.
+
+        Canonical order sorts by row first, so rows arrive pre-sorted and
+        the reduction needs no argsort.
+        """
+        return self._reduce(self.rows, op, presorted=True)
 
     def col_reduce(self, op: np.ufunc = np.add) -> SparseVec:
         """Reduce along rows: ``1^T A`` — packets to each destination."""
         return self._reduce(self.cols, op)
 
     def row_degree(self) -> SparseVec:
-        """``|A|_0 1`` — source fan-out (unique destinations per source)."""
+        """``|A|_0 1`` — source fan-out (unique destinations per source).
+
+        Run-length counting on the already-sorted rows; no re-sort.
+        """
         out = SparseVec.__new__(SparseVec)
-        keys, counts = np.unique(self.rows, return_counts=True)
-        out.keys = keys
-        out.vals = counts.astype(np.float64)
+        rows = self.rows
+        if rows.size == 0:
+            out.keys = np.zeros(0, dtype=np.uint64)
+            out.vals = np.zeros(0, dtype=np.float64)
+            return out
+        starts = _run_starts(rows)
+        out.keys = rows[starts]
+        out.vals = np.diff(np.append(starts, rows.size)).astype(np.float64)
         return check_vector(out)
 
     def col_degree(self) -> SparseVec:
         """``1^T |A|_0`` — destination fan-in (unique sources per destination)."""
         out = SparseVec.__new__(SparseVec)
-        keys, counts = np.unique(self.cols, return_counts=True)
-        out.keys = keys
-        out.vals = counts.astype(np.float64)
+        if self.nnz == 0:
+            out.keys = np.zeros(0, dtype=np.uint64)
+            out.vals = np.zeros(0, dtype=np.float64)
+            return out
+        # A value sort is all that's needed — multiplicity counting never
+        # looks at the permutation, so skip np.unique's argsort machinery.
+        sorted_cols = np.sort(self.cols)
+        starts = _run_starts(sorted_cols)
+        out.keys = sorted_cols[starts]
+        out.vals = np.diff(np.append(starts, sorted_cols.size)).astype(np.float64)
         return check_vector(out)
 
-    def _reduce(self, coord: np.ndarray, op: np.ufunc) -> SparseVec:
+    def _reduce(self, coord: np.ndarray, op: np.ufunc, *, presorted: bool = False) -> SparseVec:
         out = SparseVec.__new__(SparseVec)
         if coord.size == 0:
             out.keys = np.zeros(0, dtype=np.uint64)
             out.vals = np.zeros(0, dtype=np.float64)
             return out
-        order = np.argsort(coord, kind="stable")
-        sorted_coord = coord[order]
-        sorted_vals = self.vals[order]
-        first = np.empty(sorted_coord.size, dtype=bool)
-        first[0] = True
-        np.not_equal(sorted_coord[1:], sorted_coord[:-1], out=first[1:])
-        starts = np.flatnonzero(first)
+        if presorted:
+            sorted_coord = coord
+            sorted_vals = self.vals
+        else:
+            bound = max(self.shape)  # coord is rows or cols; both bounded
+            sorted_coord, order = _stable_sorted_with_order(coord, bound)
+            sorted_vals = self.vals[order]
+        starts = _run_starts(sorted_coord)
         out.keys = sorted_coord[starts]
         out.vals = op.reduceat(sorted_vals, starts)
         return check_vector(out)
 
     def unique_rows(self) -> np.ndarray:
-        """Sorted unique row coordinates (unique sources)."""
-        return np.unique(self.rows)
+        """Sorted unique row coordinates (unique sources); rows are pre-sorted."""
+        rows = self.rows
+        if rows.size == 0:
+            return rows
+        return rows[_run_starts(rows)]
 
     def unique_cols(self) -> np.ndarray:
         """Sorted unique column coordinates (unique destinations)."""
-        return np.unique(self.cols)
+        if self.nnz == 0:
+            return self.cols
+        sorted_cols = np.sort(self.cols)
+        return sorted_cols[_run_starts(sorted_cols)]
 
     # -- selection ---------------------------------------------------------------
 
@@ -605,13 +803,11 @@ class HyperSparseMatrix:
         mask = np.ones(self.nnz, dtype=bool)
         if rows is not None:
             want = np.unique(_as_u64(rows))
-            mask &= np.isin(self.rows, want, assume_unique=False)
+            mask &= in_sorted(want, self.rows)
         if cols is not None:
             want = np.unique(_as_u64(cols))
-            mask &= np.isin(self.cols, want, assume_unique=False)
-        return self._from_canonical(
-            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
-        )
+            mask &= in_sorted(want, self.cols)
+        return self._masked(mask)
 
     def extract_range(
         self,
@@ -631,6 +827,4 @@ class HyperSparseMatrix:
         if col_range is not None:
             lo, hi = np.uint64(col_range[0]), np.uint64(col_range[1])
             mask &= (self.cols >= lo) & (self.cols < hi)
-        return self._from_canonical(
-            self.rows[mask], self.cols[mask], self.vals[mask], self.shape
-        )
+        return self._masked(mask)

@@ -22,6 +22,7 @@ import numpy as np
 from ..obs.metrics import HIER_SUM_REDUCTIONS, MATRIX_NNZ, inc
 from ..obs.spans import span
 from .coo import IPV4_SPACE, HyperSparseMatrix
+from .merge import kway_merge
 
 __all__ = ["HierarchicalMatrix"]
 
@@ -122,15 +123,24 @@ class HierarchicalMatrix:
     # -- finalization -----------------------------------------------------------
 
     def total(self) -> HyperSparseMatrix:
-        """Collapse the ladder into one canonical matrix (non-destructive)."""
+        """Collapse the ladder into one canonical matrix (non-destructive).
+
+        Levels are folded smallest-nnz-first (:func:`~repro.hypersparse.
+        merge.kway_merge`), so small upper levels combine with each other
+        before touching the big base level, instead of a left fold that
+        re-merges the largest level once per occupied slot.  The fold
+        order is part of the contract — with floating-point values,
+        reordering can change low-order bits of the sums.
+        """
         with span("hier_total", levels=len(self._levels)):
-            result: Optional[HyperSparseMatrix] = None
-            for m in self._levels:
-                if m is None:
-                    continue
-                result = m if result is None else result.ewise_add(m)
-            if result is None:
+            occupied = [m for m in self._levels if m is not None]
+            if not occupied:
                 return HyperSparseMatrix.empty(self.shape)
+            if len(occupied) == 1:
+                inc(MATRIX_NNZ, occupied[0].nnz)
+                return occupied[0]
+            keys, vals = kway_merge([(m.keys, m.vals) for m in occupied])
+            result = HyperSparseMatrix._from_keys(keys, vals, self.shape)
             inc(MATRIX_NNZ, result.nnz)
             return result
 

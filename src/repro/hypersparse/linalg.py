@@ -23,6 +23,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from .coo import HyperSparseMatrix, SparseVec
+from .merge import in_sorted
 from .ops import mask, mxv, tril, triu
 from .semiring import LOR_LAND, PLUS_PAIR, Semiring
 
@@ -54,8 +55,9 @@ def bfs_levels(graph: HyperSparseMatrix, source: int, *, max_depth: int = 64) ->
         nxt = mxv(at, frontier, LOR_LAND)
         if nxt.nnz == 0:
             break
-        # Mask out already-visited nodes.
-        fresh_mask = ~np.isin(nxt.keys, levels.keys, assume_unique=True)
+        # Mask out already-visited nodes; both key runs are canonical,
+        # so membership is binary search, not np.isin's sort.
+        fresh_mask = ~in_sorted(levels.keys, nxt.keys)
         if not fresh_mask.any():
             break
         frontier = SparseVec(

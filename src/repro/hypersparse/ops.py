@@ -27,6 +27,7 @@ import numpy as np
 from ..analysis.contracts import checked
 from ..obs.spans import traced
 from .coo import HyperSparseMatrix, SparseVec
+from .merge import in_sorted
 from .semiring import PLUS_TIMES, Semiring
 
 __all__ = [
@@ -65,13 +66,12 @@ def mxv(
     hit = vec.keys[idx_clipped] == matrix.cols
     if not np.any(hit):
         return SparseVec([], [])
+    # Canonical order sorts by row first, so the hit rows arrive already
+    # non-decreasing: run detection needs no re-sort.
     rows = matrix.rows[hit]
     prods = np.asarray(
         semiring.mult(matrix.vals[hit], vec.vals[idx_clipped[hit]]), dtype=np.float64
     )
-    order = np.argsort(rows, kind="stable")
-    rows = rows[order]
-    prods = prods[order]
     first = np.ones(rows.size, dtype=bool)
     first[1:] = rows[1:] != rows[:-1]
     starts = np.flatnonzero(first)
@@ -102,9 +102,7 @@ def select(
     keep = np.asarray(predicate(matrix.rows, matrix.cols, matrix.vals), dtype=bool)
     if keep.shape != matrix.vals.shape:
         raise ValueError("predicate must return one boolean per stored entry")
-    return HyperSparseMatrix._from_canonical(
-        matrix.rows[keep], matrix.cols[keep], matrix.vals[keep], matrix.shape
-    )
+    return matrix._masked(keep)
 
 
 def mask(matrix: HyperSparseMatrix, pattern: HyperSparseMatrix) -> HyperSparseMatrix:
@@ -123,13 +121,8 @@ def complement_mask(
     """Entries of ``matrix`` *outside* the stored pattern of ``pattern``."""
     if matrix.shape != pattern.shape:
         raise ValueError("mask shape mismatch")
-    ncols = np.uint64(matrix.shape[1])
-    ka = matrix.rows * ncols + matrix.cols
-    kb = pattern.rows * ncols + pattern.cols
-    keep = ~np.isin(ka, kb, assume_unique=True)
-    return HyperSparseMatrix._from_canonical(
-        matrix.rows[keep], matrix.cols[keep], matrix.vals[keep], matrix.shape
-    )
+    keep = ~in_sorted(pattern.keys, matrix.keys)
+    return matrix._masked(keep)
 
 
 @traced

@@ -27,6 +27,8 @@ from .metrics import (
     HIER_SUM_REDUCTIONS,
     INVARIANT_CHECKS,
     MATRIX_NNZ,
+    MERGE_FASTPATH_HITS,
+    MERGE_FASTPATH_MISSES,
     PACKETS_INGESTED,
     STUDY_CACHE_HITS,
     STUDY_CACHE_MISSES,
@@ -104,6 +106,8 @@ __all__ = [
     "STUDY_CACHE_HITS",
     "STUDY_CACHE_MISSES",
     "INVARIANT_CHECKS",
+    "MERGE_FASTPATH_HITS",
+    "MERGE_FASTPATH_MISSES",
     # sinks
     "TraceData",
     "wall_timestamp",

@@ -56,6 +56,8 @@ __all__ = [
     "STUDY_CACHE_HITS",
     "STUDY_CACHE_MISSES",
     "INVARIANT_CHECKS",
+    "MERGE_FASTPATH_HITS",
+    "MERGE_FASTPATH_MISSES",
 ]
 
 _ENV_FLAG = "REPRO_METRICS"
@@ -79,6 +81,12 @@ STUDY_CACHE_HITS = "study_cache_hits"
 STUDY_CACHE_MISSES = "study_cache_misses"
 #: Runtime invariant validations (``REPRO_DEBUG_INVARIANTS=1``).
 INVARIANT_CHECKS = "invariant_checks"
+#: Combines served by the canonical two-run sorted-merge kernel
+#: (:func:`repro.hypersparse.merge.merge_combine`) — no argsort paid.
+MERGE_FASTPATH_HITS = "merge_fastpath_hits"
+#: Full argsort canonicalizations (construction from arbitrary triples,
+#: ``mxm`` product combining) where the merge fast path cannot apply.
+MERGE_FASTPATH_MISSES = "merge_fastpath_misses"
 
 
 class Counter:

@@ -7,7 +7,15 @@ chunking and a streaming accumulator that builds hierarchical hypersparse
 matrices from packet shards in parallel.
 """
 
-from .pool import parallel_map, cpu_count
+from .pool import configured_processes, cpu_count, get_pool, parallel_map, shutdown_pools
 from .streaming import parallel_accumulate, shard_packets
 
-__all__ = ["parallel_map", "cpu_count", "parallel_accumulate", "shard_packets"]
+__all__ = [
+    "parallel_map",
+    "cpu_count",
+    "configured_processes",
+    "get_pool",
+    "shutdown_pools",
+    "parallel_accumulate",
+    "shard_packets",
+]

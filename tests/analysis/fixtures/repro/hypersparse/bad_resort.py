@@ -1,0 +1,30 @@
+"""RL008 fixture: re-sorting canonical data inside the hypersparse package."""
+
+import numpy as np
+
+__all__ = ["resorted_union", "lex_resort", "sanctioned_canonicalization", "merge_ok"]
+
+
+def resorted_union(keys_a, vals_a, keys_b, vals_b):
+    """Concat-and-argsort over two canonical runs — flagged."""
+    keys = np.concatenate([keys_a, keys_b])
+    vals = np.concatenate([vals_a, vals_b])
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]
+
+
+def lex_resort(rows, cols):
+    """Lexsort of canonical coordinates — flagged."""
+    return np.lexsort((cols, rows))
+
+
+def sanctioned_canonicalization(keys):
+    """A justified full sort — suppressed by the allowlist."""
+    order = np.argsort(keys, kind="stable")  # lint: allow-resort — construction site
+    return keys[order]
+
+
+def merge_ok(keys_a, keys_b):
+    """Binary-search membership keeps the invariant — not flagged."""
+    idx = np.searchsorted(keys_a, keys_b)
+    return np.minimum(idx, keys_a.size - 1)

@@ -186,6 +186,34 @@ class TestTimerDiscipline:
         assert result.findings == []
 
 
+class TestResort:
+    def test_flags_argsort_and_lexsort(self):
+        findings = run_rule("RL008", "repro/hypersparse/bad_resort.py")
+        assert len(findings) == 2
+        assert any("argsort" in f.message for f in findings)
+        assert any("lexsort" in f.message for f in findings)
+
+    def test_allowlisted_canonicalization_passes(self):
+        findings = run_rule("RL008", "repro/hypersparse/bad_resort.py")
+        source = (FIXTURES / "repro/hypersparse/bad_resort.py").read_text().splitlines()
+        for line in lines_of(findings):
+            assert "allow-resort" not in source[line - 1]
+
+    def test_searchsorted_not_flagged(self):
+        findings = run_rule("RL008", "repro/hypersparse/bad_resort.py")
+        assert all("searchsorted" not in f.message for f in findings)
+
+    def test_out_of_scope_module_ignored(self):
+        # argsort outside hypersparse/ is not RL008's business.
+        assert run_rule("RL008", "repro/bad_random.py") == []
+
+    def test_real_hypersparse_package_clean(self):
+        # The shipped kernels carry allow-resort only at sanctioned
+        # canonicalization sites; everything else merges without sorting.
+        result = lint_paths([SRC_REPRO / "hypersparse"], [rule_by_id("RL008")])
+        assert result.findings == []
+
+
 class TestEngine:
     def test_every_rule_has_fixture_coverage(self):
         # Run everything over the whole fixture tree: each shipped rule

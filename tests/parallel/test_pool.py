@@ -1,9 +1,17 @@
 """Process-pool mapping."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.parallel import cpu_count, parallel_map
+from repro.parallel import (
+    configured_processes,
+    cpu_count,
+    get_pool,
+    parallel_map,
+    shutdown_pools,
+)
 
 
 def square(x):
@@ -42,3 +50,72 @@ def test_cpu_count_positive():
 def test_chunksize_override():
     out = parallel_map(square, list(range(64)), processes=2, chunksize=5)
     assert out == [x * x for x in range(64)]
+
+
+def worker_pid(_):
+    return os.getpid()
+
+
+class TestPersistentPool:
+    """The pool survives between calls: startup is paid once, not per map."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pools(self):
+        shutdown_pools()
+        yield
+        shutdown_pools()
+
+    def test_get_pool_reuses_same_width(self):
+        assert get_pool(2) is get_pool(2)
+
+    def test_distinct_widths_get_distinct_pools(self):
+        assert get_pool(2) is not get_pool(3)
+
+    def test_workers_persist_across_maps(self):
+        pids_first = set(parallel_map(worker_pid, list(range(32)), processes=2))
+        pids_second = set(parallel_map(worker_pid, list(range(32)), processes=2))
+        # A fresh pool per call would show up to 4 distinct worker pids;
+        # the persistent pool serves both batches from the same 2.
+        assert len(pids_first | pids_second) <= 2
+
+    def test_usable_again_after_shutdown(self):
+        assert parallel_map(square, list(range(20)), processes=2) == [
+            x * x for x in range(20)
+        ]
+        shutdown_pools()
+        assert parallel_map(square, list(range(20)), processes=2) == [
+            x * x for x in range(20)
+        ]
+
+    def test_shutdown_idempotent(self):
+        get_pool(2)
+        shutdown_pools()
+        shutdown_pools()
+
+
+class TestProcessesEnv:
+    def test_unset_returns_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert configured_processes() is None
+
+    def test_env_sets_default_width(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "2")
+        assert configured_processes() == 2
+        shutdown_pools()
+        pids = set(parallel_map(worker_pid, list(range(32))))
+        assert len(pids) <= 2
+        shutdown_pools()
+
+    def test_env_one_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "1")
+        assert parallel_map(worker_pid, list(range(8))) == [os.getpid()] * 8
+
+    def test_explicit_processes_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "4")
+        assert parallel_map(worker_pid, list(range(8)), processes=1) == [os.getpid()] * 8
+
+    @pytest.mark.parametrize("bad", ["lots", "0", "-2", "2.5"])
+    def test_malformed_env_raises(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_PROCESSES", bad)
+        with pytest.raises(ValueError, match="REPRO_PROCESSES"):
+            configured_processes()

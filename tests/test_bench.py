@@ -1,0 +1,133 @@
+"""Benchmark-regression harness: result files, comparison, CLI gating."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    compare_results,
+    format_comparison,
+    load_results,
+)
+from repro.cli import main
+
+
+def write_results(path, medians, schema=BENCH_SCHEMA):
+    payload = {
+        "schema": schema,
+        "benchmarks": {
+            name: {"wall_median_s": median} for name, median in medians.items()
+        },
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestLoadResults:
+    def test_round_trip(self, tmp_path):
+        p = write_results(tmp_path / "r.json", {"bench_a": 0.5})
+        data = load_results(p)
+        assert data["benchmarks"]["bench_a"]["wall_median_s"] == 0.5
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_results(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_results(p)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        p = write_results(tmp_path / "r.json", {"a": 1.0}, schema=999)
+        with pytest.raises(ValueError, match="schema"):
+            load_results(p)
+
+    def test_missing_median_raises(self, tmp_path):
+        p = tmp_path / "r.json"
+        p.write_text(
+            json.dumps({"schema": BENCH_SCHEMA, "benchmarks": {"a": {}}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="wall_median_s"):
+            load_results(p)
+
+
+def payload(medians):
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmarks": {n: {"wall_median_s": m} for n, m in medians.items()},
+    }
+
+
+class TestCompareResults:
+    def test_within_tolerance_is_ok(self):
+        rows = compare_results(payload({"a": 1.0}), payload({"a": 1.05}), 10.0)
+        assert [r.status for r in rows] == ["ok"]
+        assert not rows[0].regressed
+
+    def test_slowdown_beyond_tolerance_regresses(self):
+        rows = compare_results(payload({"a": 1.0}), payload({"a": 1.30}), 10.0)
+        assert rows[0].regressed
+        assert rows[0].delta_pct == pytest.approx(30.0)
+
+    def test_speedup_beyond_tolerance_is_improved(self):
+        rows = compare_results(payload({"a": 1.0}), payload({"a": 0.5}), 10.0)
+        assert [r.status for r in rows] == ["improved"]
+        assert not rows[0].regressed
+
+    def test_missing_sides_never_fail(self):
+        rows = compare_results(
+            payload({"old": 1.0, "both": 1.0}), payload({"new": 1.0, "both": 1.0}), 10.0
+        )
+        by_name = {r.name: r.status for r in rows}
+        assert by_name == {"old": "baseline-only", "new": "current-only", "both": "ok"}
+        assert not any(r.regressed for r in rows)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_results(payload({}), payload({}), -1.0)
+
+    def test_format_mentions_regressions(self):
+        rows = compare_results(payload({"a": 1.0}), payload({"a": 2.0}), 10.0)
+        text = format_comparison(rows, 10.0)
+        assert "regressed" in text and "1 regression(s)" in text
+        ok_rows = compare_results(payload({"a": 1.0}), payload({"a": 1.0}), 10.0)
+        assert "no regressions" in format_comparison(ok_rows, 10.0)
+
+
+class TestBenchCompareCli:
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.02})
+        assert main(["bench", "compare", str(base), str(curr)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.0, "b": 3.0})
+        assert main(["bench", "compare", str(base), str(curr)]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+
+    def test_tolerance_flag_waives_regression(self, tmp_path):
+        base = write_results(tmp_path / "base.json", {"a": 1.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.3})
+        assert main(["bench", "compare", str(base), str(curr)]) == 1
+        assert (
+            main(["bench", "compare", str(base), str(curr), "--tolerance", "50"]) == 0
+        )
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0})
+        assert main(["bench", "compare", str(base), str(tmp_path / "missing.json")]) == 2
+        assert "repro bench" in capsys.readouterr().err
+
+    def test_malformed_file_exits_two(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        assert main(["bench", "compare", str(base), str(bad)]) == 2
+        assert "repro bench" in capsys.readouterr().err
