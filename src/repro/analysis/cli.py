@@ -7,8 +7,12 @@ Reached two ways::
 
 With no paths, lints the ``src/repro`` tree if the working directory
 looks like a checkout, else the installed ``repro`` package itself.
-Exit status: 0 clean, 1 findings, 2 usage/IO error — so CI can gate on
-it directly.
+Configuration comes from the nearest ``pyproject.toml``'s
+``[tool.repro-lint]`` table.  ``--changed-only`` reuses the on-disk
+cache (sound: identical results to a full run, see
+:mod:`repro.analysis.cache`); ``--sarif FILE`` additionally writes a
+SARIF 2.1.0 log for code-scanning upload.  Exit status: 0 clean, 1
+findings, 2 usage/IO/config error — so CI can gate on it directly.
 """
 
 from __future__ import annotations
@@ -18,9 +22,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .cache import DEFAULT_CACHE_FILE, lint_paths_incremental
+from .config import ConfigError, load_config
 from .engine import lint_paths
+from .knobs import format_knob_table
 from .report import format_findings, format_rules, format_summary, to_json
 from .rules import ALL_RULES, rule_by_id
+from .sarif import format_sarif
 
 __all__ = ["main"]
 
@@ -48,9 +56,32 @@ def _parser() -> argparse.ArgumentParser:
         help="findings output format",
     )
     p.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 log to FILE ('-' for stdout)",
+    )
+    p.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="reuse cached results for unchanged files (same findings as a full run)",
+    )
+    p.add_argument(
+        "--cache-file",
+        type=Path,
+        default=DEFAULT_CACHE_FILE,
+        metavar="FILE",
+        help=f"incremental cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    p.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p.add_argument(
+        "--knobs",
+        action="store_true",
+        help="print the declared environment-knob registry and exit",
     )
     p.add_argument(
         "-q",
@@ -74,6 +105,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(format_rules(ALL_RULES))
         return 0
+    if args.knobs:
+        print(format_knob_table())
+        return 0
 
     rules = list(ALL_RULES)
     if args.select:
@@ -92,7 +126,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    result = lint_paths(paths, rules)
+    try:
+        config = load_config()
+    except ConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.changed_only:
+        result = lint_paths_incremental(
+            paths, rules, config, cache_file=args.cache_file
+        )
+    else:
+        result = lint_paths(paths, rules, config)
+
+    if args.sarif:
+        sarif_text = format_sarif(result, rules)
+        if args.sarif == "-":
+            sys.stdout.write(sarif_text)
+        else:
+            try:
+                Path(args.sarif).write_text(sarif_text)
+            except OSError as exc:
+                print(f"repro lint: cannot write SARIF log: {exc}", file=sys.stderr)
+                return 2
+
     if args.format == "json":
         print(to_json(result))
     else:

@@ -27,7 +27,6 @@ debug work a run performed.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from functools import wraps
 from typing import Any, Callable, Iterator, TypeVar
@@ -35,6 +34,7 @@ from typing import Any, Callable, Iterator, TypeVar
 import numpy as np
 
 from ..obs.metrics import INVARIANT_CHECKS, inc
+from .knobs import env_flag
 
 __all__ = [
     "InvariantViolation",
@@ -53,9 +53,8 @@ __all__ = [
 ]
 
 _ENV_FLAG = "REPRO_DEBUG_INVARIANTS"
-_TRUTHY = ("1", "true", "yes", "on")
 
-_enabled: bool = os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+_enabled: bool = env_flag(_ENV_FLAG)
 _validation_count: int = 0
 
 F = TypeVar("F", bound=Callable[..., Any])

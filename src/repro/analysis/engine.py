@@ -10,9 +10,18 @@ the parts rules should not reimplement:
   checked out — the path is anchored at the last ``repro`` directory
   component, which also makes test fixture trees that mirror the package
   layout (``tests/analysis/fixtures/repro/...``) lintable;
+* project configuration: the ``[tool.repro-lint]`` table from
+  ``pyproject.toml`` (see :mod:`repro.analysis.config`) rides on every
+  :class:`FileContext`, so tree-specific rule scope is data, not code;
 * the allowlist escape hatch: a ``# lint: allow-<tag>`` comment on the
   flagged line (or the line directly above it) suppresses findings of
-  every rule carrying that tag.
+  every rule carrying that tag.  For decorated ``def``/``class``
+  statements the comment may also sit above the decorator chain, and for
+  findings inside a multi-line simple statement it may sit at (or above)
+  the statement's first line;
+* the two-pass run: per-file rules see one file at a time, while
+  :class:`ProjectRule` subclasses run after all files are parsed and
+  receive the whole-program :class:`repro.analysis.flow.FlowGraph`.
 
 Rules never do I/O and never mutate the tree; the engine is pure apart
 from reading source files, so it is trivially testable and safe to run
@@ -22,19 +31,49 @@ in CI and pre-commit hooks.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Finding", "FileContext", "Rule", "LintResult", "lint_paths", "module_path"]
+from .config import LintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "LintResult",
+    "lint_paths",
+    "parse_contexts",
+    "check_contexts",
+    "run_file_rules",
+    "run_project_rules",
+    "module_path",
+]
 
 #: Comment syntax suppressing findings: ``# lint: allow-<tag>``.
 _ALLOW_RE = re.compile(r"#\s*lint:\s*allow-([A-Za-z0-9_-]+)")
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".egg-info"}
+
+#: Non-compound statements: an allow-comment at the statement's first
+#: line covers findings anywhere in the statement's line span.
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -53,7 +92,7 @@ class Finding:
 
 
 class Rule:
-    """Base class for lint rules.
+    """Base class for per-file lint rules.
 
     Subclasses set the class attributes and implement :meth:`check`.
 
@@ -87,6 +126,26 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules run after every file is parsed and receive the
+    :class:`repro.analysis.flow.FlowGraph` built over all of them, so
+    they can reason across module boundaries (call graphs, transitive
+    callees, class field sets).  Findings are still anchored at file
+    locations and still honour per-line ``# lint: allow-<tag>``
+    suppression.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Per-file pass: nothing — project rules run in the project pass."""
+        return iter(())
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Yield findings over the whole-program flow graph."""
+        raise NotImplementedError
+
+
 @dataclass
 class FileContext:
     """A parsed source file handed to every rule."""
@@ -95,7 +154,10 @@ class FileContext:
     module: str  #: normalized posix path anchored at the package root
     tree: ast.Module
     lines: List[str]
+    config: LintConfig = field(default_factory=LintConfig)
+    sha256: str = ""  #: content hash (incremental-cache key)
     _allow: Optional[Dict[int, Set[str]]] = field(default=None, repr=False)
+    _anchors: Optional[Dict[int, int]] = field(default=None, repr=False)
 
     @property
     def allow(self) -> Dict[int, Set[str]]:
@@ -108,10 +170,54 @@ class FileContext:
                     self._allow[i] = tags
         return self._allow
 
+    @property
+    def anchors(self) -> Dict[int, int]:
+        """Extra suppression anchors: finding line -> statement anchor line.
+
+        Two statement shapes put the natural comment position away from
+        the line a finding lands on:
+
+        * decorated ``def``/``class``: the finding sits on the ``def``
+          line, but the comment belongs above the decorator chain — the
+          anchor is the first decorator's line;
+        * multi-line *simple* statements (a call broken over several
+          lines, an annotated assignment with a long value): findings on
+          continuation lines anchor to the statement's first line.
+
+        Compound statements (``for``, ``with``, ``def`` bodies...) get no
+        anchor for their body lines — a comment above a function must not
+        blanket-suppress everything inside it.
+        """
+        if self._anchors is None:
+            anchors: Dict[int, int] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    if node.decorator_list:
+                        anchors.setdefault(node.lineno, node.decorator_list[0].lineno)
+                elif isinstance(node, _SIMPLE_STMTS):
+                    end = node.end_lineno or node.lineno
+                    for line in range(node.lineno + 1, end + 1):
+                        anchors.setdefault(line, node.lineno)
+            self._anchors = anchors
+        return self._anchors
+
     def allowed(self, line: int, tag: str) -> bool:
-        """True if ``tag`` is allowlisted on ``line`` or the line above."""
+        """True if ``tag`` is allowlisted at ``line`` or its anchors.
+
+        A tag applies when the comment sits on the line itself, the line
+        directly above, or — via :attr:`anchors` — the statement anchor
+        line (or the line above it) for decorated defs and multi-line
+        statements.
+        """
         allow = self.allow
-        return tag in allow.get(line, ()) or tag in allow.get(line - 1, ())
+        if tag in allow.get(line, ()) or tag in allow.get(line - 1, ()):
+            return True
+        anchor = self.anchors.get(line)
+        if anchor is None or anchor == line:
+            return False
+        return tag in allow.get(anchor, ()) or tag in allow.get(anchor - 1, ())
 
     def in_package(self, *prefixes: str) -> bool:
         """True when the module path starts with any of the given prefixes."""
@@ -177,7 +283,7 @@ def _iter_py_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield p
 
 
-def _parse(path: Path) -> Tuple[Optional[FileContext], Optional[str]]:
+def _parse(path: Path, config: LintConfig) -> Tuple[Optional[FileContext], Optional[str]]:
     try:
         with tokenize.open(path) as fh:  # honours PEP 263 encoding declarations
             source = fh.read()
@@ -190,38 +296,101 @@ def _parse(path: Path) -> Tuple[Optional[FileContext], Optional[str]]:
             module=module_path(path),
             tree=tree,
             lines=source.splitlines(),
+            config=config,
+            sha256=hashlib.sha256(source.encode("utf-8")).hexdigest(),
         ),
         None,
     )
 
 
+def parse_contexts(
+    paths: Iterable[Path],
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[FileContext], List[str]]:
+    """Parse every Python file under ``paths`` into file contexts.
+
+    Returns ``(contexts, errors)``; unparsable files land in ``errors``
+    rather than raising, so one bad file cannot hide the rest of the
+    tree.  Shared by :func:`lint_paths` and the incremental cache, which
+    both need the parsed tree plus content hashes.
+    """
+    cfg = config if config is not None else LintConfig()
+    contexts: List[FileContext] = []
+    errors: List[str] = []
+    for path in _iter_py_files([Path(p) for p in paths]):
+        ctx, err = _parse(path, cfg)
+        if ctx is None:
+            errors.append(err or str(path))
+        else:
+            contexts.append(ctx)
+    return contexts, errors
+
+
+def run_file_rules(ctx: FileContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Run per-file rules over one context (suppression applied)."""
+    findings: List[Finding] = []
+    for rule in rules:
+        for f in rule.check(ctx):
+            if not ctx.allowed(f.line, rule.tag):
+                findings.append(f)
+    return findings
+
+
+def run_project_rules(
+    graph,
+    rules: Sequence["ProjectRule"],
+    contexts: Sequence[FileContext],
+) -> List[Finding]:
+    """Run project rules over a built flow graph (suppression applied)."""
+    by_path = {str(ctx.path): ctx for ctx in contexts}
+    findings: List[Finding] = []
+    for rule in rules:
+        for f in rule.check_project(graph):
+            ctx = by_path.get(f.path)
+            if ctx is None or not ctx.allowed(f.line, rule.tag):
+                findings.append(f)
+    return findings
+
+
+def check_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    """Run ``rules`` over pre-parsed contexts (suppression applied).
+
+    Per-file rules run file by file; :class:`ProjectRule` instances run
+    once over the flow graph built from *all* contexts.
+    """
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    findings: List[Finding] = []
+    for ctx in contexts:
+        findings.extend(run_file_rules(ctx, file_rules))
+    if project_rules:
+        from .flow import build_flow_graph  # deferred: flow depends on engine types
+
+        graph = build_flow_graph(contexts)
+        findings.extend(run_project_rules(graph, project_rules, contexts))
+    return findings
+
+
 def lint_paths(
     paths: Iterable[Path],
     rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
 ) -> LintResult:
     """Run ``rules`` over every Python file under ``paths``.
 
-    Findings on allowlisted lines (``# lint: allow-<tag>`` on the finding's
-    line or the line above) are suppressed.  Unparsable files are reported
-    as errors rather than raising, so one bad file cannot hide findings in
-    the rest of the tree.
+    Findings on allowlisted lines (``# lint: allow-<tag>``, see
+    :meth:`FileContext.allowed`) are suppressed.  Unparsable files are
+    reported as errors rather than raising.  ``config`` carries the
+    ``[tool.repro-lint]`` table; defaults apply when omitted.
     """
-    findings: List[Finding] = []
-    errors: List[str] = []
-    n_files = 0
-    for path in _iter_py_files([Path(p) for p in paths]):
-        ctx, err = _parse(path)
-        if ctx is None:
-            errors.append(err or str(path))
-            continue
-        n_files += 1
-        for rule in rules:
-            for f in rule.check(ctx):
-                if not ctx.allowed(f.line, rule.tag):
-                    findings.append(f)
+    contexts, errors = parse_contexts(paths, config)
+    findings = check_contexts(contexts, rules)
     return LintResult(
         findings=sorted(findings),
-        files_checked=n_files,
+        files_checked=len(contexts),
         rules_run=len(rules),
         errors=errors,
     )

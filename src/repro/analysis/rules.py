@@ -1,18 +1,21 @@
-"""The repro-lint rule catalogue (RL001–RL008).
+"""The repro-lint rule catalogue (RL001–RL012).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
-catalogue.  Rules are pure AST checks — scoping (which packages a rule
-patrols) lives here, suppression (``# lint: allow-<tag>``) lives in the
-engine.
+catalogue.  RL001–RL008 and RL011–RL012 are pure per-file AST checks;
+RL009 and RL010 are :class:`~repro.analysis.engine.ProjectRule`
+subclasses reasoning over the whole-program
+:class:`~repro.analysis.flow.FlowGraph`.  Scoping (which packages a
+rule patrols) lives here, suppression (``# lint: allow-<tag>``) lives
+in the engine.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .engine import FileContext, Finding, Rule
+from .engine import FileContext, Finding, ProjectRule, Rule
 
 __all__ = [
     "UnseededRandomRule",
@@ -23,6 +26,10 @@ __all__ = [
     "WallClockRule",
     "TimerDisciplineRule",
     "ResortRule",
+    "ForkSafetyRule",
+    "ImmutabilityRule",
+    "DtypeWidthRule",
+    "EnvKnobRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -30,16 +37,10 @@ __all__ = [
 #: Packages whose kernels must construct arrays with explicit dtypes.
 _DTYPE_SCOPE = ("repro/hypersparse/", "repro/d4m/", "repro/traffic/")
 
-#: Hot-path modules where per-entry Python loops are forbidden.
-_HOT_MODULES = (
-    "repro/hypersparse/ops.py",
-    "repro/hypersparse/coo.py",
-    "repro/hypersparse/merge.py",
-    "repro/d4m/ops.py",
-)
-
-#: The package whose canonical-form data must never be re-sorted.
-_CANONICAL_SCOPE = "repro/hypersparse/"
+# RL003's hot-module list and RL008's canonical scope are tree
+# properties, not rule logic: they live in pyproject.toml's
+# [tool.repro-lint] table and reach rules via ctx.config (see
+# repro.analysis.config for the shipped defaults).
 
 #: Packages whose kernels must be deterministic (no wall-clock reads).
 _KERNEL_SCOPE = (
@@ -243,8 +244,8 @@ class DtypeDisciplineRule(Rule):
 class EntryLoopRule(Rule):
     """RL003 — no per-entry Python loops in hot-path kernels.
 
-    ``hypersparse/ops.py``, ``hypersparse/coo.py`` and ``d4m/ops.py`` are
-    the modules every experiment's inner loop runs through; a Python-level
+    The hot-module list (``[tool.repro-lint] hot-modules``) names the
+    modules every experiment's inner loop runs through; a Python-level
     ``for``/``while`` over entry triples turns an O(nnz) vectorized kernel
     into an interpreter-bound one.  Justified loops (e.g. over a fixed
     2x2 block grid) carry ``# lint: allow-loop``.
@@ -255,8 +256,8 @@ class EntryLoopRule(Rule):
     description = "Python for/while loop in a hot-path kernel module"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        """Flag for/while statements in the hot-path modules."""
-        if not ctx.is_module(*_HOT_MODULES):
+        """Flag for/while statements in the configured hot-path modules."""
+        if not ctx.is_module(*ctx.config.hot_modules):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
@@ -420,7 +421,8 @@ class ResortRule(Rule):
     exact cost :mod:`repro.hypersparse.merge` exists to avoid.  The
     sanctioned full-sort sites (canonicalization of arbitrary triples at
     construction, transpose, cross-axis reductions) carry
-    ``# lint: allow-resort`` with a justification.
+    ``# lint: allow-resort`` with a justification.  The patrolled
+    package list is ``[tool.repro-lint] canonical-scope``.
     """
 
     id = "RL008"
@@ -430,8 +432,8 @@ class ResortRule(Rule):
     _SORTERS = ("argsort", "lexsort")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        """Flag argsort/lexsort calls inside the hypersparse package."""
-        if not ctx.in_package(_CANONICAL_SCOPE):
+        """Flag argsort/lexsort calls inside the canonical-scope packages."""
+        if not ctx.in_package(*ctx.config.canonical_scope):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -451,6 +453,489 @@ class ResortRule(Rule):
                 )
 
 
+class ForkSafetyRule(ProjectRule):
+    """RL009 — callables submitted to the process pool must be fork-safe.
+
+    :func:`repro.parallel.pool.parallel_map` runs its worker in
+    fork-started children.  A worker (or anything it transitively calls)
+    that mutates module globals does so in the *child's* copy — the
+    parent never sees the write, which is exactly the kind of silently
+    lost state the memoization and metrics registries invite.  A worker
+    that reads a module-level resource binding (open file handle, pool,
+    RNG) inherits live OS state across the fork.  And lambdas / nested
+    functions cannot be pickled to a child at all.
+
+    The rule resolves each submission site's worker argument through
+    local aliases and ``functools.partial`` wrappers, then checks the
+    worker and its transitive callees.  Callees inside ``repro.obs`` and
+    ``repro.analysis`` are exempt: the telemetry counters and the
+    invariant-validation counter are deliberately process-local (each
+    child accounts for its own work), which is documented fork-aware
+    behaviour, not lost state.
+    """
+
+    id = "RL009"
+    tag = "fork"
+    description = "pool-submitted callable mutates globals or captures resources"
+
+    #: Pool entry points whose first positional argument is the worker.
+    _SUBMITTERS = frozenset({"parallel_map"})
+
+    #: Dotted-module prefixes whose functions are fork-aware by design.
+    _EXEMPT_MODULES = ("repro.obs", "repro.analysis")
+
+    def _worker_offenses(self, graph, worker_key: str) -> List[str]:
+        offenses: List[str] = []
+        keys = [worker_key, *sorted(graph.transitive_callees(worker_key))]
+        for key in keys:
+            summary = graph.functions.get(key)
+            if summary is None or summary.module.startswith(self._EXEMPT_MODULES):
+                continue
+            info = graph.modules.get(summary.module)
+            for name, line in sorted(summary.global_writes.items()):
+                offenses.append(
+                    f"{key} writes module global {name!r} (line {line}); the "
+                    "write lands in the forked child and is lost"
+                )
+            if info is not None:
+                for name in sorted(summary.global_reads & set(info.resources)):
+                    kind, line = info.resources[name]
+                    offenses.append(
+                        f"{key} captures module-level {kind} {name!r} "
+                        f"(bound at {summary.module}:{line}); live OS state "
+                        "must not be inherited across fork"
+                    )
+        return offenses
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Check every pool submission site's worker for fork hazards."""
+        for summary in graph.functions.values():
+            if summary.module == "repro.parallel.pool":
+                continue  # the pool's own plumbing passes workers through
+            if not summary.module.startswith("repro"):
+                continue
+            for site in summary.calls:
+                resolved = graph.resolve_call(summary, site.raw)
+                last = site.raw.rsplit(".", 1)[-1]
+                is_submit = last in self._SUBMITTERS and (
+                    resolved is None
+                    or resolved.startswith("repro.parallel.pool:")
+                    or resolved.rpartition(":")[2] in self._SUBMITTERS
+                )
+                if not is_submit or not site.args:
+                    continue
+                path = graph.file_of(summary.key)
+                worker_desc = site.args[0]
+                if worker_desc is None:
+                    continue  # computed callable: nothing static to say
+                worker = graph.resolve_call(summary, worker_desc)
+                if worker in ("<lambda>", "<nested>"):
+                    kind = "lambda" if worker == "<lambda>" else "nested function"
+                    yield Finding(
+                        path=path,
+                        line=site.lineno,
+                        col=site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"worker {worker_desc!r} is a {kind}, which cannot "
+                            "be pickled into a pool child; use a module-level "
+                            "function (functools.partial for bound arguments)"
+                        ),
+                    )
+                    continue
+                if worker is None or worker not in graph.functions:
+                    continue
+                for offense in self._worker_offenses(graph, worker):
+                    yield Finding(
+                        path=path,
+                        line=site.lineno,
+                        col=site.col,
+                        rule_id=self.id,
+                        message=(
+                            f"worker {worker_desc!r} is not fork-safe: "
+                            f"{offense}; return results instead of mutating "
+                            "shared state, or mark '# lint: allow-fork' with "
+                            "a justification"
+                        ),
+                    )
+
+
+class ImmutabilityRule(ProjectRule):
+    """RL010 — no in-place mutation of canonical matrix fields.
+
+    :class:`~repro.hypersparse.coo.HyperSparseMatrix`,
+    :class:`~repro.hypersparse.coo.SparseVec` and
+    :class:`~repro.d4m.assoc.Assoc` are immutable after construction —
+    the sorted-merge kernels and the lazily cached packed keys both rest
+    on it.  The sanctioned way to produce a modified instance is the
+    ``cls.__new__(cls)`` constructor idiom (``_with_vals`` /
+    ``_from_canonical`` and friends), where a freshly created object's
+    fields are assigned exactly once.
+
+    The rule therefore distinguishes mutation shapes project-wide:
+
+    * *in-place* mutation of a protected field — ``m.vals.sort()``,
+      ``m.vals[i] = x``, ``m.vals += 1`` — is flagged everywhere,
+      including inside the owning class (a constructor that must scribble
+      on a freshly copied array carries ``# lint: allow-mutate``);
+    * *rebinding* a protected field (``obj.vals = ...``) is flagged
+      unless the receiver is a local bound from ``Cls.__new__(...)`` in
+      the same function, or is ``self``/``cls`` (a class managing its own
+      storage, e.g. the lazy key cache);
+    * ``self.<field>`` mutations inside unrelated classes that happen to
+      reuse a protected field name for their *own* slot are exempt.
+    """
+
+    id = "RL010"
+    tag = "mutate"
+    description = "in-place mutation of canonical HyperSparseMatrix/SparseVec/Assoc fields"
+
+    _PROTECTED_CLASSES = ("HyperSparseMatrix", "SparseVec", "Assoc")
+    #: Field names too generic to patrol (every class has a shape).
+    _IGNORED_FIELDS = frozenset({"shape", "T", "nnz", "is_string_valued"})
+
+    def _protected_fields(self, graph) -> Set[str]:
+        fields: Set[str] = set()
+        for name in self._PROTECTED_CLASSES:
+            for cls in graph.classes_named(name):
+                fields |= cls.fields
+        return fields - self._IGNORED_FIELDS
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Flag mutations of protected fields across the whole project."""
+        from .flow import ARRAY_MUTATORS
+
+        protected = self._protected_fields(graph)
+        if not protected:
+            return
+        for summary in graph.functions.values():
+            info = graph.modules.get(summary.module)
+            if info is None or not info.path.startswith("repro/"):
+                continue
+            in_protected_class = summary.cls in self._PROTECTED_CLASSES
+            for mut in summary.mutations:
+                parts = mut.target.split(".")
+                base, attrs = parts[0], parts[1:]
+                if not any(a in protected for a in attrs):
+                    continue
+                own_storage = base in ("self", "cls")
+                if mut.kind == "attr-assign":
+                    # Rebinding: sanctioned on fresh __new__ locals and on
+                    # the object's own storage.
+                    if base in summary.new_locals or own_storage:
+                        continue
+                    verb = f"rebinds field {'.'.join(attrs)!r} of {base!r}"
+                elif mut.kind.startswith("call:"):
+                    method = mut.kind.partition(":")[2]
+                    if method not in ARRAY_MUTATORS:
+                        continue  # container methods: not canonical arrays
+                    if own_storage and not in_protected_class:
+                        continue  # unrelated class mutating its own slot
+                    verb = f"calls in-place {method}() on {mut.target!r}"
+                else:  # subscript-assign / augassign
+                    if own_storage and not in_protected_class:
+                        continue
+                    what = (
+                        "augmented-assigns" if mut.kind == "augassign" else "writes elements of"
+                    )
+                    verb = f"{what} {mut.target!r}"
+                yield Finding(
+                    path=info.file,
+                    line=mut.lineno,
+                    col=mut.col,
+                    rule_id=self.id,
+                    message=(
+                        f"{summary.key} {verb}: canonical matrix data is "
+                        "immutable after construction; copy the array first "
+                        "or build a new instance via the cls.__new__ "
+                        "constructor helpers, or mark '# lint: allow-mutate' "
+                        "at a sanctioned constructor site"
+                    ),
+                )
+
+
+#: Explicitly narrowed dtypes: arithmetic at these widths silently
+#: wraps/truncates packed 64-bit keys.
+_NARROW_DTYPES = frozenset(
+    {"int8", "int16", "int32", "uint8", "uint16", "uint32", "float16", "float32"}
+)
+_U64_NAMES = ("np.uint64", "numpy.uint64", "uint64")
+#: BinOps whose result can exceed operand width (packed-key arithmetic).
+_WIDENING_OPS = {ast.Mult: "*", ast.LShift: "<<", ast.Add: "+"}
+
+
+def _dtype_of(node: ast.AST) -> Optional[str]:
+    """The dtype a cast-like expression names (``"uint64"``, ``"int32"``...)."""
+    name = _dotted_name(node)
+    if name:
+        return name.rsplit(".", 1)[-1]
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _cast_dtype(node: ast.Call) -> Optional[str]:
+    """The target dtype of ``x.astype(d)`` / ``np.int32(x)`` / ``dtype=d`` calls."""
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+        and node.args
+    ):
+        # Structural, not name-based: the receiver may be any expression
+        # (``(a * b).astype(...)``), which has no dotted name.
+        return _dtype_of(node.args[0])
+    fn = _dotted_name(node.func)
+    if fn:
+        last = fn.rsplit(".", 1)[-1]
+        if last in _NARROW_DTYPES or last == "uint64":
+            return last
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return _dtype_of(kw.value)
+    return None
+
+
+def _const_expr(node: ast.AST) -> bool:
+    """True for literal constants and arithmetic over them (``2**32``)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _const_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _const_expr(node.left) and _const_expr(node.right)
+    return False
+
+
+def _width_safe(node: ast.AST, safe_names: Set[str]) -> bool:
+    """True when the expression's arithmetic evidently runs at uint64.
+
+    Python int literals are arbitrary precision — safe on their own, but
+    *neutral* as a NumPy operand: they adopt the array operand's dtype
+    rather than widening it, so a constant cannot rescue an unsafe
+    operand.
+    """
+    if _const_expr(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in safe_names
+    if isinstance(node, ast.UnaryOp):
+        return _width_safe(node.operand, safe_names)
+    if isinstance(node, ast.Call):
+        return _cast_dtype(node) == "uint64"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.LShift, ast.RShift)):
+            # The shift amount's width never widens the shifted value:
+            # only the left operand decides the arithmetic width.
+            return _width_safe(node.left, safe_names)
+        left = _width_safe(node.left, safe_names)
+        right = _width_safe(node.right, safe_names)
+        if _const_expr(node.left):
+            return right
+        if _const_expr(node.right):
+            return left
+        return left or right
+    return False
+
+
+def _narrow_operand(node: ast.AST) -> Optional[str]:
+    """The narrow dtype an operand is explicitly cast to, if any."""
+    if isinstance(node, ast.UnaryOp):
+        return _narrow_operand(node.operand)
+    if isinstance(node, ast.Call):
+        dtype = _cast_dtype(node)
+        if dtype in _NARROW_DTYPES:
+            return dtype
+    return None
+
+
+class DtypeWidthRule(Rule):
+    """RL011 — packed-key arithmetic must run at uint64 width.
+
+    The packed key ``(row << 32) | col`` and its multiplicative form
+    ``row * 2**32 + col`` only survive if the shift/multiply itself runs
+    in uint64.  Two silent-truncation shapes are flagged:
+
+    * a uint64 cast applied *after* the arithmetic —
+      ``np.uint64(r << 32)``, ``(r * 2**32 + c).astype(np.uint64)`` —
+      where no operand is evidently uint64 already: the expression runs
+      at the operands' native width (``int32`` indices, platform
+      ``intp``...) and overflows *before* the widening cast;
+    * a shift/multiply with an operand explicitly narrowed below 64 bits
+      (``idx.astype(np.int32) << 32``).
+
+    Width tracking is flow-insensitive: a local counts as uint64-safe
+    when every assignment to it in the enclosing scope is evidently
+    uint64 (module-level constants like ``_MIX1 = np.uint64(...)``
+    included), which keeps the splitmix64 mixer and the sanctioned
+    cast-operands-first packing idiom clean without annotations.
+    """
+
+    id = "RL011"
+    tag = "width"
+    description = "shift/multiply that can overflow before its uint64 cast"
+
+    def _safe_names(
+        self, stmts: Sequence[ast.stmt], inherited: Set[str]
+    ) -> Set[str]:
+        """Names whose every assignment in this scope is width-safe."""
+        assigned: Dict[str, bool] = {}
+        for stmt in stmts:
+            for node in _walk_scope(stmt):
+                target: Optional[str] = None
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    if isinstance(node.targets[0], ast.Name):
+                        target, value = node.targets[0].id, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if isinstance(node.target, ast.Name):
+                        target, value = node.target.id, node.value
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    for t in ast.walk(node.target):
+                        if isinstance(t, ast.Name):
+                            assigned[t.id] = False
+                if target is not None and value is not None:
+                    ok = _width_safe(value, inherited | {
+                        n for n, good in assigned.items() if good
+                    })
+                    assigned[target] = assigned.get(target, True) and ok
+        return inherited | {n for n, good in assigned.items() if good}
+
+    def _check_scope(
+        self, ctx: FileContext, stmts: Sequence[ast.stmt], inherited: Set[str]
+    ) -> Iterator[Finding]:
+        safe = self._safe_names(stmts, inherited)
+        nested: List[Sequence[ast.stmt]] = []
+        for stmt in stmts:
+            for node in _walk_scope(stmt, nested):
+                if isinstance(node, ast.BinOp) and type(node.op) in _WIDENING_OPS:
+                    op = _WIDENING_OPS[type(node.op)]
+                    for operand in (node.left, node.right):
+                        dtype = _narrow_operand(operand)
+                        if dtype is not None:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"'{op}' on an operand explicitly narrowed to "
+                                f"{dtype}; packed-key arithmetic needs uint64 "
+                                "operands (cast before the arithmetic)",
+                            )
+                elif isinstance(node, ast.Call):
+                    if _cast_dtype(node) != "uint64":
+                        continue
+                    inner = node.args[0] if node.args else None
+                    if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                        inner = node.func.value
+                    if (
+                        isinstance(inner, ast.BinOp)
+                        and type(inner.op) in _WIDENING_OPS
+                        and not _width_safe(inner, safe)
+                    ):
+                        op = _WIDENING_OPS[type(inner.op)]
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"uint64 cast applied after '{op}': the arithmetic "
+                            "runs at the operands' native width and can "
+                            "overflow before widening; cast the operands to "
+                            "uint64 first",
+                        )
+        for body in nested:
+            yield from self._check_scope(ctx, body, safe)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag width-unsafe packed-key arithmetic, scope by scope."""
+        if not ctx.in_package("repro/"):
+            return
+        yield from self._check_scope(ctx, ctx.tree.body, set())
+
+
+def _walk_scope(
+    stmt: ast.stmt, nested: Optional[List[Sequence[ast.stmt]]] = None
+) -> Iterator[ast.AST]:
+    """Walk a statement without descending into nested def/class bodies.
+
+    Nested function and class bodies are their own width-tracking scopes;
+    when ``nested`` is given their bodies are collected for recursion.
+    """
+    stack: List[ast.AST] = [stmt]
+    root = True
+    while stack:
+        node = stack.pop()
+        if not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if nested is not None:
+                nested.append(node.body)
+            stack.extend(node.decorator_list)
+            continue
+        root = False
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class EnvKnobRule(Rule):
+    """RL012 — environment reads go through the knob registry.
+
+    :mod:`repro.analysis.knobs` declares every ``REPRO_*`` environment
+    variable the package responds to — name, type, default, owner — and
+    is the single source the docs table is generated from.  A raw
+    ``os.environ`` / ``os.getenv`` read anywhere else in the package is
+    an undocumented knob; an ``env_flag``/``env_int``/``env_str``/
+    ``env_list`` call with a key the registry does not declare is a
+    typo'd or unregistered one.  Both are flagged.
+    """
+
+    id = "RL012"
+    tag = "env"
+    description = "os.environ read outside the knob registry, or undeclared knob"
+
+    _REGISTRY = "repro/analysis/knobs.py"
+    _READERS = frozenset({"env_flag", "env_int", "env_str", "env_list", "env_raw"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag raw environment access and undeclared knob names."""
+        if not ctx.in_package("repro/") or ctx.is_module(self._REGISTRY):
+            return
+        from .knobs import knob_names
+
+        declared = knob_names()
+        for node in ast.walk(ctx.tree):
+            name = _dotted_name(node) if isinstance(node, ast.Attribute) else None
+            if name is not None and name.endswith("os.environ") or name == "os.environ":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "raw os.environ access; declare the variable in "
+                    "repro.analysis.knobs.KNOBS and read it via "
+                    "env_flag/env_int/env_str/env_list",
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            fn = _dotted_name(node.func)
+            if fn is None:
+                continue
+            if fn == "os.getenv" or fn.endswith(".os.getenv"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "os.getenv() bypasses the knob registry; declare the "
+                    "variable in repro.analysis.knobs.KNOBS and read it via "
+                    "env_flag/env_int/env_str/env_list",
+                )
+            elif fn.rsplit(".", 1)[-1] in self._READERS:
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    key = node.args[0].value
+                    if isinstance(key, str) and key not in declared:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"knob {key!r} is not declared in "
+                            "repro.analysis.knobs.KNOBS; register it (with "
+                            "type, default and owner) before reading it",
+                        )
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -461,6 +946,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     TimerDisciplineRule(),
     ResortRule(),
+    ForkSafetyRule(),
+    ImmutabilityRule(),
+    DtypeWidthRule(),
+    EnvKnobRule(),
 )
 
 

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output for repro-lint (``repro lint --sarif FILE``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+interchange format GitHub code scanning ingests: uploading the log from
+CI turns each finding into an inline annotation on the offending line of
+a pull request.  This module emits the minimal schema-valid subset —
+one run, the full rule catalogue as ``reportingDescriptor`` entries
+(so the allowlist tag and help text travel with the log), one
+``result`` per finding, and parse failures as tool-execution
+notifications so a syntactically broken file fails visibly rather than
+silently shrinking the result set.
+
+File URIs are emitted as the relative posix form of the path exactly as
+linted, which matches what code scanning expects when the linter runs
+from the repository root (CI does).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Any, Dict, List, Sequence
+
+from .engine import LintResult, Rule
+
+__all__ = ["to_sarif", "format_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_URI = "https://github.com/paper-repro/repro/blob/main/docs/STATIC_ANALYSIS.md"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.description},
+        "helpUri": _TOOL_URI,
+        "defaultConfiguration": {"level": "error"},
+        "properties": {
+            "tags": ["repro-lint"],
+            "suppressionComment": f"# lint: allow-{rule.tag}",
+        },
+    }
+
+
+def to_sarif(result: LintResult, rules: Sequence[Rule]) -> Dict[str, Any]:
+    """The lint result as a SARIF 2.1.0 log object (JSON-serializable).
+
+    ``rules`` should be the rule set the run executed; every finding's
+    ``ruleId`` must appear in it for the emitted ``ruleIndex`` links to
+    hold (an unknown id falls back to an index-less result).
+    """
+    descriptors = [_rule_descriptor(r) for r in rules]
+    index_of = {r.id: i for i, r in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for f in result.findings:
+        entry: Dict[str, Any] = {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": PurePath(f.path).as_posix()},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        if f.rule_id in index_of:
+            entry["ruleIndex"] = index_of[f.rule_id]
+        results.append(entry)
+    invocation: Dict[str, Any] = {"executionSuccessful": not result.errors}
+    if result.errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": err}} for err in result.errors
+        ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _TOOL_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "invocations": [invocation],
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(result: LintResult, rules: Sequence[Rule]) -> str:
+    """Serialized SARIF log text (two-space indent, trailing newline)."""
+    return json.dumps(to_sarif(result, rules), indent=2) + "\n"

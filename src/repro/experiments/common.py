@@ -14,10 +14,10 @@ benchmarks for different figures share the expensive data collection.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.knobs import env_int
 from ..core import CorrelationStudy
 from ..obs.metrics import STUDY_CACHE_HITS, STUDY_CACHE_MISSES, inc
 from ..obs.spans import annotate, span
@@ -36,14 +36,16 @@ def default_config(
 ) -> ModelConfig:
     """The experiment-scale model configuration (env-overridable)."""
     if log2_nv is None:
-        log2_nv = int(os.environ.get("REPRO_LOG2_NV", "18"))
+        env_nv = env_int("REPRO_LOG2_NV")
+        log2_nv = 18 if env_nv is None else env_nv
     if n_sources is None:
-        env = os.environ.get("REPRO_SOURCES")
+        env = env_int("REPRO_SOURCES")
         # Population tracks the window so unique-source counts stay in the
         # paper's proportion (~N_V^0.6 uniques per window).
-        n_sources = int(env) if env else max(4000, (1 << log2_nv) // 12)
+        n_sources = env if env is not None else max(4000, (1 << log2_nv) // 12)
     if seed is None:
-        seed = int(os.environ.get("REPRO_SEED", "20220101"))
+        env_seed = env_int("REPRO_SEED")
+        seed = 20220101 if env_seed is None else env_seed
     return ModelConfig(log2_nv=log2_nv, n_sources=n_sources, seed=seed)
 
 

@@ -28,10 +28,10 @@ it without cycles.
 
 from __future__ import annotations
 
-import os
 import threading
 from typing import Any, Dict, Union
 
+from ..analysis.knobs import env_flag
 from .spans import tracing_enabled
 
 __all__ = [
@@ -61,9 +61,8 @@ __all__ = [
 ]
 
 _ENV_FLAG = "REPRO_METRICS"
-_TRUTHY = ("1", "true", "yes", "on")
 
-_metrics_only: bool = os.environ.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+_metrics_only: bool = env_flag(_ENV_FLAG)
 
 # -- the counter catalogue ---------------------------------------------------
 

@@ -19,13 +19,13 @@ for ad-hoc use, independent of tracing.
 from __future__ import annotations
 
 import cProfile
-import os
 import threading
 from contextlib import contextmanager
 from fnmatch import fnmatch
 from pathlib import Path
 from typing import Callable, Iterator, List, Optional
 
+from ..analysis.knobs import env_list, env_str
 from .spans import Span, set_profile_hook
 
 __all__ = [
@@ -42,9 +42,7 @@ _lock = threading.Lock()
 _active = False  # cProfile cannot nest; one capture at a time
 _capture_seq = 0
 
-_patterns: List[str] = [
-    p.strip() for p in os.environ.get(_ENV_PATTERNS, "").split(",") if p.strip()
-]
+_patterns: List[str] = env_list(_ENV_PATTERNS)
 
 
 def profiling_patterns() -> List[str]:
@@ -59,7 +57,7 @@ def set_patterns(patterns: List[str]) -> None:
 
 
 def _output_dir() -> Path:
-    return Path(os.environ.get(_ENV_DIR, "") or ".")
+    return Path(env_str(_ENV_DIR, default="."))
 
 
 def _matches(name: str) -> bool:

@@ -25,7 +25,8 @@ accounting as a **zero-overhead-when-off** tracing layer, following the
 Finished spans accumulate in a process-wide recorder; drain them with
 :func:`take_spans` and export via :mod:`repro.obs.sinks`.
 
-This module deliberately imports nothing from the rest of the package, so
+This module deliberately imports nothing from the rest of the package
+except the import-free knob registry (:mod:`repro.analysis.knobs`), so
 every kernel layer can depend on it without cycles.  It is also the one
 sanctioned home for monotonic-clock reads (lint rule RL007): library code
 elsewhere uses :func:`span` / :func:`stopwatch` instead of calling
@@ -34,7 +35,6 @@ elsewhere uses :func:`span` / :func:`stopwatch` instead of calling
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 import tracemalloc
@@ -42,6 +42,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import wraps
 from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar
+
+from ..analysis.knobs import env_flag
 
 __all__ = [
     "Span",
@@ -65,15 +67,9 @@ __all__ = [
 
 _ENV_FLAG = "REPRO_TRACE"
 _ENV_MEM_FLAG = "REPRO_TRACE_MEM"
-_TRUTHY = ("1", "true", "yes", "on")
 
-
-def _env_truthy(name: str) -> bool:
-    return os.environ.get(name, "").strip().lower() in _TRUTHY
-
-
-_enabled: bool = _env_truthy(_ENV_FLAG)
-_trace_memory: bool = _env_truthy(_ENV_MEM_FLAG)
+_enabled: bool = env_flag(_ENV_FLAG)
+_trace_memory: bool = env_flag(_ENV_MEM_FLAG)
 
 #: All span start times are relative to this process-wide epoch, so traces
 #: from one run share a clock and Chrome-trace timestamps stay small.

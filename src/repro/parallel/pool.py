@@ -24,6 +24,7 @@ import os
 from multiprocessing.pool import Pool
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, cast
 
+from ..analysis.knobs import env_int
 from ..obs.spans import TimedCall, annotate, record_span, span, trace_epoch, tracing_enabled
 
 T = TypeVar("T")
@@ -37,7 +38,8 @@ __all__ = [
     "shutdown_pools",
 ]
 
-#: Environment variable naming the default worker count.
+#: Environment knob naming the default worker count (declared in
+#: :mod:`repro.analysis.knobs`).
 _ENV_PROCESSES = "REPRO_PROCESSES"
 
 _pools: Dict[int, Pool] = {}
@@ -60,14 +62,8 @@ def configured_processes() -> Optional[int]:
     monkeypatched) at runtime.  Malformed values raise ``ValueError``
     rather than silently running with a surprise width.
     """
-    raw = os.environ.get(_ENV_PROCESSES, "").strip()
-    if not raw:
-        return None
-    try:
-        n = int(raw)
-    except ValueError:
-        raise ValueError(f"{_ENV_PROCESSES} must be an integer, got {raw!r}") from None
-    if n < 1:
+    n = env_int(_ENV_PROCESSES)
+    if n is not None and n < 1:
         raise ValueError(f"{_ENV_PROCESSES} must be >= 1, got {n}")
     return n
 

@@ -1,0 +1,20 @@
+"""RL012 fixtures: raw environment reads and undeclared knobs."""
+
+import os
+
+__all__ = ["read_all"]
+
+
+def read_all():
+    """Raw reads, undeclared knobs, and the sanctioned registry path."""
+    a = os.environ.get("REPRO_MYSTERY")  # flagged: raw os.environ
+    b = os.getenv("REPRO_OTHER")  # flagged: os.getenv bypass
+    c = "REPRO_TRACE" in os.environ  # flagged: raw os.environ
+    from repro.analysis.knobs import env_flag, env_int
+
+    d = env_flag("REPRO_UNDECLARED")  # flagged: not in the registry
+    e = env_flag("REPRO_TRACE")  # clean: declared knob via registry
+    f = env_int("REPRO_LOG2_NV")  # clean: declared knob via registry
+    # lint: allow-env -- fixture: reading a foreign tool's variable
+    g = os.getenv("HOME")
+    return a, b, c, d, e, f, g

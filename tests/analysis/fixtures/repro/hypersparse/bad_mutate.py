@@ -1,0 +1,64 @@
+"""RL010 fixtures: canonical-field mutation vs the sanctioned idioms."""
+
+__all__ = ["HyperSparseMatrix", "Shadow", "mutate_all", "construct"]
+
+
+class HyperSparseMatrix:
+    """Stub with the real field inventory (slots + cached-key property)."""
+
+    __slots__ = ("_rows", "_cols", "vals", "shape", "_keys")
+
+    def __init__(self, rows, cols, vals):
+        """Assigning own storage during construction is sanctioned."""
+        self._rows = rows
+        self._cols = cols
+        self.vals = vals
+        self.shape = (2, 2)
+        self._keys = None
+
+    @property
+    def keys(self):
+        """Lazy cache: rebinding own storage is sanctioned."""
+        if self._keys is None:
+            self._keys = list(zip(self._rows, self._cols))
+        return self._keys
+
+    def corrupt(self):
+        """In-place mutation is flagged even inside the owning class."""
+        self.vals.sort()  # flagged
+
+
+class Shadow:
+    """Unrelated class reusing a protected field name for its own slot."""
+
+    __slots__ = ("_keys",)
+
+    def __init__(self):
+        """Own storage; RL010 must not fire here."""
+        self._keys = []
+
+    def tidy(self):
+        """Sorting one's own unrelated list is not RL010's business."""
+        self._keys.sort()  # clean: Shadow is not a canonical class
+
+
+def mutate_all(m):
+    """External mutation, every shape the rule distinguishes."""
+    m.vals.sort()  # flagged: in-place method
+    m.vals[0] = 0.0  # flagged: element write
+    m.vals += [1.0]  # flagged: augmented assign
+    m.vals = [2.0]  # flagged: rebind without __new__
+    # lint: allow-mutate -- fixture's sanctioned scribble on a fresh copy
+    m.vals.sort()
+    return m
+
+
+def construct(m):
+    """The cls.__new__ constructor idiom must stay clean."""
+    out = HyperSparseMatrix.__new__(HyperSparseMatrix)
+    out._rows = list(m._rows)
+    out._cols = list(m._cols)
+    out.vals = list(m.vals)
+    out.shape = m.shape
+    out._keys = None
+    return out

@@ -1,0 +1,28 @@
+"""RL011 fixtures: packed-key arithmetic width hazards and safe idioms."""
+
+import numpy as np
+
+__all__ = ["pack_bad", "pack_good"]
+
+_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def pack_bad(rows, cols):
+    """Every unsafe shape: cast after arithmetic, narrowed operands."""
+    a = np.uint64(rows << np.uint64(32))  # flagged: shift at native width
+    b = (rows * 2**32 + cols).astype(np.uint64)  # flagged: multiply first
+    c = rows.astype(np.int32) << 32  # flagged: explicitly narrowed
+    d = np.uint64(rows.astype(np.uint32) * cols)  # flagged twice
+    # lint: allow-width -- fixture: wraparound is intended here
+    e = np.uint64(rows << np.uint64(32))
+    return a, b, c, d, e
+
+
+def pack_good(rows, cols):
+    """Sanctioned: operands widened before the arithmetic."""
+    r = np.asarray(rows, dtype=np.uint64)
+    c = cols.astype(np.uint64)
+    key = (r << np.uint64(32)) | c
+    split = (r * _MULT).astype(np.uint64)  # safe: r is evidently uint64
+    const = np.uint64(3 * 2**32 + 7)  # safe: pure Python int arithmetic
+    return key, split, const

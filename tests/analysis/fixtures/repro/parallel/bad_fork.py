@@ -1,0 +1,58 @@
+"""RL009 fixtures: fork-unsafe and fork-safe pool submissions."""
+
+from functools import partial
+
+from .pool import parallel_map
+
+__all__ = ["submit_all"]
+
+_CACHE = {}
+_LOG = open("fixture.log", "w")  # noqa: SIM115
+_COUNTS = []
+
+
+def _caching_worker(x):
+    """Mutates a module global: the write dies with the forked child."""
+    _CACHE[x] = x * 2
+    return x
+
+
+def _appending_worker(x, scale):
+    """Transitively reaches a global-mutating helper."""
+    return _bump(x) * scale
+
+
+def _bump(x):
+    """The helper that actually mutates."""
+    _COUNTS.append(x)
+    return x + 1
+
+
+def _logging_worker(x):
+    """Captures a module-level file handle across the fork."""
+    _LOG.write(str(x))
+    return x
+
+
+def _pure_worker(x, scale=1):
+    """Fork-safe: returns its result, touches nothing shared."""
+    return x * scale
+
+
+def submit_all(items):
+    """Every submission shape the rule must classify."""
+    parallel_map(_caching_worker, items)  # flagged: direct global write
+    worker = partial(_appending_worker, scale=3)
+    parallel_map(worker, items)  # flagged: transitive global write
+    parallel_map(_logging_worker, items)  # flagged: handle capture
+    parallel_map(lambda x: x + 1, items)  # flagged: not picklable
+
+    def local(x):
+        return x
+
+    parallel_map(local, items)  # flagged: nested def, not picklable
+    parallel_map(_pure_worker, items)  # clean
+    safe = partial(_pure_worker, scale=2)
+    parallel_map(safe, items)  # clean: partial over a pure worker
+    # lint: allow-fork -- intentional child-side cache priming, results unused
+    parallel_map(_caching_worker, items)

@@ -1,0 +1,8 @@
+"""Stub of the pool entry points, so RL009 resolves submission sites."""
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(fn, items):
+    """Run ``fn`` over ``items`` (stand-in for the forking pool)."""
+    return [fn(item) for item in items]

@@ -1,0 +1,175 @@
+"""The incremental cache: warm == cold, invalidation, and soundness.
+
+The one property that matters: a ``--changed-only`` run over any tree
+state produces *exactly* the findings a cold full run would.  Every
+test here is some instantiation of that equivalence — including the
+cross-file case where an edit in one module changes project-rule
+findings anchored in another.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cache import (
+    DEFAULT_CACHE_FILE,
+    lint_paths_incremental,
+    rules_fingerprint,
+)
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        p = tmp_path / "tree" / "repro" / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(source))
+    return tmp_path / "tree" / "repro"
+
+
+POOL = """\
+    def parallel_map(fn, items):
+        return [fn(x) for x in items]
+    """
+
+WORKER_CLEAN = """\
+    def work(x):
+        return x + 1
+    """
+
+WORKER_DIRTY = """\
+    _SEEN = []
+    def work(x):
+        _SEEN.append(x)
+        return x + 1
+    """
+
+SUBMIT = """\
+    from .worker import work
+    from .pool import parallel_map
+    def run(items):
+        return parallel_map(work, items)
+    """
+
+
+class TestWarmEqualsCold:
+    def test_fixture_tree_warm_run_identical(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = lint_paths_incremental(
+            [FIXTURES / "repro"], list(ALL_RULES), cache_file=cache
+        )
+        baseline = lint_paths([FIXTURES / "repro"], list(ALL_RULES))
+        assert cold.findings == baseline.findings
+        warm = lint_paths_incremental(
+            [FIXTURES / "repro"], list(ALL_RULES), cache_file=cache
+        )
+        assert warm.findings == cold.findings
+        assert warm.files_checked == cold.files_checked
+
+    def test_warm_run_skips_file_rule_evaluation(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache.json"
+        rule = rule_by_id("RL001")
+        lint_paths_incremental([FIXTURES / "repro"], [rule], cache_file=cache)
+        calls = []
+        original = type(rule).check
+
+        def counting_check(self, ctx):
+            calls.append(ctx.path)
+            return original(self, ctx)
+
+        monkeypatch.setattr(type(rule), "check", counting_check)
+        lint_paths_incremental([FIXTURES / "repro"], [rule], cache_file=cache)
+        assert calls == []  # every file answered from cache
+
+
+class TestInvalidation:
+    def test_edited_file_relinted(self, tmp_path):
+        root = write_tree(tmp_path, {"mod.py": "X = 1\n"})
+        cache = tmp_path / "cache.json"
+        rules = [rule_by_id("RL004")]
+        first = lint_paths_incremental([root], rules, cache_file=cache)
+        assert len(first.findings) == 1  # missing __all__
+        (root / "mod.py").write_text('"""Doc."""\n\n__all__ = ["X"]\n\nX = 1\n')
+        second = lint_paths_incremental([root], rules, cache_file=cache)
+        assert second.findings == []
+        assert second.findings == lint_paths([root], rules).findings
+
+    def test_cross_file_edit_invalidates_project_findings(self, tmp_path):
+        # The submission site lives in submit.py and never changes; the
+        # worker's fork-safety changes in worker.py.  A per-file cache
+        # would serve the stale clean verdict — the flow fingerprint
+        # must not.
+        root = write_tree(
+            tmp_path,
+            {"pool.py": POOL, "worker.py": WORKER_CLEAN, "submit.py": SUBMIT},
+        )
+        cache = tmp_path / "cache.json"
+        rules = [rule_by_id("RL009")]
+        first = lint_paths_incremental([root], rules, cache_file=cache)
+        assert first.findings == []
+        (root / "worker.py").write_text(textwrap.dedent(WORKER_DIRTY))
+        second = lint_paths_incremental([root], rules, cache_file=cache)
+        assert len(second.findings) == 1
+        assert second.findings == lint_paths([root], rules).findings
+        assert second.findings[0].path.endswith("submit.py")
+
+    def test_deleted_file_falls_out_of_cache(self, tmp_path):
+        root = write_tree(tmp_path, {"a.py": "A = 1\n", "b.py": "B = 2\n"})
+        cache = tmp_path / "cache.json"
+        rules = [rule_by_id("RL004")]
+        first = lint_paths_incremental([root], rules, cache_file=cache)
+        assert len(first.findings) == 2
+        (root / "b.py").unlink()
+        second = lint_paths_incremental([root], rules, cache_file=cache)
+        assert len(second.findings) == 1
+        assert "b.py" not in json.loads(cache.read_text())["files"]
+
+    def test_rule_set_change_discards_cache(self, tmp_path):
+        root = write_tree(tmp_path, {"mod.py": "X = 1\n"})
+        cache = tmp_path / "cache.json"
+        lint_paths_incremental([root], [rule_by_id("RL001")], cache_file=cache)
+        result = lint_paths_incremental([root], [rule_by_id("RL004")], cache_file=cache)
+        assert len(result.findings) == 1  # RL004 ran despite warm cache
+
+    def test_config_participates_in_fingerprint(self):
+        base = LintConfig()
+        custom = LintConfig(hot_modules=("repro/other.py",))
+        assert rules_fingerprint(ALL_RULES, base) != rules_fingerprint(
+            ALL_RULES, custom
+        )
+
+    def test_corrupt_cache_tolerated(self, tmp_path):
+        root = write_tree(tmp_path, {"mod.py": "X = 1\n"})
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        result = lint_paths_incremental([root], [rule_by_id("RL004")], cache_file=cache)
+        assert len(result.findings) == 1
+        assert json.loads(cache.read_text())["files"]  # rewritten healthy
+
+    def test_suppression_comment_edit_invalidates(self, tmp_path):
+        root = write_tree(
+            tmp_path, {"mod.py": '"""D."""\n\n__all__ = []\n\nfrom random import choice\n'}
+        )
+        cache = tmp_path / "cache.json"
+        rules = [rule_by_id("RL001")]
+        first = lint_paths_incremental([root], rules, cache_file=cache)
+        assert len(first.findings) == 1
+        source = (root / "mod.py").read_text()
+        (root / "mod.py").write_text(
+            source.replace(
+                "from random import choice",
+                "from random import choice  # lint: allow-random",
+            )
+        )
+        second = lint_paths_incremental([root], rules, cache_file=cache)
+        assert second.findings == []
+        assert second.findings == lint_paths([root], rules).findings
+
+
+class TestDefaultLocation:
+    def test_default_cache_file_is_repo_local(self):
+        assert DEFAULT_CACHE_FILE == Path(".repro-lint-cache.json")

@@ -1,0 +1,123 @@
+"""[tool.repro-lint] parsing: defaults, validation, and CLI failure mode."""
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.config import (
+    DEFAULT_CANONICAL_SCOPE,
+    DEFAULT_HOT_MODULES,
+    ConfigError,
+    LintConfig,
+    find_pyproject,
+    load_config,
+    parse_table,
+)
+
+
+class TestParseTable:
+    def test_valid_table(self):
+        cfg = parse_table(
+            {"hot-modules": ["repro/x.py"], "canonical-scope": ["repro/x/"]},
+            source="test",
+        )
+        assert cfg.hot_modules == ("repro/x.py",)
+        assert cfg.canonical_scope == ("repro/x/",)
+        assert cfg.source == "test"
+
+    def test_partial_table_keeps_other_defaults(self):
+        cfg = parse_table({"hot-modules": ["repro/x.py"]}, source="test")
+        assert cfg.hot_modules == ("repro/x.py",)
+        assert cfg.canonical_scope == DEFAULT_CANONICAL_SCOPE
+
+    def test_single_string_promoted_to_tuple(self):
+        cfg = parse_table({"canonical-scope": "repro/x/"}, source="test")
+        assert cfg.canonical_scope == ("repro/x/",)
+
+    def test_unknown_key_rejected_with_known_list(self):
+        with pytest.raises(ConfigError, match="hot-modulez.*known keys.*hot-modules"):
+            parse_table({"hot-modulez": ["x"]}, source="test")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigError, match="list of strings"):
+            parse_table({"hot-modules": [1, 2]}, source="test")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigError, match="must not be empty"):
+            parse_table({"hot-modules": []}, source="test")
+
+
+class TestLoadConfig:
+    def test_defaults_when_no_pyproject(self, tmp_path):
+        cfg = load_config(start=tmp_path)
+        assert cfg == LintConfig()
+        assert cfg.hot_modules == DEFAULT_HOT_MODULES
+
+    def test_reads_table_from_nearest_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nhot-modules = ["repro/only.py"]\n'
+        )
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        cfg = load_config(start=nested)
+        assert cfg.hot_modules == ("repro/only.py",)
+        assert cfg.source.endswith("pyproject.toml")
+
+    def test_pyproject_without_table_gives_defaults(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        assert load_config(start=tmp_path) == LintConfig()
+
+    def test_malformed_toml_raises_config_error(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[tool.repro-lint\n")
+        with pytest.raises(ConfigError, match="malformed TOML"):
+            load_config(start=tmp_path)
+
+    def test_malformed_table_names_offending_file(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\nhot-modules = 7\n"
+        )
+        with pytest.raises(ConfigError, match="pyproject.toml"):
+            load_config(start=tmp_path)
+
+    def test_find_pyproject_walks_upward(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        nested = tmp_path / "deep" / "er"
+        nested.mkdir(parents=True)
+        assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+        # Even a not-yet-created child resolves through its parents.
+        assert find_pyproject(nested / "ghost") == tmp_path / "pyproject.toml"
+
+
+class TestRepositoryTable:
+    def test_shipped_pyproject_matches_defaults(self):
+        # The repo's own table and the shipped fallbacks must agree, or
+        # installed-package lint runs would diverge from checkout runs.
+        cfg = load_config()
+        assert cfg.hot_modules == DEFAULT_HOT_MODULES
+        assert cfg.canonical_scope == DEFAULT_CANONICAL_SCOPE
+        assert cfg.source.endswith("pyproject.toml")
+
+
+class TestCliConfigErrors:
+    def test_malformed_config_exits_2(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "pyproject.toml").write_text("[tool.repro-lint]\nbogus = 1\n")
+        target = tmp_path / "mod.py"
+        target.write_text("X = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(target)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_scope_config_reaches_rules(self, tmp_path, monkeypatch, capsys):
+        # A custom hot-modules list makes RL003 patrol a module the
+        # defaults would ignore.
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nhot-modules = ["repro/custom.py"]\n'
+        )
+        mod = tmp_path / "repro" / "custom.py"
+        mod.parent.mkdir()
+        mod.write_text(
+            '"""Doc."""\n__all__ = []\n\n\ndef f():\n    """Doc."""\n'
+            "    for i in range(3):\n        pass\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main([str(mod), "--select", "RL003", "-q"]) == 1
+        assert "RL003" in capsys.readouterr().out

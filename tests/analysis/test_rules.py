@@ -214,6 +214,149 @@ class TestResort:
         assert result.findings == []
 
 
+class TestForkSafety:
+    FILES = ("repro/parallel/pool.py", "repro/parallel/bad_fork.py")
+
+    def findings(self):
+        return run_rule("RL009", *self.FILES)
+
+    def test_direct_global_write_flagged(self):
+        assert any(
+            "_caching_worker" in f.message and "_CACHE" in f.message
+            for f in self.findings()
+        )
+
+    def test_transitive_write_through_partial_flagged(self):
+        # worker = partial(_appending_worker, ...) -> _bump -> _COUNTS
+        assert any(
+            "_bump" in f.message and "_COUNTS" in f.message for f in self.findings()
+        )
+
+    def test_resource_capture_flagged(self):
+        assert any(
+            "_logging_worker" in f.message and "handle" in f.message
+            for f in self.findings()
+        )
+
+    def test_lambda_and_nested_def_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("lambda" in m and "pickled" in m for m in msgs)
+        assert any("nested function" in m for m in msgs)
+
+    def test_pure_worker_and_allowlist_clean(self):
+        # Exactly the five documented hazards fire; the pure worker, the
+        # partial over it, and the allowlisted site stay silent.
+        assert len(self.findings()) == 5
+
+    def test_findings_anchor_at_submission_site(self):
+        source = (FIXTURES / "repro/parallel/bad_fork.py").read_text().splitlines()
+        for f in self.findings():
+            assert "parallel_map" in source[f.line - 1]
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL009")])
+        assert result.findings == []
+
+
+class TestImmutability:
+    def findings(self):
+        return run_rule("RL010", "repro/hypersparse/bad_mutate.py")
+
+    def test_all_mutation_shapes_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("in-place sort()" in m for m in msgs)
+        assert any("writes elements" in m for m in msgs)
+        assert any("augmented-assigns" in m for m in msgs)
+        assert any("rebinds field" in m for m in msgs)
+
+    def test_inplace_flagged_even_inside_owning_class(self):
+        assert any("corrupt" in f.message for f in self.findings())
+
+    def test_new_constructor_idiom_and_own_storage_clean(self):
+        # __init__, the lazy-cache property, Shadow's own slot, and the
+        # __new__ construction helper are all sanctioned: only the five
+        # deliberate violations (one allowlisted) remain.
+        assert len(self.findings()) == 5
+
+    def test_unrelated_class_with_shadowed_field_name_clean(self):
+        assert all("Shadow" not in f.message for f in self.findings())
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL010")])
+        assert result.findings == []
+
+
+class TestDtypeWidth:
+    def findings(self):
+        return run_rule("RL011", "repro/hypersparse/bad_width.py")
+
+    def test_cast_after_arithmetic_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("after '<<'" in m for m in msgs)
+        assert any("after '+'" in m for m in msgs)
+        assert any("after '*'" in m for m in msgs)
+
+    def test_narrowed_operand_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("narrowed to int32" in m for m in msgs)
+        assert any("narrowed to uint32" in m for m in msgs)
+
+    def test_widened_operands_and_constants_clean(self):
+        # pack_good is silent: five findings, all in pack_bad, none on
+        # the allowlisted line.
+        fs = self.findings()
+        assert len(fs) == 5
+        source = (FIXTURES / "repro/hypersparse/bad_width.py").read_text().splitlines()
+        bad_start = next(
+            i for i, line in enumerate(source, 1) if "def pack_bad" in line
+        )
+        good_start = next(
+            i for i, line in enumerate(source, 1) if "def pack_good" in line
+        )
+        assert all(bad_start < f.line < good_start for f in fs)
+
+    def test_splitmix_mixer_in_real_tree_clean(self):
+        # The wraparound multiplies in repro.rand operate on evidently
+        # uint64 values; flow-insensitive width tracking must see that.
+        result = lint_paths([SRC_REPRO / "rand.py"], [rule_by_id("RL011")])
+        assert result.findings == []
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL011")])
+        assert result.findings == []
+
+
+class TestEnvKnob:
+    def findings(self):
+        return run_rule("RL012", "repro/bad_env.py")
+
+    def test_raw_access_and_getenv_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert sum("raw os.environ" in m for m in msgs) == 2
+        assert any("os.getenv() bypasses" in m for m in msgs)
+
+    def test_undeclared_knob_flagged_declared_clean(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("'REPRO_UNDECLARED'" in m for m in msgs)
+        assert all("'REPRO_TRACE'" not in m for m in msgs)
+
+    def test_allowlisted_foreign_variable_clean(self):
+        assert all("HOME" not in f.message for f in self.findings())
+        assert len(self.findings()) == 4
+
+    def test_registry_module_itself_exempt(self):
+        result = lint_paths(
+            [SRC_REPRO / "analysis" / "knobs.py"], [rule_by_id("RL012")]
+        )
+        assert result.findings == []
+
+    def test_real_tree_clean(self):
+        # The acceptance criterion: every environment read in the
+        # package goes through the declared registry.
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL012")])
+        assert result.findings == []
+
+
 class TestEngine:
     def test_every_rule_has_fixture_coverage(self):
         # Run everything over the whole fixture tree: each shipped rule

@@ -1,0 +1,211 @@
+"""SARIF 2.1.0 output: structure, rule metadata, and schema validity.
+
+Full-schema validation uses an embedded subset of the official SARIF
+2.1.0 JSON Schema (the required core: log, run, tool, result,
+location), so the test runs offline while still rejecting structurally
+invalid logs — wrong version string, missing driver name, results
+without messages, non-integer regions.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import ALL_RULES, rule_by_id
+from repro.analysis.sarif import SARIF_VERSION, format_sarif, to_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The load-bearing core of the official SARIF 2.1.0 schema.
+SARIF_CORE_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "invocations": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["executionSuccessful"],
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def dirty_result():
+    return lint_paths([FIXTURES / "repro"], list(ALL_RULES))
+
+
+class TestSarifStructure:
+    def test_schema_valid_with_findings(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+        assert log["runs"][0]["results"], "fixture tree should produce findings"
+
+    def test_schema_valid_when_clean(self):
+        result = lint_paths([FIXTURES / "clean"], list(ALL_RULES))
+        log = to_sarif(result, ALL_RULES)
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+        assert log["runs"][0]["results"] == []
+
+    def test_version_and_driver(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert [r["id"] for r in driver["rules"]] == [r.id for r in ALL_RULES]
+
+    def test_rule_index_links_results_to_catalogue(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        driver_rules = log["runs"][0]["tool"]["driver"]["rules"]
+        for res in log["runs"][0]["results"]:
+            assert driver_rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+    def test_locations_carry_posix_uris_and_regions(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        for res in log["runs"][0]["results"]:
+            loc = res["locations"][0]["physicalLocation"]
+            assert "\\" not in loc["artifactLocation"]["uri"]
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+
+    def test_every_finding_becomes_a_result(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        assert len(log["runs"][0]["results"]) == len(dirty_result.findings)
+
+    def test_parse_errors_become_notifications(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([bad], list(ALL_RULES))
+        log = to_sarif(result, ALL_RULES)
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+        inv = log["runs"][0]["invocations"][0]
+        assert inv["executionSuccessful"] is False
+        assert inv["toolExecutionNotifications"]
+
+    def test_suppression_comment_travels_in_rule_metadata(self, dirty_result):
+        log = to_sarif(dirty_result, ALL_RULES)
+        by_id = {
+            r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert (
+            by_id["RL009"]["properties"]["suppressionComment"]
+            == "# lint: allow-fork"
+        )
+
+
+class TestSarifCli:
+    def test_writes_file_and_preserves_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        code = main(
+            [str(FIXTURES / "repro"), "--select", "RL001", "--sarif", str(out), "-q"]
+        )
+        assert code == 1  # findings still gate the exit status
+        log = json.loads(out.read_text())
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+        ids = {r["ruleId"] for r in log["runs"][0]["results"]}
+        assert ids == {"RL001"}
+        # Only the selected rule rides in the driver catalogue.
+        assert [r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]] == [
+            "RL001"
+        ]
+
+    def test_sarif_to_stdout(self, capsys):
+        code = main([str(FIXTURES / "clean"), "--sarif", "-", "-q"])
+        assert code == 0
+        out = capsys.readouterr().out
+        log = json.loads(out[: out.rindex("}") + 1])
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+
+    def test_unwritable_sarif_path_exits_2(self, tmp_path):
+        target = tmp_path / "no" / "such" / "dir" / "x.sarif"
+        code = main([str(FIXTURES / "clean"), "--sarif", str(target), "-q"])
+        assert code == 2
+
+    def test_format_sarif_ends_with_newline(self, dirty_result):
+        assert format_sarif(dirty_result, [rule_by_id("RL001")]).endswith("\n")
