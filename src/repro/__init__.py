@@ -28,6 +28,7 @@ Quickstart::
     fit = curve.fit("modified_cauchy")
 """
 
+from .analysis.sanitize import bootstrap as _sanitize_bootstrap
 from .core import CorrelationStudy
 from .core.correlation import DegreeBin, PeakCorrelation, peak_correlation
 from .core.temporal import TemporalCurve, temporal_correlation
@@ -39,6 +40,10 @@ from .synth import InternetModel, ModelConfig
 from .traffic import Packets, constant_packet_windows, network_quantities
 
 __version__ = "1.0.0"
+
+# Arm any sanitizers requested via REPRO_SAN now that every module they
+# patch is imported (the knob registry rejects malformed values loudly).
+_sanitize_bootstrap()
 
 __all__ = [
     "CorrelationStudy",

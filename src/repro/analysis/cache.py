@@ -45,18 +45,29 @@ __all__ = ["DEFAULT_CACHE_FILE", "rules_fingerprint", "lint_paths_incremental"]
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_FILE = Path(".repro-lint-cache.json")
 
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
 
 
 def rules_fingerprint(rules: Sequence[Rule], config: LintConfig) -> str:
-    """Hash of everything besides file contents that shapes findings."""
+    """Hash of everything besides file contents that shapes findings.
+
+    Rules that read inputs outside the linted tree (RL014's coverage
+    manifest and the test suites it lists) contribute those inputs via
+    :meth:`Rule.extra_fingerprint`, so editing a sanitizer test
+    invalidates cached verdicts exactly like editing source does.
+    """
     h = hashlib.sha256()
     h.update(f"v{_CACHE_VERSION}\n".encode())
     for rule in sorted(rules, key=lambda r: r.id):
         h.update(f"{rule.id}:{rule.tag}\n".encode())
+        extra = getattr(rule, "extra_fingerprint", None)
+        if callable(extra):
+            h.update(f"{rule.id}+{extra(config)}\n".encode())
     h.update(",".join(config.hot_modules).encode())
     h.update(b"\n")
     h.update(",".join(config.canonical_scope).encode())
+    h.update(b"\n")
+    h.update(config.san_manifest.encode())
     return h.hexdigest()
 
 

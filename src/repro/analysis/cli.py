@@ -24,9 +24,15 @@ from typing import List, Optional
 
 from .cache import DEFAULT_CACHE_FILE, lint_paths_incremental
 from .config import ConfigError, load_config
-from .engine import lint_paths
+from .jobs import lint_paths_parallel
 from .knobs import format_knob_table
-from .report import format_findings, format_rules, format_summary, to_json
+from .report import (
+    format_findings,
+    format_rule_table,
+    format_rules,
+    format_summary,
+    to_json,
+)
 from .rules import ALL_RULES, rule_by_id
 from .sarif import format_sarif
 
@@ -74,9 +80,25 @@ def _parser() -> argparse.ArgumentParser:
         help=f"incremental cache location (default: {DEFAULT_CACHE_FILE})",
     )
     p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "lint files across N processes (default: REPRO_PROCESSES, else "
+            "serial); ignored with --changed-only, which stays serial for "
+            "cache soundness"
+        ),
+    )
+    p.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    p.add_argument(
+        "--rules-table",
+        action="store_true",
+        help="print the docs/STATIC_ANALYSIS.md rule table (markdown) and exit",
     )
     p.add_argument(
         "--knobs",
@@ -104,6 +126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.list_rules:
         print(format_rules(ALL_RULES))
+        return 0
+    if args.rules_table:
+        print(format_rule_table(ALL_RULES))
         return 0
     if args.knobs:
         print(format_knob_table())
@@ -137,7 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             paths, rules, config, cache_file=args.cache_file
         )
     else:
-        result = lint_paths(paths, rules, config)
+        # jobs=None defers to REPRO_PROCESSES; <=1 degrades to lint_paths.
+        result = lint_paths_parallel(paths, rules, config, jobs=args.jobs)
 
     if args.sarif:
         sarif_text = format_sarif(result, rules)

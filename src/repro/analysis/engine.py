@@ -105,15 +105,35 @@ class Rule:
         Allowlist tag: ``# lint: allow-<tag>`` suppresses this rule.
     description:
         One-line human description shown by ``repro lint --list-rules``.
+    scope:
+        Human-readable reach of the rule, rendered in the generated
+        docs table (``docs/STATIC_ANALYSIS.md``).
+    doc:
+        Full "what it enforces" prose for the docs table; the table is
+        generated from these attributes so it cannot drift from the
+        code (a test pins the embedding).
     """
 
     id: str = "RL000"
     tag: str = "none"
     description: str = ""
+    scope: str = ""
+    doc: str = ""
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         """Yield findings for one parsed file."""
         raise NotImplementedError
+
+    def extra_fingerprint(self, config: LintConfig) -> str:
+        """Hash of inputs beyond the linted files that shape findings.
+
+        Most rules are a pure function of (file contents, config) and
+        return ``""``.  A rule that reads anything else — RL014's
+        coverage manifest and the test files it lists — must fold that
+        content in here so the incremental cache stays sound: the cache
+        key includes every rule's extra fingerprint.
+        """
+        return ""
 
     def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
         """Build a :class:`Finding` anchored at an AST node."""
@@ -135,7 +155,14 @@ class ProjectRule(Rule):
     callees, class field sets).  Findings are still anchored at file
     locations and still honour per-line ``# lint: allow-<tag>``
     suppression.
+
+    The engine binds the run's :class:`LintConfig` to :attr:`config`
+    before the project pass, so rules needing tree-level settings
+    (RL014's manifest location) can read them without doing their own
+    config discovery.
     """
+
+    config: Optional[LintConfig] = None
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         """Per-file pass: nothing — project rules run in the project pass."""
@@ -343,8 +370,10 @@ def run_project_rules(
 ) -> List[Finding]:
     """Run project rules over a built flow graph (suppression applied)."""
     by_path = {str(ctx.path): ctx for ctx in contexts}
+    cfg = contexts[0].config if contexts else LintConfig()
     findings: List[Finding] = []
     for rule in rules:
+        rule.config = cfg
         for f in rule.check_project(graph):
             ctx = by_path.get(f.path)
             if ctx is None or not ctx.allowed(f.line, rule.tag):

@@ -53,6 +53,7 @@ __all__ = [
     "ModuleInfo",
     "FlowGraph",
     "build_flow_graph",
+    "extend_graph",
     "dotted_name",
     "ARRAY_MUTATORS",
     "CONTAINER_MUTATORS",
@@ -730,6 +731,26 @@ class FlowGraph:
                     frontier.append(callee)
         seen.discard(key)
         return seen
+
+
+def extend_graph(graph: FlowGraph, contexts: Sequence[FileContext]) -> FlowGraph:
+    """A new graph over ``graph``'s modules plus freshly analyzed contexts.
+
+    Used by RL014 to join the already-built source graph with the
+    sanitizer-enabled test suites from the coverage manifest, so
+    reachability queries can start at test functions and land in
+    kernels.  On module-name collision the new context wins, matching
+    :func:`build_flow_graph`.  The fingerprint chains the base graph's
+    with the added contexts' hashes.
+    """
+    modules: Dict[str, ModuleInfo] = dict(graph.modules)
+    hasher = hashlib.sha256()
+    hasher.update(graph.fingerprint.encode("utf-8"))
+    for ctx in sorted(contexts, key=lambda c: c.module):
+        info = _analyze_module(ctx)
+        modules[info.name] = info
+        hasher.update(f"{info.name}:{ctx.sha256}\n".encode("utf-8"))
+    return FlowGraph(modules, fingerprint=hasher.hexdigest())
 
 
 def build_flow_graph(contexts: Sequence[FileContext]) -> FlowGraph:

@@ -1,0 +1,702 @@
+"""Interval (value-range) abstract interpretation for packed-key proofs.
+
+RL011 is syntactic: it recognises the *shape* of width-unsafe packed-key
+arithmetic (a uint64 cast applied after a shift/multiply, an operand
+explicitly narrowed below 64 bits) but proves nothing about values.
+This module is the semantic half (RL013): it propagates integer
+*ranges* — arbitrary-precision, so ``2**64`` is representable — through
+the expressions of a scope and decides, per arithmetic node, whether the
+mathematical result provably fits the width the hardware evaluates it
+at.  ``(rows << np.uint64(32)) | cols`` with ``rows, cols < 2**32`` is
+*proved* to stay within ``2**64 - 1``; ``rows * np.uint64(2**33)`` is
+proved to wrap; an expression over unseeded names is honestly reported
+as unprovable.
+
+The domain is a product of two abstractions:
+
+* :class:`Interval` — ``[lo, hi]`` over Python ints, ``None`` meaning
+  unbounded on that side.  Transfer functions cover the operators packed
+  keys are built from (``+ - * << >> | & % //``) and are deliberately
+  conservative: when a precise bound needs case analysis the result
+  widens toward ``TOP`` rather than guessing.
+* a *width* — the dtype the arithmetic runs at: a NumPy integer name
+  (``"uint64"``, ``"int32"``, ...), :data:`PYINT` for exact Python ints
+  (arbitrary precision, can never wrap silently; NumPy raises
+  ``OverflowError`` rather than wrapping when casting an out-of-range
+  Python int), or :data:`UNKNOWN` when nothing is evident.  Widths
+  follow a simplified promotion: Python ints are neutral operands
+  (they adopt the array's dtype), same-signedness mixes widen, and
+  exotic mixes (``uint64 + int64`` promotes to ``float64`` in NumPy)
+  collapse to :data:`UNKNOWN` so no false proof is built on them.
+
+Evaluation is flow-insensitive, scope by scope, mirroring RL011's
+assignment tracking: a local's value is the join over its assignments,
+and any loop-carried name (assigned in a ``for``/``while`` body from
+names assigned in that same body) is forced to ``TOP`` so a single pass
+stays sound without a fixpoint.  ``for i in range(n)`` targets get the
+precise ``[0, n-1]`` range when the bounds evaluate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Interval",
+    "AbstractValue",
+    "Env",
+    "TOP",
+    "PYINT",
+    "UNKNOWN",
+    "U64_MAX",
+    "WIDTH_RANGES",
+    "promote",
+    "eval_expr",
+    "scope_env",
+    "cast_dtype",
+    "dotted_name",
+]
+
+U64_MAX = 2**64 - 1
+
+#: Width of exact Python-int arithmetic (cannot wrap silently).
+PYINT = "pyint"
+#: Width when nothing about the operand's dtype is evident.
+UNKNOWN = "unknown"
+
+#: Representable range of each tracked NumPy integer dtype.
+WIDTH_RANGES: Dict[str, Tuple[int, int]] = {
+    "uint8": (0, 2**8 - 1),
+    "uint16": (0, 2**16 - 1),
+    "uint32": (0, 2**32 - 1),
+    "uint64": (0, 2**64 - 1),
+    "int8": (-(2**7), 2**7 - 1),
+    "int16": (-(2**15), 2**15 - 1),
+    "int32": (-(2**31), 2**31 - 1),
+    "int64": (-(2**63), 2**63 - 1),
+    "intp": (-(2**63), 2**63 - 1),
+}
+
+#: Float dtypes: overflow saturates to ``inf`` loudly rather than
+#: wrapping, so interval checking does not apply (the float sanitizer
+#: observes these at runtime instead).
+_FLOAT_WIDTHS = frozenset({"float16", "float32", "float64", "float128"})
+
+#: Cap on shift amounts used to bound ``<<``: a shift this large has
+#: left the packed-key regime entirely and the result is treated as
+#: unbounded rather than materializing astronomically large ints.
+_MAX_SHIFT = 256
+
+
+def _min_opt(*vals: Optional[int]) -> Optional[int]:
+    """Minimum where ``None`` means minus infinity."""
+    if any(v is None for v in vals):
+        return None
+    return min(v for v in vals if v is not None)
+
+
+def _max_opt(*vals: Optional[int]) -> Optional[int]:
+    """Maximum where ``None`` means plus infinity."""
+    if any(v is None for v in vals):
+        return None
+    return max(v for v in vals if v is not None)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` ends are unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    @classmethod
+    def const(cls, v: int) -> "Interval":
+        """The singleton interval ``[v, v]``."""
+        return cls(v, v)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        """The unbounded interval."""
+        return cls(None, None)
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when both ends are finite."""
+        return self.lo is not None and self.hi is not None
+
+    @property
+    def nonneg(self) -> bool:
+        """True when the interval provably holds no negative value."""
+        return self.lo is not None and self.lo >= 0
+
+    def within(self, lo: int, hi: int) -> bool:
+        """True when every value of the interval provably fits ``[lo, hi]``."""
+        return (
+            self.lo is not None
+            and self.hi is not None
+            and lo <= self.lo
+            and self.hi <= hi
+        )
+
+    def join(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both (set union's hull)."""
+        return Interval(_min_opt(self.lo, other.lo), _max_opt(self.hi, other.hi))
+
+    def clamp(self, lo: int, hi: int) -> "Interval":
+        """Intersection with ``[lo, hi]`` — the effect of a wrapping cast
+        when the value may leave the target range (the cast *result* is
+        always representable, whatever the wrap did to the value)."""
+        if self.within(lo, hi):
+            return self
+        return Interval(lo, hi)
+
+    # -- transfer functions -------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        """``self + other``."""
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        """``self - other``."""
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        """``-self``."""
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def mul(self, other: "Interval") -> "Interval":
+        """``self * other``."""
+        if self.is_bounded and other.is_bounded:
+            assert self.lo is not None and self.hi is not None
+            assert other.lo is not None and other.hi is not None
+            prods = [
+                self.lo * other.lo,
+                self.lo * other.hi,
+                self.hi * other.lo,
+                self.hi * other.hi,
+            ]
+            return Interval(min(prods), max(prods))
+        if self.nonneg and other.nonneg:
+            assert self.lo is not None and other.lo is not None
+            return Interval(self.lo * other.lo, None)
+        return Interval.top()
+
+    def lshift(self, amount: "Interval") -> "Interval":
+        """``self << amount`` (nonnegative values and shifts only)."""
+        if not self.nonneg or not amount.nonneg:
+            return Interval.top()
+        assert self.lo is not None and amount.lo is not None
+        lo = self.lo << min(amount.lo, _MAX_SHIFT)
+        if self.hi is None or amount.hi is None or amount.hi > _MAX_SHIFT:
+            return Interval(lo, None)
+        return Interval(lo, self.hi << amount.hi)
+
+    def rshift(self, amount: "Interval") -> "Interval":
+        """``self >> amount`` (nonnegative values and shifts only)."""
+        if not self.nonneg or not amount.nonneg:
+            return Interval.top()
+        assert self.lo is not None and amount.lo is not None
+        lo = 0 if amount.hi is None else self.lo >> min(amount.hi, _MAX_SHIFT)
+        hi = None if self.hi is None else self.hi >> amount.lo
+        return Interval(lo, hi)
+
+    def or_(self, other: "Interval") -> "Interval":
+        """``self | other`` for nonnegative operands.
+
+        Two sound upper bounds are intersected: ``a | b <= a + b`` and
+        ``a | b < 2**max(bits(a), bits(b))``; the latter makes
+        ``(rows << 32) | cols`` land exactly on ``2**64 - 1``.
+        """
+        if not self.nonneg or not other.nonneg:
+            return Interval.top()
+        assert self.lo is not None and other.lo is not None
+        lo = max(self.lo, other.lo)
+        if self.hi is None or other.hi is None:
+            return Interval(lo, None)
+        bit_bound = (1 << max(self.hi.bit_length(), other.hi.bit_length())) - 1
+        return Interval(lo, min(bit_bound, self.hi + other.hi))
+
+    def and_(self, other: "Interval") -> "Interval":
+        """``self & other`` for nonnegative operands."""
+        if not self.nonneg or not other.nonneg:
+            return Interval.top()
+        return Interval(0, _min_opt_finite(self.hi, other.hi))
+
+    def mod(self, other: "Interval") -> "Interval":
+        """``self % other`` for a provably positive modulus."""
+        if other.lo is None or other.lo < 1:
+            return Interval.top()
+        hi = None if other.hi is None else other.hi - 1
+        return Interval(0, hi)
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        """``self // other`` for nonneg dividend, positive divisor."""
+        if not self.nonneg or other.lo is None or other.lo < 1:
+            return Interval.top()
+        assert self.lo is not None
+        lo = 0 if other.hi is None else self.lo // other.hi
+        hi = None if self.hi is None else self.hi // other.lo
+        return Interval(lo, hi)
+
+    def bit_length(self) -> "Interval":
+        """``self.bit_length()`` — monotonic on nonnegative values."""
+        if not self.nonneg:
+            return Interval.top()
+        assert self.lo is not None
+        return Interval(
+            self.lo.bit_length(),
+            None if self.hi is None else self.hi.bit_length(),
+        )
+
+
+def _min_opt_finite(*vals: Optional[int]) -> Optional[int]:
+    """Minimum of the finite values; ``None`` only when all are ``None``."""
+    finite = [v for v in vals if v is not None]
+    return min(finite) if finite else None
+
+
+#: The completely unknown value.
+TOP = Interval.top()
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """An interval paired with the width its arithmetic runs at."""
+
+    iv: Interval
+    width: str = UNKNOWN
+
+    @classmethod
+    def const(cls, v: int) -> "AbstractValue":
+        """An exact Python-int constant."""
+        return cls(Interval.const(v), PYINT)
+
+    @classmethod
+    def unknown(cls) -> "AbstractValue":
+        """Nothing known at all."""
+        return cls(TOP, UNKNOWN)
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        """Join intervals; widths must agree exactly or become unknown."""
+        width = self.width if self.width == other.width else UNKNOWN
+        return AbstractValue(self.iv.join(other.iv), width)
+
+
+#: A scope environment: name -> abstract value.
+Env = Dict[str, AbstractValue]
+
+
+def promote(w1: str, w2: str) -> str:
+    """Simplified NumPy width promotion for integer operands.
+
+    Python ints are neutral (they adopt the array operand's dtype);
+    identical widths are preserved; same-signedness mixes take the wider
+    dtype; an unsigned operand strictly narrower than a signed one fits
+    inside it.  Everything else — notably ``uint64`` with any signed
+    dtype, which NumPy promotes to ``float64`` — degrades to
+    :data:`UNKNOWN` so no proof rests on a guessed width.
+    """
+    if w1 == w2:
+        return w1
+    if w1 == PYINT:
+        return w2
+    if w2 == PYINT:
+        return w1
+    if w1 in _FLOAT_WIDTHS or w2 in _FLOAT_WIDTHS:
+        return "float64"
+    if w1 not in WIDTH_RANGES or w2 not in WIDTH_RANGES:
+        return UNKNOWN
+    u1, u2 = w1.startswith("u"), w2.startswith("u")
+    bits1, bits2 = _width_bits(w1), _width_bits(w2)
+    if u1 == u2:
+        return w1 if bits1 >= bits2 else w2
+    # Mixed signedness: a strictly narrower unsigned fits in the signed.
+    if u1 and bits1 < bits2:
+        return w2
+    if u2 and bits2 < bits1:
+        return w1
+    return UNKNOWN
+
+
+def _width_bits(width: str) -> int:
+    lo, hi = WIDTH_RANGES[width]
+    return (hi - lo + 1).bit_length() - 1
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_DTYPE_NAMES = frozenset(WIDTH_RANGES) | _FLOAT_WIDTHS
+
+
+def _dtype_of(node: ast.AST) -> Optional[str]:
+    name = dotted_name(node)
+    if name:
+        last = name.rsplit(".", 1)[-1]
+        return last if last in _DTYPE_NAMES else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _DTYPE_NAMES else None
+    return None
+
+
+def cast_dtype(node: ast.Call) -> Optional[str]:
+    """Target dtype of ``x.astype(d)`` / ``np.uint64(x)`` / ``dtype=d``."""
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+        and node.args
+    ):
+        return _dtype_of(node.args[0])
+    fn = dotted_name(node.func)
+    if fn:
+        last = fn.rsplit(".", 1)[-1]
+        if last in _DTYPE_NAMES:
+            return last
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return _dtype_of(kw.value)
+    return None
+
+
+def _cast_operand(node: ast.Call) -> Optional[ast.AST]:
+    """The expression a cast call converts, if recognisable."""
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+        return node.func.value
+    return node.args[0] if node.args else None
+
+
+def eval_expr(node: ast.AST, env: Env) -> AbstractValue:
+    """Abstractly evaluate an expression under ``env``.
+
+    The returned interval is the *mathematical* value range — computed
+    over exact Python ints, never wrapped — except across explicit
+    casts, which clamp to the target dtype's range (whatever a wrap did,
+    the cast result is representable).  Rule RL013 compares the
+    mathematical range of each arithmetic node against the width the
+    node runs at; this function only supplies the ranges.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return AbstractValue.const(int(node.value))
+        if isinstance(node.value, int):
+            return AbstractValue.const(node.value)
+        if isinstance(node.value, float):
+            return AbstractValue(TOP, "float64")
+        return AbstractValue.unknown()
+    if isinstance(node, ast.Name):
+        return env.get(node.id, AbstractValue.unknown())
+    if isinstance(node, ast.UnaryOp):
+        val = eval_expr(node.operand, env)
+        if isinstance(node.op, ast.USub):
+            return AbstractValue(val.iv.neg(), val.width)
+        if isinstance(node.op, ast.UAdd):
+            return val
+        return AbstractValue(TOP, val.width)
+    if isinstance(node, ast.BinOp):
+        return _eval_binop(node, env)
+    if isinstance(node, ast.Call):
+        return _eval_call(node, env)
+    if isinstance(node, ast.IfExp):
+        return eval_expr(node.body, env).join(eval_expr(node.orelse, env))
+    if isinstance(node, ast.BoolOp):
+        out = eval_expr(node.values[0], env)
+        for v in node.values[1:]:
+            out = out.join(eval_expr(v, env))
+        return out
+    if isinstance(node, ast.Attribute):
+        if node.attr in ("size", "nnz", "nbits"):
+            return AbstractValue(Interval(0, None), PYINT)
+        name = dotted_name(node)
+        if name is not None and name in env:
+            return env[name]
+        return AbstractValue.unknown()
+    if isinstance(node, ast.Subscript):
+        # An array's abstract value *is* its element range; indexing
+        # preserves it.  Unseeded bases stay unknown.
+        base = eval_expr(node.value, env)
+        return base if base.width != UNKNOWN or base.iv != TOP else AbstractValue.unknown()
+    if isinstance(node, ast.Compare):
+        return AbstractValue(Interval(0, 1), PYINT)
+    return AbstractValue.unknown()
+
+
+def _eval_binop(node: ast.BinOp, env: Env) -> AbstractValue:
+    left = eval_expr(node.left, env)
+    right = eval_expr(node.right, env)
+    op = node.op
+    if isinstance(op, (ast.LShift, ast.RShift)):
+        # Only the shifted operand decides the arithmetic width.
+        width = left.width
+    else:
+        width = promote(left.width, right.width)
+    if isinstance(op, ast.Add):
+        iv = left.iv.add(right.iv)
+    elif isinstance(op, ast.Sub):
+        iv = left.iv.sub(right.iv)
+    elif isinstance(op, ast.Mult):
+        iv = left.iv.mul(right.iv)
+    elif isinstance(op, ast.LShift):
+        iv = left.iv.lshift(right.iv)
+    elif isinstance(op, ast.RShift):
+        iv = left.iv.rshift(right.iv)
+    elif isinstance(op, ast.BitOr):
+        iv = left.iv.or_(right.iv)
+    elif isinstance(op, ast.BitAnd):
+        iv = left.iv.and_(right.iv)
+    elif isinstance(op, ast.Mod):
+        iv = left.iv.mod(right.iv)
+    elif isinstance(op, ast.FloorDiv):
+        iv = left.iv.floordiv(right.iv)
+    elif isinstance(op, ast.Pow):
+        iv = _eval_pow(left.iv, right.iv)
+    elif isinstance(op, ast.Div):
+        return AbstractValue(TOP, "float64")
+    else:
+        iv = TOP
+    return AbstractValue(iv, width)
+
+
+def _eval_pow(base: Interval, exp: Interval) -> Interval:
+    if (
+        base.is_bounded
+        and exp.is_bounded
+        and base.nonneg
+        and exp.nonneg
+        and exp.hi is not None
+        and exp.hi <= _MAX_SHIFT
+    ):
+        assert base.lo is not None and base.hi is not None and exp.lo is not None
+        return Interval(base.lo**exp.lo, base.hi**exp.hi)
+    return TOP
+
+
+def _eval_call(node: ast.Call, env: Env) -> AbstractValue:
+    dtype = cast_dtype(node)
+    if dtype is not None:
+        inner = _cast_operand(node)
+        val = eval_expr(inner, env) if inner is not None else AbstractValue.unknown()
+        if dtype in _FLOAT_WIDTHS:
+            return AbstractValue(TOP, "float64")
+        lo, hi = WIDTH_RANGES[dtype]
+        return AbstractValue(val.iv.clamp(lo, hi), dtype)
+    fn = dotted_name(node.func)
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "bit_length":
+        recv = eval_expr(node.func.value, env)
+        return AbstractValue(recv.iv.bit_length(), PYINT)
+    if fn is None:
+        return AbstractValue.unknown()
+    last = fn.rsplit(".", 1)[-1]
+    if last == "int":
+        val = eval_expr(node.args[0], env) if node.args else AbstractValue.unknown()
+        return AbstractValue(val.iv, PYINT)
+    if last == "len":
+        return AbstractValue(Interval(0, None), PYINT)
+    if last == "abs" and node.args:
+        val = eval_expr(node.args[0], env)
+        iv = val.iv if val.iv.nonneg else val.iv.join(val.iv.neg())
+        return AbstractValue(Interval(0, iv.hi), val.width)
+    if last in ("min", "max") and node.args and not node.keywords:
+        vals = [eval_expr(a, env) for a in node.args]
+        if len(vals) >= 2:
+            width = vals[0].width
+            for v in vals[1:]:
+                width = width if width == v.width else UNKNOWN
+            los = [v.iv.lo for v in vals]
+            his = [v.iv.hi for v in vals]
+            if last == "min":
+                return AbstractValue(
+                    Interval(_min_opt(*los), _min_opt_finite(*his)), width
+                )
+            return AbstractValue(
+                Interval(_max_opt_finite(*los), _max_opt(*his)), width
+            )
+    if last == "arange" and node.args:
+        stop = eval_expr(node.args[-1] if len(node.args) <= 1 else node.args[1], env)
+        width = "int64"
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                width = _dtype_of(kw.value) or UNKNOWN
+        hi = None if stop.iv.hi is None else max(stop.iv.hi - 1, 0)
+        start_lo = 0
+        if len(node.args) >= 2:
+            start = eval_expr(node.args[0], env)
+            start_lo = start.iv.lo if start.iv.lo is not None else 0
+        return AbstractValue(Interval(min(start_lo, 0) if start_lo < 0 else 0, hi), width)
+    return AbstractValue.unknown()
+
+
+def _max_opt_finite(*vals: Optional[int]) -> Optional[int]:
+    """Maximum of the finite values; ``None`` only when all are ``None``."""
+    finite = [v for v in vals if v is not None]
+    return max(finite) if finite else None
+
+
+def _range_interval(node: ast.Call, env: Env) -> Optional[Interval]:
+    """The value range of a ``for`` target iterating ``range(...)``."""
+    fn = dotted_name(node.func)
+    if fn is None or fn.rsplit(".", 1)[-1] != "range":
+        return None
+    args = [eval_expr(a, env) for a in node.args]
+    if len(args) == 1:
+        hi = args[0].iv.hi
+        return Interval(0, None if hi is None else max(hi - 1, 0))
+    if len(args) in (2, 3):
+        if len(args) == 3:
+            step = args[2].iv
+            if step.lo is None or step.lo < 1:
+                return None  # non-positive or unknown step: no bound claimed
+        lo, hi = args[0].iv.lo, args[1].iv.hi
+        return Interval(lo, None if hi is None else hi - 1)
+    return None
+
+
+def _walk_stmts(
+    stmt: ast.stmt, nested: Optional[List[ast.AST]] = None
+) -> "List[ast.AST]":
+    """Statement-order walk that skips nested def/class bodies.
+
+    Nested ``def``/``class`` *nodes* (not just bodies — callers need the
+    parameter lists for seeding) are collected into ``nested`` when
+    given; their decorator expressions still belong to this scope.
+    """
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = [stmt]
+    root = True
+    while stack:
+        node = stack.pop(0)
+        if not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if nested is not None:
+                nested.append(node)
+            stack = list(node.decorator_list) + stack
+            continue
+        root = False
+        out.append(node)
+        stack = list(ast.iter_child_nodes(node)) + stack
+    return out
+
+
+def _names_read(node: ast.AST) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def scope_env(
+    stmts: Sequence[ast.stmt],
+    base: Env,
+    nested: Optional[List[ast.AST]] = None,
+) -> Env:
+    """The flow-insensitive environment a statement list produces.
+
+    Starts from ``base`` (inherited scope plus parameter seeds) and
+    folds every single-target assignment in: a reassigned name joins
+    its values, a ``for`` target over ``range(...)`` gets the precise
+    iteration range, and every other loop target is unknown.  To stay
+    sound without a fixpoint, any name assigned inside a loop body
+    whose right-hand side reads a name also assigned in that loop
+    (itself included) is forced to unknown — a single pass cannot bound
+    a loop-carried recurrence.  Nested def/class bodies are skipped
+    (each is its own scope) and collected into ``nested`` when given.
+    """
+    env: Env = dict(base)
+    assigned_here: Set[str] = set()
+    loop_forced: Set[str] = set()
+
+    def assign(name: str, value: AbstractValue) -> None:
+        if name in assigned_here:
+            env[name] = env.get(name, AbstractValue.unknown()).join(value)
+        else:
+            env[name] = value
+            assigned_here.add(name)
+
+    def loop_assigned_names(body: Sequence[ast.stmt]) -> Set[str]:
+        names: Set[str] = set()
+        for s in body:
+            for n in _walk_stmts(s):
+                if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (
+                        n.targets if isinstance(n, ast.Assign) else [n.target]
+                    )
+                    for t in targets:
+                        for sub in ast.walk(t):
+                            if isinstance(sub, ast.Name):
+                                names.add(sub.id)
+                elif isinstance(n, (ast.For, ast.AsyncFor)):
+                    for sub in ast.walk(n.target):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+        return names
+
+    for stmt in stmts:
+        for node in _walk_stmts(stmt, nested):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                carried = loop_assigned_names(node.body)
+                for s in node.body:
+                    for n in _walk_stmts(s):
+                        if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                            value = getattr(n, "value", None)
+                            if value is not None and _names_read(value) & carried:
+                                targets = (
+                                    n.targets
+                                    if isinstance(n, ast.Assign)
+                                    else [n.target]
+                                )
+                                for t in targets:
+                                    for sub in ast.walk(t):
+                                        if isinstance(sub, ast.Name):
+                                            loop_forced.add(sub.id)
+                if isinstance(node.target, ast.Name):
+                    rng = (
+                        _range_interval(node.iter, env)
+                        if isinstance(node.iter, ast.Call)
+                        else None
+                    )
+                    if rng is not None:
+                        assign(node.target.id, AbstractValue(rng, PYINT))
+                    else:
+                        src = eval_expr(node.iter, env)
+                        assign(node.target.id, AbstractValue(src.iv, src.width))
+                else:
+                    for sub in ast.walk(node.target):
+                        if isinstance(sub, ast.Name):
+                            assign(sub.id, AbstractValue.unknown())
+            elif isinstance(node, ast.While):
+                loop_forced |= loop_assigned_names(node.body)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Name):
+                    assign(node.targets[0].id, eval_expr(node.value, env))
+                elif isinstance(node.targets[0], (ast.Tuple, ast.List)):
+                    for sub in ast.walk(node.targets[0]):
+                        if isinstance(sub, ast.Name):
+                            assign(sub.id, AbstractValue.unknown())
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    assign(node.target.id, eval_expr(node.value, env))
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    assign(node.target.id, AbstractValue.unknown())
+    for name in loop_forced:
+        env[name] = AbstractValue.unknown()
+    return env

@@ -1,0 +1,122 @@
+"""Parallel per-file linting (``repro lint --jobs N``).
+
+The per-file pass is embarrassingly parallel: each worker parses one
+file and runs the per-file rules over it, returning plain
+:class:`~repro.analysis.engine.Finding` records (cheap to pickle —
+no AST crosses the process boundary).  The pass rides the same
+fork-safe persistent pool as the numeric kernels
+(:func:`repro.parallel.pool.parallel_map`), so the linter exercises the
+exact machinery rule RL009 patrols.
+
+Project rules (RL009/RL010/RL014) need the whole-tree flow graph, so
+the parent parses all contexts itself and runs them serially after the
+fan-out — correctness first: ``lint_paths_parallel`` produces exactly
+the findings :func:`repro.analysis.engine.lint_paths` would, in the
+same order (the test suite pins serial == parallel equality).
+
+Worker dispatch carries rule *ids*, not rule objects: workers rebuild
+instances from the catalogue, keeping the submitted callable a plain
+picklable ``functools.partial`` over a module-level function.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .engine import (
+    Finding,
+    LintResult,
+    ProjectRule,
+    Rule,
+    parse_contexts,
+    run_file_rules,
+    run_project_rules,
+)
+
+__all__ = ["lint_paths_parallel", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """The ``--jobs`` default: ``REPRO_PROCESSES`` when set, else serial.
+
+    Parallel linting is an opt-in optimization — small trees lint faster
+    serially than they fork — so without an explicit request the pass
+    stays single-process.
+    """
+    from ..parallel.pool import configured_processes
+
+    return configured_processes() or 1
+
+
+def _lint_one(
+    path_str: str, rule_ids: Tuple[str, ...], config: LintConfig
+) -> Tuple[List[Finding], List[str], int]:
+    """Worker body: parse one file, run the per-file rules.
+
+    Returns ``(findings, parse_errors, files_parsed)``.  Module-level
+    (and dispatched via ``functools.partial``) so the pool can pickle it.
+    """
+    from .rules import rule_by_id
+
+    rules = [rule_by_id(rid) for rid in rule_ids]
+    contexts, errors = parse_contexts([Path(path_str)], config)
+    findings: List[Finding] = []
+    for ctx in contexts:
+        findings.extend(run_file_rules(ctx, rules))
+    return findings, errors, len(contexts)
+
+
+def lint_paths_parallel(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> LintResult:
+    """Lint with the per-file pass fanned out over ``jobs`` processes.
+
+    Semantically identical to :func:`~repro.analysis.engine.lint_paths`;
+    ``jobs=1`` (or ``None`` with ``REPRO_PROCESSES`` unset) degrades to
+    it outright.
+    """
+    from ..parallel.pool import parallel_map
+    from .engine import _iter_py_files, lint_paths
+
+    n_jobs = jobs if jobs is not None else default_jobs()
+    if n_jobs <= 1:
+        return lint_paths(paths, rules, config)
+
+    cfg = config if config is not None else LintConfig()
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    files = list(_iter_py_files([Path(p) for p in paths]))
+
+    worker = partial(
+        _lint_one, rule_ids=tuple(r.id for r in file_rules), config=cfg
+    )
+    outcomes = parallel_map(worker, [str(p) for p in files], processes=n_jobs)
+
+    findings: List[Finding] = []
+    errors: List[str] = []
+    files_checked = 0
+    for per_file, per_errors, parsed in outcomes:
+        findings.extend(per_file)
+        errors.extend(per_errors)
+        files_checked += parsed
+
+    if project_rules:
+        from .flow import build_flow_graph
+
+        contexts, _ = parse_contexts(files, cfg)
+        graph = build_flow_graph(contexts)
+        findings.extend(run_project_rules(graph, project_rules, contexts))
+
+    return LintResult(
+        findings=sorted(findings),
+        files_checked=files_checked,
+        rules_run=len(rules),
+        errors=errors,
+    )

@@ -115,6 +115,13 @@ KNOBS: Tuple[Knob, ...] = (
         "repro/parallel/pool.py",
     ),
     Knob(
+        "REPRO_SAN",
+        "list",
+        "(empty)",
+        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float)",
+        "repro/analysis/sanitize/runtime.py",
+    ),
+    Knob(
         "REPRO_DEBUG_INVARIANTS",
         "flag",
         "off",

@@ -12,7 +12,13 @@ from typing import List, Sequence
 
 from .engine import LintResult, Rule
 
-__all__ = ["format_findings", "format_summary", "format_rules", "to_json"]
+__all__ = [
+    "format_findings",
+    "format_summary",
+    "format_rules",
+    "format_rule_table",
+    "to_json",
+]
 
 
 def _table(rows: Sequence[Sequence[str]], header: Sequence[str]) -> List[str]:
@@ -57,6 +63,24 @@ def format_rules(rules: Sequence[Rule]) -> str:
     """The rule catalogue as an aligned table (``--list-rules``)."""
     rows = [[r.id, f"allow-{r.tag}", r.description] for r in rules]
     return "\n".join(_table(rows, header=("rule", "allowlist tag", "description")))
+
+
+def format_rule_table(rules: Sequence[Rule]) -> str:
+    """The rule catalogue as the markdown table in docs/STATIC_ANALYSIS.md.
+
+    Generated from each rule's ``scope`` and ``doc`` metadata attributes
+    — the docs embed this output verbatim and a test pins the two
+    together, so the catalogue cannot drift from the shipped rule set.
+    Regenerate with ``repro lint --rules-table``.
+    """
+    lines = [
+        "| ID    | Allow-tag   | Scope | What it enforces |",
+        "|-------|-------------|-------|------------------|",
+    ]
+    for r in rules:
+        tag = f"`{r.tag}`"
+        lines.append(f"| {r.id} | {tag:<11} | {r.scope} | {r.doc} |")
+    return "\n".join(lines)
 
 
 def to_json(result: LintResult) -> str:

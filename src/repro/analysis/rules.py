@@ -1,21 +1,38 @@
-"""The repro-lint rule catalogue (RL001–RL012).
+"""The repro-lint rule catalogue (RL001–RL014).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
-catalogue.  RL001–RL008 and RL011–RL012 are pure per-file AST checks;
-RL009 and RL010 are :class:`~repro.analysis.engine.ProjectRule`
-subclasses reasoning over the whole-program
-:class:`~repro.analysis.flow.FlowGraph`.  Scoping (which packages a
-rule patrols) lives here, suppression (``# lint: allow-<tag>``) lives
-in the engine.
+catalogue (its rule table is generated from the ``scope``/``doc``
+attributes here — single source of truth).  RL001–RL008 and
+RL011–RL013 are pure per-file AST checks; RL009, RL010 and RL014 are
+:class:`~repro.analysis.engine.ProjectRule` subclasses reasoning over
+the whole-program :class:`~repro.analysis.flow.FlowGraph`.  Scoping
+(which packages a rule patrols) lives here, suppression
+(``# lint: allow-<tag>``) lives in the engine.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from .engine import FileContext, Finding, ProjectRule, Rule
+from .config import LintConfig
+from .engine import FileContext, Finding, ProjectRule, Rule, parse_contexts
+from .intervals import (
+    PYINT,
+    UNKNOWN,
+    WIDTH_RANGES,
+    AbstractValue,
+    Env,
+    Interval,
+    cast_dtype,
+    eval_expr,
+    promote,
+    scope_env,
+)
 
 __all__ = [
     "UnseededRandomRule",
@@ -30,6 +47,8 @@ __all__ = [
     "ImmutabilityRule",
     "DtypeWidthRule",
     "EnvKnobRule",
+    "OverflowProofRule",
+    "SanCoverageRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -153,6 +172,15 @@ class UnseededRandomRule(Rule):
     id = "RL001"
     tag = "random"
     description = "unseeded or global-state randomness outside repro.rand"
+    scope = "everywhere except `repro/rand.py`"
+    doc = (
+        "No unseeded randomness: flags legacy `np.random.*` calls (`seed`, "
+        "`rand`, `randn`, `randint`, `choice`, `shuffle`, ...), argument-less "
+        "`np.random.default_rng()`, stdlib `random.*` calls, and "
+        "`from random/numpy.random import ...`.  Seeded `default_rng(seed)` "
+        "is fine; the counter-based generators in `repro.rand` are the "
+        "sanctioned source of randomness."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag unseeded / global-state RNG calls and imports."""
@@ -213,6 +241,13 @@ class DtypeDisciplineRule(Rule):
     id = "RL002"
     tag = "dtype"
     description = "array allocation without an explicit dtype in kernel packages"
+    scope = "`repro/hypersparse/`, `repro/d4m/`, `repro/traffic/`"
+    doc = (
+        "Explicit dtypes in kernel packages: `np.zeros`/`ones`/`empty`/"
+        "`full`/`arange` must pass `dtype=` (or a positional dtype).  The "
+        "paper's traffic matrices are `uint64` coordinates / `float64` "
+        "values; platform-default dtypes are how that silently breaks."
+    )
 
     #: allocator name -> number of positional args after which dtype is present
     _ALLOCATORS = {"zeros": 1, "ones": 1, "empty": 1, "full": 2, "arange": 3}
@@ -254,6 +289,13 @@ class EntryLoopRule(Rule):
     id = "RL003"
     tag = "loop"
     description = "Python for/while loop in a hot-path kernel module"
+    scope = "hot modules (`[tool.repro-lint]`)"
+    doc = (
+        "No per-entry Python loops in hot-path modules.  `for`/`while` over "
+        "matrix entries belongs in vectorized NumPy; structural loops (e.g. "
+        "over the four blocks of a 2×2 grid) carry an explicit "
+        "`# lint: allow-loop` escape. Comprehensions are not flagged."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag for/while statements in the configured hot-path modules."""
@@ -281,6 +323,11 @@ class ModuleAllRule(Rule):
     id = "RL004"
     tag = "all"
     description = "public module without __all__"
+    scope = "public modules"
+    doc = (
+        "Every public module declares `__all__`, keeping the import surface "
+        "deliberate. Modules whose name starts with `_` are exempt."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag public modules lacking a top-level ``__all__``."""
@@ -311,6 +358,11 @@ class PublicDocstringRule(Rule):
     id = "RL005"
     tag = "docstring"
     description = "public function/class without a docstring"
+    scope = "public modules"
+    doc = (
+        "Public functions, classes, and methods carry docstrings. Names "
+        "starting with `_` are exempt."
+    )
 
     def _public_defs(
         self, body: Sequence[ast.stmt], prefix: str
@@ -348,6 +400,16 @@ class WallClockRule(Rule):
     id = "RL006"
     tag = "wallclock"
     description = "calendar-timestamp read inside an experiment kernel"
+    scope = (
+        "`repro/experiments/`, `repro/core/`, `repro/synth/`, "
+        "`repro/stream/`, `repro/traffic/`"
+    )
+    doc = (
+        "No calendar reads in experiment kernels: `datetime.now()`/"
+        "`utcnow()`/`today()`, `date.today()` make results depend on when "
+        "they ran.  Reports that genuinely need a run stamp use "
+        "`repro.obs.wall_timestamp()`."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag absolute-date calls in the deterministic-kernel packages."""
@@ -385,6 +447,15 @@ class TimerDisciplineRule(Rule):
     id = "RL007"
     tag = "timer"
     description = "time-module clock read outside repro.obs"
+    scope = "everywhere except `repro/obs/`"
+    doc = (
+        "Timer discipline: direct `time`-module clock reads (`time.time()`, "
+        "`perf_counter()`, `monotonic()`, `process_time()`, ... and their "
+        "`_ns` variants, including `from time import ...` aliases) belong in "
+        "the observability layer.  Measure with `repro.obs` — "
+        "`span()`/`@traced` for traced regions, `stopwatch()` for always-on "
+        "durations — so timings land in one instrumented, reportable place."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag time-module clock calls outside the observability package."""
@@ -428,6 +499,16 @@ class ResortRule(Rule):
     id = "RL008"
     tag = "resort"
     description = "argsort/lexsort over canonical data in hypersparse kernels"
+    scope = "canonical scope (`[tool.repro-lint]`)"
+    doc = (
+        "No re-sorting of canonical data: `np.argsort`/`np.lexsort` calls "
+        "inside the hypersparse package are flagged.  Canonical-run "
+        "unions/intersections go through the O(m+n) kernels in "
+        "`repro.hypersparse.merge` (see [PERFORMANCE.md](PERFORMANCE.md)); a "
+        "full sort is justified only where the input really is arbitrary "
+        "(construction from raw triples, transpose, `mxm` product streams), "
+        "and each such site carries `# lint: allow-resort`."
+    )
 
     _SORTERS = ("argsort", "lexsort")
 
@@ -477,6 +558,17 @@ class ForkSafetyRule(ProjectRule):
     id = "RL009"
     tag = "fork"
     description = "pool-submitted callable mutates globals or captures resources"
+    scope = "project-wide (flow)"
+    doc = (
+        "Fork/pool safety: a function submitted to `parallel_map` — and "
+        "everything it transitively calls — must not mutate module globals, "
+        "capture process-local resources (open handles, pools, RNG instances "
+        "stored at module level), or be unpicklable (lambdas, nested "
+        "functions).  Workers run in forked/spawned processes; a global "
+        "write there mutates a *copy* and silently diverges from the parent. "
+        " `repro.obs` and `repro.analysis` callees are exempt: their "
+        "process-local state is deliberate and fork-aware."
+    )
 
     #: Pool entry points whose first positional argument is the worker.
     _SUBMITTERS = frozenset({"parallel_map"})
@@ -589,6 +681,19 @@ class ImmutabilityRule(ProjectRule):
     id = "RL010"
     tag = "mutate"
     description = "in-place mutation of canonical HyperSparseMatrix/SparseVec/Assoc fields"
+    scope = "project-wide (flow)"
+    doc = (
+        "Immutability of canonical containers: fields of "
+        "`HyperSparseMatrix`, `SparseVec`, and `Assoc` instances must not be "
+        "mutated after construction — no `x.vals.sort()`, "
+        "`m._rows[i] = ...`, `m.vals += ...`, or rebinding of slot "
+        "attributes from outside.  Sanctioned sites: `__init__`/"
+        "`__new__`-style construction (`cls.__new__(cls)` locals) and a "
+        "class's own methods writing `self.*` own-storage (e.g. a lazy "
+        "cache).  Everything else copies; see "
+        "[PERFORMANCE.md](PERFORMANCE.md) for why canonical runs must stay "
+        "frozen."
+    )
 
     _PROTECTED_CLASSES = ("HyperSparseMatrix", "SparseVec", "Assoc")
     #: Field names too generic to patrol (every class has a shape).
@@ -768,11 +873,33 @@ class DtypeWidthRule(Rule):
     uint64 (module-level constants like ``_MIX1 = np.uint64(...)``
     included), which keeps the splitmix64 mixer and the sanctioned
     cast-operands-first packing idiom clean without annotations.
+
+    Since RL013 landed this rule is the *fast pre-pass*: inside RL013's
+    scope (``repro/hypersparse/``, ``repro/d4m/keys.py``) the syntactic
+    check stands down and the interval analysis judges the same
+    expressions with an actual value-range proof — it both discharges
+    shapes this rule would flag (a multiply proven to fit int64 before
+    its cast) and catches wraps this rule cannot see (a shift of
+    evidently-uint64 operands whose *values* exceed 2^64-1).  Outside
+    that scope the cheap syntactic check still patrols everything.
     """
 
     id = "RL011"
     tag = "width"
     description = "shift/multiply that can overflow before its uint64 cast"
+    scope = "`repro/` outside RL013's proof scope"
+    doc = (
+        "Dtype-width flow for packed keys: the 2^32-radix packing "
+        "`key = row * 2**32 + col` (and its shift form) must happen in "
+        "`uint64` *before* the widening arithmetic, not after.  Flags "
+        "`.astype(np.uint64)` / `np.uint64(...)` applied to the *result* of "
+        "a shift/multiply/add whose operands aren't evidently 64-bit, and "
+        "explicitly narrowed operands (`.astype(np.int32)`, "
+        "`dtype=np.uint32`) feeding a widening op — both are how keys "
+        "silently truncate on 32-bit-default platforms.  Inside the "
+        "interval-proof scope this rule stands down: RL013 re-judges the "
+        "same shapes with derived value ranges."
+    )
 
     def _safe_names(
         self, stmts: Sequence[ast.stmt], inherited: Set[str]
@@ -846,6 +973,8 @@ class DtypeWidthRule(Rule):
         """Flag width-unsafe packed-key arithmetic, scope by scope."""
         if not ctx.in_package("repro/"):
             return
+        if OverflowProofRule.scoped(ctx):
+            return  # RL013's interval proofs replace the syntactic check here
         yield from self._check_scope(ctx, ctx.tree.body, set())
 
 
@@ -888,6 +1017,14 @@ class EnvKnobRule(Rule):
     id = "RL012"
     tag = "env"
     description = "os.environ read outside the knob registry, or undeclared knob"
+    scope = "`repro/`"
+    doc = (
+        "Environment-knob registry: every `os.environ` / `os.getenv` read "
+        "goes through the typed readers in `repro.analysis.knobs` "
+        "(`env_flag`, `env_int`, `env_str`, `env_list`), and every key read "
+        "must be declared in the `KNOBS` registry.  The registry is the "
+        "single source of truth for the env-var table below."
+    )
 
     _REGISTRY = "repro/analysis/knobs.py"
     _READERS = frozenset({"env_flag", "env_int", "env_str", "env_list", "env_raw"})
@@ -936,6 +1073,406 @@ class EnvKnobRule(Rule):
                         )
 
 
+#: One axis of the paper's 2^32 x 2^32 IPv4 plane.
+_DIM = 2**32
+
+#: Domain assumptions the interval proofs rest on: the value ranges of
+#: conventionally named packed-key quantities, given the paper's 2^32
+#: dims.  Coordinates live on one IPv4 axis, packed keys span uint64,
+#: shapes are Python ints bounded by the axis.  Names not listed here
+#: are honestly unknown — expressions over them must be clamped, proven
+#: through other seeds, or justified with ``# lint: allow-overflow``.
+_DOMAIN: Dict[str, AbstractValue] = {
+    **{
+        name: AbstractValue(Interval(0, _DIM - 1), "uint64")
+        for name in ("rows", "cols", "row", "col", "coord", "codes")
+    },
+    **{
+        name: AbstractValue(Interval(0, 2**64 - 1), "uint64")
+        for name in ("keys", "key", "packed", "sorted_keys")
+    },
+    **{
+        name: AbstractValue(Interval(1, _DIM), PYINT)
+        for name in ("nrows", "ncols")
+    },
+    "bound": AbstractValue(Interval(0, _DIM), PYINT),
+    "self.shape": AbstractValue(Interval(1, _DIM), PYINT),
+    "self._rows": AbstractValue(Interval(0, _DIM - 1), "uint64"),
+    "self._cols": AbstractValue(Interval(0, _DIM - 1), "uint64"),
+    "self._keys": AbstractValue(Interval(0, 2**64 - 1), "uint64"),
+    "self.keys": AbstractValue(Interval(0, 2**64 - 1), "uint64"),
+}
+
+#: Operators RL013 must bound: their mathematical result can leave the
+#: operand width (``-`` only downward, on unsigned widths).
+_PROOF_OPS: Dict[type, str] = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.LShift: "<<",
+}
+
+
+def _fmt_iv(iv: Interval) -> str:
+    lo = "-inf" if iv.lo is None else str(iv.lo)
+    hi = "+inf" if iv.hi is None else str(iv.hi)
+    return f"[{lo}, {hi}]"
+
+
+def _param_names(args: ast.arguments) -> Iterator[str]:
+    for a in [
+        *args.posonlyargs,
+        *args.args,
+        *([args.vararg] if args.vararg else []),
+        *args.kwonlyargs,
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        yield a.arg
+
+
+class OverflowProofRule(Rule):
+    """RL013 — interval proof that packed-key arithmetic cannot wrap.
+
+    Where RL011 recognizes unsafe *shapes*, this rule derives the
+    mathematical value range of every ``+ - * <<`` whose arithmetic
+    runs at a concrete NumPy integer width, and compares it against
+    that width: a range provably inside the dtype is a proof, a range
+    that can leave it is a flagged wraparound, and a range the analysis
+    cannot bound is flagged as unprovable (clamp it, derive it from the
+    domain seeds, or justify the site with ``# lint: allow-overflow``).
+
+    The proofs rest on the paper's ``2^32 x 2^32`` operating domain
+    (:data:`_DOMAIN` seeds conventionally named quantities: coordinate
+    arrays below ``2^32``, packed keys within ``uint64``, shapes
+    bounded by the axis) and on the flow-insensitive per-scope interval
+    environment of :mod:`repro.analysis.intervals`.  Python-int
+    arithmetic is exempt — it is exact, and NumPy raises loudly rather
+    than wrapping when casting an out-of-range Python int.
+
+    The rule also re-judges RL011's cast-after-arithmetic shape: a
+    ``np.uint64(a * b)`` whose operand widths are unknown runs at the
+    platform's native int64 at best, so the inner range is checked
+    against int64 — proving safe what RL011 could only suspect, and
+    flagging the rest with the derived range in the message.
+    """
+
+    id = "RL013"
+    tag = "overflow"
+    description = "packed-key arithmetic whose derived value range can leave its width"
+    scope = "`repro/hypersparse/`, `repro/d4m/keys.py`"
+    doc = (
+        "Overflow proof by interval abstract interpretation: every "
+        "`+ - * <<` running at a concrete NumPy integer width must have a "
+        "derived value range provably inside that width, seeded from the "
+        "paper's 2^32×2^32 operating domain (coordinate arrays below 2^32, "
+        "packed keys within `uint64`, shapes bounded by the axis).  A range "
+        "that can leave the width is a proven wraparound; a range the "
+        "analysis cannot bound is flagged as unprovable — clamp with a "
+        "mask, derive it from the domain seeds, or justify the site with "
+        "`# lint: allow-overflow`.  Subsumes RL011 inside this scope "
+        "(cast-after-arithmetic is re-judged against int64, discharging "
+        "what the proof shows safe)."
+    )
+
+    _PACKAGES = ("repro/hypersparse/",)
+    _MODULES = ("repro/d4m/keys.py",)
+
+    @classmethod
+    def scoped(cls, ctx: FileContext) -> bool:
+        """True when ``ctx`` falls under the interval-proof regime."""
+        return ctx.in_package(*cls._PACKAGES) or ctx.is_module(*cls._MODULES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Prove or flag every widening arithmetic node in scope."""
+        if not self.scoped(ctx):
+            return
+        yield from self._check_scope(ctx, ctx.tree.body, dict(_DOMAIN))
+
+    def _check_scope(
+        self, ctx: FileContext, stmts: Sequence[ast.stmt], base: Env
+    ) -> Iterator[Finding]:
+        nested: List[ast.AST] = []
+        env = scope_env(stmts, base, nested)
+        inner_nested: List[Sequence[ast.stmt]] = []
+        for stmt in stmts:
+            for node in _walk_scope(stmt, inner_nested):
+                if isinstance(node, ast.BinOp) and type(node.op) in _PROOF_OPS:
+                    yield from self._check_binop(ctx, node, env)
+                elif isinstance(node, ast.Call) and cast_dtype(node) == "uint64":
+                    yield from self._check_cast(ctx, node, env)
+        for child in nested:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_env = dict(env)
+                for pname in _param_names(child.args):
+                    child_env[pname] = _DOMAIN.get(pname, AbstractValue.unknown())
+                yield from self._check_scope(ctx, child.body, child_env)
+            elif isinstance(child, ast.ClassDef):
+                yield from self._check_scope(ctx, child.body, env)
+
+    def _check_binop(
+        self, ctx: FileContext, node: ast.BinOp, env: Env
+    ) -> Iterator[Finding]:
+        left = eval_expr(node.left, env)
+        right = eval_expr(node.right, env)
+        if isinstance(node.op, ast.LShift):
+            width = left.width  # the shift amount never widens the value
+        else:
+            width = promote(left.width, right.width)
+        if width not in WIDTH_RANGES:
+            return  # exact Python ints, floats, or unknown (judged at casts)
+        lo_w, hi_w = WIDTH_RANGES[width]
+        val = eval_expr(node, env)
+        op = _PROOF_OPS[type(node.op)]
+        if isinstance(node.op, ast.Sub):
+            # Only proven-possible underflow is flagged: flow-insensitive
+            # intervals cannot see ordering guards, and unsigned
+            # subtraction under a known a >= b guard is idiomatic.
+            if width.startswith("u") and val.iv.lo is not None and val.iv.lo < lo_w:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'-' at {width} can wrap below {lo_w}: derived range "
+                    f"{_fmt_iv(val.iv)}; reorder the operands or clamp first",
+                )
+            return
+        if val.iv.hi is None:
+            yield self.finding(
+                ctx,
+                node,
+                f"'{op}' at {width} cannot be bounded: an operand's value "
+                "range is unknown to the interval analysis; clamp with a "
+                "mask, derive it from the 2^32-dim domain seeds, or justify "
+                "the site with '# lint: allow-overflow'",
+            )
+        elif val.iv.hi > hi_w:
+            yield self.finding(
+                ctx,
+                node,
+                f"'{op}' at {width} can wrap: derived range {_fmt_iv(val.iv)} "
+                f"exceeds the {width} maximum {hi_w}; prove the operands "
+                "smaller or mask the result",
+            )
+        elif val.iv.lo is not None and val.iv.lo < lo_w:
+            yield self.finding(
+                ctx,
+                node,
+                f"'{op}' at {width} can go negative: derived range "
+                f"{_fmt_iv(val.iv)} dips below {lo_w}",
+            )
+
+    def _check_cast(
+        self, ctx: FileContext, node: ast.Call, env: Env
+    ) -> Iterator[Finding]:
+        from .intervals import _cast_operand  # shared structural helper
+
+        inner = _cast_operand(node)
+        if not isinstance(inner, ast.BinOp) or type(inner.op) not in (
+            ast.Add,
+            ast.Mult,
+            ast.LShift,
+        ):
+            return
+        left = eval_expr(inner.left, env)
+        right = eval_expr(inner.right, env)
+        if isinstance(inner.op, ast.LShift):
+            width = left.width
+        else:
+            width = promote(left.width, right.width)
+        if width != UNKNOWN:
+            return  # concrete widths were already judged at the BinOp
+        val = eval_expr(inner, env)
+        lo64, hi64 = WIDTH_RANGES["int64"]
+        if val.iv.within(lo64, hi64):
+            return  # proven: fits the widest native width before the cast
+        op = _PROOF_OPS[type(inner.op)]
+        detail = (
+            "the derived range cannot be bounded"
+            if val.iv.hi is None
+            else f"derived range {_fmt_iv(val.iv)} exceeds int64"
+        )
+        yield self.finding(
+            ctx,
+            node,
+            f"uint64 cast applied after '{op}': the arithmetic runs at the "
+            f"operands' native width (int64 at best) and {detail}; cast the "
+            "operands to uint64 before the arithmetic",
+        )
+
+
+class SanCoverageRule(ProjectRule):
+    """RL014 — every kernel entry point is exercised under sanitizers.
+
+    The sanitizer runtime (:mod:`repro.analysis.sanitize`) only observes
+    code that actually runs under it; this rule closes the loop
+    statically.  The coverage manifest (``[tool.repro-lint]``'s
+    ``san-manifest`` key, default
+    ``tests/analysis/sanitize/manifest.json``) lists the test suites CI
+    runs with ``REPRO_SAN`` armed.  The rule parses those suites, joins
+    them onto the already-built source flow graph, and demands that
+    every public function and public method of the configured
+    hot modules is reachable — through resolved calls, or through a
+    method name invoked on *some* receiver within the reachable
+    closure (instance types are not tracked, so bare-name method
+    matching keeps the check honest without false alarms) — from at
+    least one test function in those suites.
+
+    When the manifest does not exist (linting an installed package from
+    an arbitrary directory) the rule reports nothing.  Its
+    :meth:`extra_fingerprint` folds the manifest and every listed test
+    file into the incremental-cache key, so editing a sanitizer test
+    invalidates cached RL014 verdicts exactly like editing source does.
+    """
+
+    id = "RL014"
+    tag = "san-coverage"
+    description = "hot-module kernel entry point unreachable from sanitizer-enabled tests"
+    scope = "project-wide (flow + san manifest)"
+    doc = (
+        "Sanitizer coverage: every public function and public method of the "
+        "configured hot modules must be reachable — through the project "
+        "call graph, extended with the test suites listed in the coverage "
+        "manifest (`[tool.repro-lint]` `san-manifest`, default "
+        "`tests/analysis/sanitize/manifest.json`) — from at least one test "
+        "that CI runs with `REPRO_SAN` armed (see "
+        "[SANITIZERS.md](SANITIZERS.md)).  A kernel no sanitizer-enabled "
+        "test exercises is a kernel the runtime cross-validation never "
+        "sees; add a test under one of the manifest's suites or extend the "
+        "manifest."
+    )
+
+    def _locate(self, config: LintConfig) -> Tuple[Path, Optional[Path]]:
+        """The tree root and the manifest path (None when absent)."""
+        source = config.source
+        if source and not source.startswith("defaults"):
+            root = Path(source).parent
+        else:
+            root = Path.cwd()
+        manifest = root / config.san_manifest
+        return root, (manifest if manifest.is_file() else None)
+
+    def _suites(
+        self, root: Path, manifest: Path
+    ) -> Tuple[Optional[List[str]], Optional[str]]:
+        """The manifest's suite list, or an error message."""
+        try:
+            data = json.loads(manifest.read_text())
+        except (OSError, ValueError) as exc:
+            return None, f"unreadable coverage manifest: {exc}"
+        suites = data.get("suites") if isinstance(data, dict) else None
+        if not (
+            isinstance(suites, list)
+            and suites
+            and all(isinstance(s, str) for s in suites)
+        ):
+            return None, (
+                "coverage manifest must be a JSON object with a non-empty "
+                "'suites' list of test paths"
+            )
+        return suites, None
+
+    def extra_fingerprint(self, config: LintConfig) -> str:
+        """Hash the manifest plus every test file it lists."""
+        root, manifest = self._locate(config)
+        if manifest is None:
+            return "rl014:no-manifest"
+        h = hashlib.sha256()
+        try:
+            h.update(manifest.read_bytes())
+        except OSError:
+            return "rl014:unreadable-manifest"
+        suites, err = self._suites(root, manifest)
+        if suites is not None:
+            contexts, errors = parse_contexts(
+                [root / s for s in suites if (root / s).exists()], config
+            )
+            for ctx in sorted(contexts, key=lambda c: str(c.path)):
+                h.update(f"{ctx.path}:{ctx.sha256}\n".encode())
+            for e in sorted(errors):
+                h.update(e.encode())
+        return h.hexdigest()
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        """Flag hot-module entry points no sanitizer-enabled test reaches."""
+        from .flow import extend_graph
+
+        cfg = self.config if self.config is not None else LintConfig()
+        root, manifest = self._locate(cfg)
+        if manifest is None:
+            return
+        suites, err = self._suites(root, manifest)
+        if suites is None:
+            yield Finding(
+                path=str(manifest),
+                line=1,
+                col=1,
+                rule_id=self.id,
+                message=err or "malformed coverage manifest",
+            )
+            return
+        missing = [s for s in suites if not (root / s).exists()]
+        if missing:
+            yield Finding(
+                path=str(manifest),
+                line=1,
+                col=1,
+                rule_id=self.id,
+                message=(
+                    "coverage manifest lists missing suite path(s): "
+                    + ", ".join(missing)
+                ),
+            )
+        contexts, _ = parse_contexts(
+            [root / s for s in suites if (root / s).exists()], cfg
+        )
+        if not contexts:
+            return
+        combined = extend_graph(graph, contexts)
+        test_modules = set(combined.modules) - set(graph.modules)
+
+        reached: Set[str] = set()
+        for key, summary in combined.functions.items():
+            if summary.module in test_modules:
+                reached.add(key)
+                reached |= combined.transitive_callees(key)
+        called_names: Set[str] = set()
+        for key in reached:
+            summary = combined.functions.get(key)
+            if summary is None:
+                continue
+            for site in summary.calls:
+                head, _, meth = site.raw.rpartition(".")
+                if head and meth and combined.resolve_call(summary, site.raw) is None:
+                    called_names.add(meth)
+
+        manifest_rel = cfg.san_manifest
+        for info in graph.modules.values():
+            if info.path not in cfg.hot_modules:
+                continue
+            for qual, summary in sorted(info.functions.items()):
+                if qual == "<module>" or summary.name.startswith("_"):
+                    continue
+                if summary.cls is not None:
+                    if summary.cls.startswith("_"):
+                        continue
+                    cls_info = info.classes.get(summary.cls)
+                    if cls_info is not None and summary.name in cls_info.properties:
+                        continue  # attribute reads never appear as calls
+                if summary.key in reached or summary.name in called_names:
+                    continue
+                yield Finding(
+                    path=info.file,
+                    line=summary.lineno,
+                    col=1,
+                    rule_id=self.id,
+                    message=(
+                        f"kernel entry point {summary.key} is not reachable "
+                        "from any sanitizer-enabled test (coverage manifest "
+                        f"{manifest_rel}); add a test under one of its "
+                        "suites, or extend the manifest"
+                    ),
+                )
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -950,6 +1487,8 @@ ALL_RULES: Tuple[Rule, ...] = (
     ImmutabilityRule(),
     DtypeWidthRule(),
     EnvKnobRule(),
+    OverflowProofRule(),
+    SanCoverageRule(),
 )
 
 

@@ -1,0 +1,111 @@
+"""The ``overflow`` sanitizer (RS001): uint64 wraparound in key packing.
+
+NumPy wraps unsigned integer arithmetic silently — ``np.seterr`` has no
+integer mode — so rule RL013's interval proof has no runtime ally in
+NumPy itself.  This sanitizer supplies one: it wraps the two packed-key
+kernels in :mod:`repro.hypersparse.coo` with checks that re-derive each
+pack's true maximum in exact Python ints (which cannot wrap) from the
+actual runtime operands, recording an RS001 trap whenever the packed
+range leaves uint64.  It is the dynamic twin of the static proof: RL013
+bounds the *derivable* range, the sanitizer measures the *actual* one —
+including at the one ``# lint: allow-overflow`` site, whose bit-length
+guard it re-validates on every call.
+
+Floating-point overflow is also armed (``np.seterr(over="call")``) so a
+diverging fit or spectral kernel is caught by the same trap log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from .runtime import caller_site, fp_trap, patch_everywhere, record_trap
+
+__all__ = ["arm", "U64_MAX"]
+
+#: The uint64 ceiling the packed-key kernels must stay under.
+U64_MAX = 2**64 - 1
+
+
+def _peak_pack(rows: np.ndarray, cols: np.ndarray, ncols: int) -> int:
+    """The exact maximum key ``_pack_keys`` would produce, as a Python int."""
+    r, c = int(rows.max()), int(cols.max())
+    if ncols & (ncols - 1) == 0:
+        return (r << (ncols.bit_length() - 1)) | c
+    return r * ncols + c
+
+
+def _checked_pack_keys(orig: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap ``coo._pack_keys`` with an exact-arithmetic range check."""
+
+    def pack_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> Any:
+        if rows.size:
+            peak = _peak_pack(rows, cols, int(ncols))
+            if peak > U64_MAX:
+                record_trap(
+                    "overflow",
+                    f"packed key maximum {peak} exceeds uint64 "
+                    f"({U64_MAX}); the pack wrapped silently "
+                    f"(ncols={int(ncols)}, max row {int(rows.max())}, "
+                    f"max col {int(cols.max())})",
+                    site=caller_site(),
+                )
+        return orig(rows, cols, ncols)
+
+    return pack_keys
+
+
+def _checked_stable_sort(orig: Callable[..., Any]) -> Callable[..., Any]:
+    """Re-validate the bit-length guard of ``_stable_sorted_with_order``.
+
+    The kernel's fast path packs ``(value << index_bits) | index``; its
+    guard falls back to the stable argsort whenever the pack could leave
+    64 bits.  The static proof cannot see that guard (the site carries
+    ``# lint: allow-overflow``), so the sanitizer re-checks the *actual*
+    packed maximum whenever the fast path is taken.
+    """
+
+    def stable_sorted_with_order(coord: np.ndarray, bound: int) -> Any:
+        n = coord.size
+        if n:
+            shift = (n - 1).bit_length() if n > 1 else 1
+            if not ((int(bound) - 1) >> (64 - shift)):
+                peak = (int(coord.max()) << shift) | (n - 1)
+                if peak > U64_MAX:
+                    record_trap(
+                        "overflow",
+                        f"sort-pack maximum {peak} exceeds uint64: the "
+                        f"bit-length guard admitted an overflowing pack "
+                        f"(n={n}, bound={int(bound)}, max coord "
+                        f"{int(coord.max())})",
+                        site=caller_site(),
+                    )
+        return orig(coord, bound)
+
+    return stable_sorted_with_order
+
+
+def arm() -> Callable[[], None]:
+    """Arm the overflow sanitizer; returns the undo closure."""
+    from ...hypersparse import coo
+
+    undos: List[Callable[[], None]] = []
+    for name, wrapper in (
+        ("_pack_keys", _checked_pack_keys),
+        ("_stable_sorted_with_order", _checked_stable_sort),
+    ):
+        orig = getattr(coo, name)
+        undos.append(patch_everywhere(orig, wrapper(orig)))
+
+    old_err: Dict[str, str] = np.seterr(over="call")
+    old_call = np.seterrcall(fp_trap)
+
+    def undo() -> None:
+        np.seterrcall(old_call)
+        np.seterr(**old_err)
+        for u in reversed(undos):
+            u()
+
+    return undo

@@ -206,6 +206,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "san":
+        # The sanitizer harness owns its own argument surface too.
+        from .analysis.sanitize.cli import main as san_main
+
+        return san_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "bench":

@@ -1,0 +1,35 @@
+"""RL013 fixtures: packed-key arithmetic that wraps or cannot be proven.
+
+Each function holds exactly one offending expression so tests can pin
+findings to functions by line ranges.
+"""
+
+import numpy as np
+
+__all__ = [
+    "pack_wraps",
+    "shift_unbounded",
+    "cast_unproven",
+    "sub_wraps",
+]
+
+
+def pack_wraps(rows):
+    """Provable wraparound: rows reaches 2^32 - 1, the radix is 2^33."""
+    return rows * np.uint64(2**33)
+
+
+def shift_unbounded(coord):
+    """The shift amount has no derivable bound: unprovable, must flag."""
+    bits = coord.size.bit_length()
+    return coord << np.uint64(bits)
+
+
+def cast_unproven(a, b):
+    """RL011's shape at unknown widths, and the range cannot be bounded."""
+    return np.uint64(a * b)
+
+
+def sub_wraps(keys):
+    """Unsigned subtraction provably able to dip below zero."""
+    return keys - np.uint64(1)

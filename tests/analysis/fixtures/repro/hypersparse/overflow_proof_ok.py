@@ -1,0 +1,46 @@
+"""RL013 fixtures: packed-key arithmetic the interval analysis proves safe.
+
+Every function here must stay silent under RL013: the derived value
+ranges — seeded from the 2^32-dim domain (``rows``/``cols``/``coord``
+below 2^32, ``keys`` within uint64, ``ncols`` at most 2^32) — provably
+fit the width the arithmetic runs at.
+"""
+
+import numpy as np
+
+__all__ = [
+    "pack_shift",
+    "pack_radix",
+    "pack_discharged",
+    "masked_shift",
+    "shift_by_loop_index",
+]
+
+
+def pack_shift(rows, cols):
+    """The canonical pack: (rows << 32) | cols tops out at 2^64 - 1."""
+    return (rows << np.uint64(32)) | cols
+
+
+def pack_radix(rows, cols, ncols):
+    """Multiplicative form: rows * ncols + cols < 2^64 for ncols <= 2^32."""
+    return rows * np.uint64(ncols) + cols
+
+
+def pack_discharged(idx):
+    """RL011 would flag this cast-after-multiply; the interval proof
+    discharges it: (idx % 1024) * 4 <= 4092 fits any native width."""
+    return np.uint64((idx % 1024) * 4)
+
+
+def masked_shift(keys):
+    """Masking before the widening shift bounds the range by hand."""
+    return (keys & np.uint64(0xFFFFFFFF)) << np.uint64(32)
+
+
+def shift_by_loop_index(rows):
+    """range() loop targets carry their iteration range into the proof."""
+    out = rows
+    for level in range(32):
+        out = rows << np.uint64(level)
+    return out

@@ -1,0 +1,137 @@
+"""Sanitizer core: trap log, arming lifecycle, patch plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import runtime
+from repro.analysis.sanitize.runtime import (
+    MAX_TRAPS,
+    RULE_IDS,
+    SANITIZER_NAMES,
+    Trap,
+    arm,
+    armed,
+    disarm,
+    record_trap,
+    sanitizers,
+    take_traps,
+    trap_count,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """Every test starts and ends disarmed with an empty trap log."""
+    disarm()
+    take_traps()
+    yield
+    disarm()
+    take_traps()
+
+
+class TestTrapLog:
+    def test_record_and_drain(self):
+        record_trap("overflow", "boom", site=("kern.py", 7))
+        [trap] = take_traps()
+        assert trap == Trap(
+            sanitizer="overflow", message="boom", path="kern.py", line=7
+        )
+        assert trap.rule_id == "RS001"
+        assert take_traps() == []  # drained
+
+    def test_identical_traps_collapse_with_count(self):
+        for _ in range(5):
+            record_trap("float", "nan escaped", site=("fit.py", 3))
+        assert trap_count() == 5
+        [trap] = take_traps()
+        assert trap.count == 5
+        assert "(x5)" in trap.format()
+
+    def test_distinct_sites_stay_distinct(self):
+        record_trap("mutate", "drift", site=("a.py", 1))
+        record_trap("mutate", "drift", site=("b.py", 1))
+        assert len(take_traps()) == 2
+
+    def test_trap_flood_is_bounded(self):
+        for i in range(MAX_TRAPS + 50):
+            record_trap("overflow", "boom", site=("x.py", i))
+        traps = take_traps()
+        assert len(traps) == MAX_TRAPS
+
+    def test_unknown_sanitizer_rejected(self):
+        with pytest.raises(ValueError, match="unknown sanitizer"):
+            record_trap("asan", "nope")
+
+    def test_rule_ids_cover_every_sanitizer(self):
+        assert set(RULE_IDS) == set(SANITIZER_NAMES)
+        assert len(set(RULE_IDS.values())) == len(SANITIZER_NAMES)
+
+
+class TestArming:
+    def test_arm_disarm_roundtrip_restores_bindings(self):
+        from repro.hypersparse import coo
+
+        before_pack = coo._pack_keys
+        arm(["overflow"])
+        assert armed() == ("overflow",)
+        assert coo._pack_keys is not before_pack  # patched in place
+        disarm()
+        assert armed() == ()
+        assert coo._pack_keys is before_pack  # fully restored
+
+    def test_arm_is_idempotent(self):
+        arm(["mutate"])
+        arm(["mutate"])
+        assert armed() == ("mutate",)
+
+    def test_canonical_order_regardless_of_request_order(self):
+        arm(["float", "overflow"])
+        assert armed() == ("overflow", "float")
+
+    def test_unknown_name_rejected_loudly(self):
+        with pytest.raises(ValueError, match="unknown sanitizer"):
+            arm(["overflow", "asan"])
+
+    def test_context_manager_scopes_arming(self):
+        with sanitizers(["overflow"]):
+            assert armed() == ("overflow",)
+        assert armed() == ()
+
+    def test_seterr_state_restored_after_disarm(self):
+        before = np.geterr()["over"]
+        arm(["overflow"])
+        disarm()
+        assert np.geterr()["over"] == before
+
+
+class TestBootstrap:
+    def test_bootstrap_reads_the_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAN", "overflow, mutate")
+        runtime.bootstrap()
+        assert armed() == ("overflow", "mutate")
+
+    def test_bootstrap_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAN", raising=False)
+        runtime.bootstrap()
+        assert armed() == ()
+
+    def test_bootstrap_rejects_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAN", "overflow,typo")
+        with pytest.raises(ValueError, match="typo"):
+            runtime.bootstrap()
+
+
+class TestPatchEverywhere:
+    def test_patches_direct_import_bindings_and_undoes(self):
+        # repro.hypersparse.merge imports names directly from coo-land;
+        # use this module's own globals as the observable consumer.
+        import repro.hypersparse.coo as coo
+
+        original = coo._pack_keys
+        sentinel = object()
+        undo = runtime.patch_everywhere(original, sentinel)
+        try:
+            assert coo._pack_keys is sentinel
+        finally:
+            undo()
+        assert coo._pack_keys is original

@@ -1,0 +1,179 @@
+"""The interval abstract domain behind RL013.
+
+These tests pin the arithmetic the overflow proof rests on: exact
+Python-int interval endpoints (2**64 is representable, nothing wraps
+inside the analysis itself), the packed-key algebra at the paper's
+2^32x2^32 domain boundary, and the expression evaluator's handling of
+casts, masks, and joins.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.intervals import (
+    PYINT,
+    TOP,
+    U64_MAX,
+    UNKNOWN,
+    WIDTH_RANGES,
+    AbstractValue,
+    Interval,
+    cast_dtype,
+    eval_expr,
+    promote,
+    scope_env,
+)
+
+U32_MAX = 2**32 - 1
+
+
+def ev(src, env=None):
+    """Evaluate a source expression under ``env`` (name -> AbstractValue)."""
+    node = ast.parse(src, mode="eval").body
+    return eval_expr(node, dict(env or {}))
+
+
+class TestInterval:
+    def test_const_and_top(self):
+        assert Interval.const(7) == Interval(7, 7)
+        assert Interval.top() == TOP
+        assert not TOP.is_bounded
+        assert Interval(0, 5).is_bounded
+
+    def test_add_sub_are_exact(self):
+        a = Interval(0, U32_MAX)
+        b = Interval(1, 2**32)
+        assert a.add(b) == Interval(1, U32_MAX + 2**32)
+        assert a.sub(b) == Interval(0 - 2**32, U32_MAX - 1)
+
+    def test_unbounded_ends_propagate(self):
+        half = Interval(0, None)
+        assert half.add(Interval.const(1)) == Interval(1, None)
+        assert half.mul(Interval.const(2)) == Interval(0, None)
+        assert Interval(None, 5).neg() == Interval(-5, None)
+
+    def test_mul_considers_sign_corners(self):
+        a = Interval(-3, 4)
+        b = Interval(-5, 2)
+        # min/max over all endpoint products: {15, -6, -20, 8}
+        assert a.mul(b) == Interval(-20, 15)
+
+    def test_packed_key_bound_is_exactly_u64(self):
+        # The paper's packing: row * 2^32 + col at the domain extremes.
+        row = Interval(0, U32_MAX)
+        col = Interval(0, U32_MAX)
+        key = row.mul(Interval.const(2**32)).add(col)
+        assert key == Interval(0, U64_MAX)
+        assert key.within(*WIDTH_RANGES["uint64"])
+        assert not key.within(*WIDTH_RANGES["int64"])
+
+    def test_lshift_matches_mul_form(self):
+        row = Interval(0, U32_MAX)
+        assert row.lshift(Interval.const(32)) == row.mul(Interval.const(2**32))
+
+    def test_huge_shift_amount_goes_unbounded_not_astronomical(self):
+        # Beyond the packed-key regime the analysis gives up rather than
+        # materializing million-bit ints.
+        out = Interval(1, 2).lshift(Interval(0, 10**6))
+        assert out.hi is None
+
+    def test_or_and_clamp_and_mask(self):
+        keyed = Interval(0, U64_MAX - 7).or_(Interval(0, 7))
+        assert keyed.within(0, U64_MAX)
+        masked = Interval(0, None).and_(Interval.const(0xFFFF))
+        assert masked.within(0, 0xFFFF)
+        assert Interval(-5, 100).clamp(0, 63) == Interval(0, 63)
+
+    def test_join_widens_both_ends(self):
+        assert Interval(2, 3).join(Interval(10, None)) == Interval(2, None)
+
+
+class TestPromote:
+    def test_unsigned_width_promotion(self):
+        assert promote("uint32", "uint64") == "uint64"
+        assert promote("uint8", "uint32") == "uint32"
+
+    def test_pyint_defers_to_the_concrete_operand(self):
+        # A Python literal adopts the array operand's width, NumPy-style.
+        assert promote("uint64", PYINT) == "uint64"
+        assert promote(PYINT, PYINT) == PYINT
+
+    def test_unknown_is_contagious(self):
+        assert promote("uint64", UNKNOWN) == UNKNOWN
+
+
+class TestEvalExpr:
+    def test_constant_and_name_lookup(self):
+        assert ev("41 + 1").iv == Interval.const(42)
+        env = {"n": AbstractValue(Interval(1, 2**32), PYINT)}
+        assert ev("n - 1", env).iv == Interval(0, U32_MAX)
+
+    def test_pack_expression_at_domain_seeds(self):
+        env = {
+            "rows": AbstractValue(Interval(0, U32_MAX), "uint64"),
+            "cols": AbstractValue(Interval(0, U32_MAX), "uint64"),
+        }
+        val = ev("(rows << 32) | cols", env)
+        assert val.iv == Interval(0, U64_MAX)
+        assert val.width == "uint64"
+
+    def test_cast_clamps_to_target_range(self):
+        env = {"x": AbstractValue(TOP, PYINT)}
+        val = ev("np.uint32(x)", env)
+        assert val.width == "uint32"
+        assert val.iv.within(0, U32_MAX)
+
+    def test_min_max_calls_narrow(self):
+        env = {"shift": AbstractValue(Interval(0, None), PYINT)}
+        assert ev("min(shift, 63)", env).iv.within(0, 63)
+        assert ev("max(shift, 1)", env).iv == Interval(1, None)
+
+    def test_ifexp_joins_branches(self):
+        env = {"flag": AbstractValue(Interval(0, 1), PYINT)}
+        assert ev("2 if flag else 7", env).iv == Interval(2, 7)
+
+    def test_unseeded_name_is_unknown(self):
+        val = ev("mystery * 2")
+        assert val.width == UNKNOWN
+        assert val.iv == TOP
+
+    def test_bit_length_call(self):
+        env = {"n": AbstractValue(Interval(1, 2**32), PYINT)}
+        out = ev("int(n - 1).bit_length()", env)
+        assert out.iv.within(0, 32)
+
+
+class TestCastDtype:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("np.uint64(x)", "uint64"),
+            ("x.astype(np.uint64)", "uint64"),
+            ("x.astype('uint32')", "uint32"),
+            ("np.asarray(x, dtype=np.int64)", "int64"),
+            ("f(x)", None),
+        ],
+    )
+    def test_recognized_cast_forms(self, src, expected):
+        node = ast.parse(src, mode="eval").body
+        assert cast_dtype(node) == expected
+
+
+class TestScopeEnv:
+    def test_straightline_assignments_flow(self):
+        body = ast.parse("shift = 32\nradix = 1 << shift\n").body
+        env = scope_env(body, {}, [])
+        assert env["radix"].iv == Interval.const(2**32)
+
+    def test_loop_carried_names_are_forced_unknown(self):
+        # Flow-insensitive: a name reassigned inside a loop in terms of
+        # itself cannot keep its seed range.
+        src = "acc = 1\nfor i in range(4):\n    acc = acc * 1000\n"
+        env = scope_env(ast.parse(src).body, {}, [])
+        assert env["acc"].iv.hi is None or env["acc"].iv == TOP
+
+    def test_augmented_assignment_joins(self):
+        src = "x = 1\nif cond:\n    x = 2**40\n"
+        env = scope_env(ast.parse(src).body, {}, [])
+        assert env["x"].iv == Interval(1, 2**40)

@@ -1,0 +1,76 @@
+"""Parallel linting (``--jobs``): serial equivalence and CLI wiring."""
+
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_paths
+from repro.analysis.jobs import default_jobs, lint_paths_parallel
+from repro.analysis.rules import ALL_RULES, rule_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_on_dirty_tree(self):
+        # The whole contract: same findings, same order, same counts.
+        serial = lint_paths([FIXTURES / "repro"], list(ALL_RULES))
+        parallel = lint_paths_parallel(
+            [FIXTURES / "repro"], list(ALL_RULES), jobs=4
+        )
+        assert parallel.findings == serial.findings
+        assert parallel.findings  # the fixture tree is not vacuously clean
+        assert parallel.files_checked == serial.files_checked
+        assert parallel.errors == serial.errors
+
+    def test_parallel_matches_serial_on_clean_tree(self):
+        serial = lint_paths([FIXTURES / "clean"], list(ALL_RULES))
+        parallel = lint_paths_parallel(
+            [FIXTURES / "clean"], list(ALL_RULES), jobs=2
+        )
+        assert parallel.findings == serial.findings == []
+
+    def test_suppressions_apply_in_workers(self):
+        # Allow-comments are honoured inside the per-file pass, which in
+        # parallel mode runs entirely in pool workers.
+        rules = [rule_by_id("RL001")]
+        serial = lint_paths([FIXTURES / "repro"], rules)
+        parallel = lint_paths_parallel([FIXTURES / "repro"], rules, jobs=2)
+        assert parallel.findings == serial.findings
+
+    def test_parse_errors_survive_the_fan_out(self, tmp_path):
+        (tmp_path / "good.py").write_text('"""ok."""\n__all__ = []\n')
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        serial = lint_paths([tmp_path], list(ALL_RULES))
+        parallel = lint_paths_parallel([tmp_path], list(ALL_RULES), jobs=2)
+        assert parallel.errors == serial.errors
+        assert len(parallel.errors) == 1
+        assert parallel.files_checked == serial.files_checked == 1
+
+    def test_jobs_one_degrades_to_serial(self):
+        cfg = LintConfig()
+        serial = lint_paths([FIXTURES / "repro"], list(ALL_RULES), cfg)
+        degraded = lint_paths_parallel(
+            [FIXTURES / "repro"], list(ALL_RULES), cfg, jobs=1
+        )
+        assert degraded.findings == serial.findings
+
+
+class TestDefaultJobs:
+    def test_defaults_serial_without_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert default_jobs() == 1
+
+    def test_follows_repro_processes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "3")
+        assert default_jobs() == 3
+
+
+class TestCli:
+    def test_jobs_flag_same_exit_and_output(self, capsys):
+        serial_code = main([str(FIXTURES / "repro"), "-q"])
+        serial_out = capsys.readouterr().out
+        parallel_code = main([str(FIXTURES / "repro"), "--jobs", "4", "-q"])
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code == 1
+        assert parallel_out == serial_out

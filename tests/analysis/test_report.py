@@ -1,0 +1,34 @@
+"""Rule-table generation and its docs pin (mirrors the knob-table pin)."""
+
+from pathlib import Path
+
+from repro.analysis.report import format_rule_table
+from repro.analysis.rules import ALL_RULES
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+
+
+class TestRuleTable:
+    def test_every_rule_has_scope_and_doc_metadata(self):
+        for rule in ALL_RULES:
+            assert rule.scope, f"{rule.id} missing scope metadata"
+            assert rule.doc, f"{rule.id} missing doc metadata"
+
+    def test_table_lists_every_rule_once(self):
+        table = format_rule_table(ALL_RULES)
+        for rule in ALL_RULES:
+            matching = [
+                line
+                for line in table.splitlines()
+                if line.startswith(f"| {rule.id} ")
+            ]
+            assert len(matching) == 1
+            assert f"`{rule.tag}`" in matching[0]
+
+    def test_docs_embed_generated_table_verbatim(self):
+        # docs/STATIC_ANALYSIS.md carries the catalogue's own rendering;
+        # regenerating it on rule changes is part of the contract
+        # (`repro lint --rules-table`), exactly like the knob table.
+        docs = DOCS.read_text()
+        for line in format_rule_table(ALL_RULES).splitlines():
+            assert line in docs, f"docs rule table out of date, missing: {line}"

@@ -9,6 +9,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.config import LintConfig
 from repro.analysis.engine import lint_paths, module_path
 from repro.analysis.rules import ALL_RULES, rule_by_id
 
@@ -288,7 +289,7 @@ class TestImmutability:
 
 class TestDtypeWidth:
     def findings(self):
-        return run_rule("RL011", "repro/hypersparse/bad_width.py")
+        return run_rule("RL011", "repro/traffic/bad_width.py")
 
     def test_cast_after_arithmetic_flagged(self):
         msgs = [f.message for f in self.findings()]
@@ -306,7 +307,7 @@ class TestDtypeWidth:
         # the allowlisted line.
         fs = self.findings()
         assert len(fs) == 5
-        source = (FIXTURES / "repro/hypersparse/bad_width.py").read_text().splitlines()
+        source = (FIXTURES / "repro/traffic/bad_width.py").read_text().splitlines()
         bad_start = next(
             i for i, line in enumerate(source, 1) if "def pack_bad" in line
         )
@@ -323,6 +324,126 @@ class TestDtypeWidth:
 
     def test_real_tree_clean(self):
         result = lint_paths([SRC_REPRO], [rule_by_id("RL011")])
+        assert result.findings == []
+
+
+class TestOverflowProof:
+    """RL013: interval proofs over packed-key arithmetic."""
+
+    def test_provable_kernels_stay_silent(self):
+        assert run_rule("RL013", "repro/hypersparse/overflow_proof_ok.py") == []
+
+    def test_each_overflowing_kernel_flagged(self):
+        fs = run_rule("RL013", "repro/hypersparse/overflow_proof_bad.py")
+        source = (
+            FIXTURES / "repro/hypersparse/overflow_proof_bad.py"
+        ).read_text().splitlines()
+
+        def span(name):
+            start = next(
+                i for i, line in enumerate(source, 1) if f"def {name}" in line
+            )
+            rest = (
+                i for i, line in enumerate(source, 1)
+                if i > start and line.startswith("def ")
+            )
+            return range(start, next(rest, len(source) + 1))
+
+        by_fn = {
+            name: [f.message for f in fs if f.line in span(name)]
+            for name in ("pack_wraps", "shift_unbounded", "cast_unproven", "sub_wraps")
+        }
+        assert len(fs) == 4
+        assert any("can wrap" in m for m in by_fn["pack_wraps"])
+        assert any("cannot be bounded" in m for m in by_fn["shift_unbounded"])
+        assert any("uint64 cast applied after" in m for m in by_fn["cast_unproven"])
+        assert any("wrap below" in m for m in by_fn["sub_wraps"])
+
+    def test_rl011_demoted_inside_proof_scope(self):
+        # The syntactic width rule yields to the proof inside RL013's
+        # scope: pack_discharged would trip RL011's cast-after-multiply
+        # pattern, but the derived range fits int64 and both stay silent.
+        path = "repro/hypersparse/overflow_proof_ok.py"
+        assert run_rule("RL011", path) == []
+        assert run_rule("RL013", path) == []
+
+    def test_real_tree_clean(self):
+        # Acceptance: every packed-key expression in the hypersparse and
+        # d4m key kernels either proves safe or carries a justified
+        # allow-overflow anchor (there is exactly one, in coo.py, where
+        # a runtime bit-length guard supplies the bound).
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL013")])
+        assert result.findings == []
+
+
+class TestSanCoverage:
+    """RL014: kernel entry points must be reachable from sanitizer tests."""
+
+    def _tree(self, tmp_path, manifest_body, test_body):
+        src = tmp_path / "repro" / "hypersparse"
+        src.mkdir(parents=True)
+        (src / "ops.py").write_text(
+            '"""Ops."""\n'
+            "__all__ = ['covered_kernel', 'orphan_kernel']\n\n\n"
+            "def covered_kernel(x):\n"
+            '    """Covered."""\n'
+            "    return x\n\n\n"
+            "def orphan_kernel(x):\n"
+            '    """Never exercised by a sanitizer suite."""\n'
+            "    return x\n"
+        )
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_san.py").write_text(test_body)
+        (tmp_path / "manifest.json").write_text(manifest_body)
+        cfg = LintConfig(
+            hot_modules=("repro/hypersparse/ops.py",),
+            san_manifest="manifest.json",
+            source=str(tmp_path / "pyproject.toml"),
+        )
+        return lint_paths([src], [rule_by_id("RL014")], config=cfg)
+
+    def test_orphan_entry_point_flagged_covered_clean(self, tmp_path):
+        result = self._tree(
+            tmp_path,
+            '{"version": 1, "suites": ["tests/test_san.py"]}\n',
+            "from repro.hypersparse.ops import covered_kernel\n\n\n"
+            "def test_covered():\n"
+            "    assert covered_kernel(1) == 1\n",
+        )
+        assert [f.rule_id for f in result.findings] == ["RL014"]
+        (finding,) = result.findings
+        assert "orphan_kernel" in finding.message
+        assert "covered_kernel" not in finding.message
+
+    def test_missing_manifest_reports_nothing(self, tmp_path):
+        src = tmp_path / "repro" / "hypersparse"
+        src.mkdir(parents=True)
+        (src / "ops.py").write_text('"""Ops."""\n__all__ = []\n')
+        cfg = LintConfig(
+            hot_modules=("repro/hypersparse/ops.py",),
+            san_manifest="manifest.json",
+            source=str(tmp_path / "pyproject.toml"),
+        )
+        result = lint_paths([src], [rule_by_id("RL014")], config=cfg)
+        assert result.findings == []
+
+    def test_malformed_manifest_is_a_finding_not_a_crash(self, tmp_path):
+        result = self._tree(tmp_path, "{not json", "def test_x():\n    pass\n")
+        assert len(result.findings) == 1
+        assert "manifest" in result.findings[0].message
+
+    def test_missing_suite_path_is_a_finding(self, tmp_path):
+        result = self._tree(
+            tmp_path,
+            '{"version": 1, "suites": ["tests/absent.py"]}\n',
+            "def test_x():\n    pass\n",
+        )
+        assert any("absent.py" in f.message for f in result.findings)
+
+    def test_real_tree_covered(self):
+        # Acceptance: the repository's own manifest reaches every public
+        # kernel entry point in the configured hot modules.
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL014")])
         assert result.findings == []
 
 

@@ -16,7 +16,14 @@ import pytest
 from repro.analysis.cli import main
 from repro.analysis.engine import lint_paths
 from repro.analysis.rules import ALL_RULES, rule_by_id
-from repro.analysis.sarif import SARIF_VERSION, format_sarif, to_sarif
+from repro.analysis.sanitize.runtime import Trap
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    format_sarif,
+    merge_sarif,
+    sanitizer_sarif,
+    to_sarif,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -209,3 +216,59 @@ class TestSarifCli:
 
     def test_format_sarif_ends_with_newline(self, dirty_result):
         assert format_sarif(dirty_result, [rule_by_id("RL001")]).endswith("\n")
+
+
+TRAPS = [
+    Trap(sanitizer="overflow", message="wrapped", path="coo.py", line=80),
+    Trap(sanitizer="float", message="nan escaped", path="fit.py", line=3, count=4),
+]
+
+
+class TestSanitizerSarif:
+    def test_schema_valid_and_driver_named(self):
+        log = sanitizer_sarif(TRAPS)
+        jsonschema.validate(log, SARIF_CORE_SCHEMA)
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-san"
+        assert [r["ruleId"] for r in run["results"]] == ["RS001", "RS004"]
+
+    def test_collapse_count_travels_as_occurrence_count(self):
+        log = sanitizer_sarif(TRAPS)
+        counts = [r["occurrenceCount"] for r in log["runs"][0]["results"]]
+        assert counts == [1, 4]
+
+    def test_rule_index_back_references(self):
+        log = sanitizer_sarif(TRAPS)
+        [run] = log["runs"]
+        for res in run["results"]:
+            assert (
+                run["tool"]["driver"]["rules"][res["ruleIndex"]]["id"]
+                == res["ruleId"]
+            )
+
+
+class TestMergeSarif:
+    def test_round_trip_preserves_every_run(self, dirty_result):
+        lint_log = to_sarif(dirty_result, ALL_RULES)
+        san_log = sanitizer_sarif(TRAPS)
+        merged = merge_sarif([lint_log, san_log])
+        jsonschema.validate(merged, SARIF_CORE_SCHEMA)
+        assert merged["version"] == SARIF_VERSION
+        assert len(merged["runs"]) == 2
+        # Round trip: the runs ride through unmodified, in order.
+        assert merged["runs"][0] == lint_log["runs"][0]
+        assert merged["runs"][1] == san_log["runs"][0]
+
+    def test_merge_survives_json_serialization(self, dirty_result):
+        lint_log = json.loads(json.dumps(to_sarif(dirty_result, ALL_RULES)))
+        merged = merge_sarif([lint_log, sanitizer_sarif([])])
+        jsonschema.validate(merged, SARIF_CORE_SCHEMA)
+
+    def test_merge_rejects_wrong_version(self):
+        bad = {"version": "2.0.0", "runs": []}
+        with pytest.raises(ValueError, match="2.1.0"):
+            merge_sarif([sanitizer_sarif(TRAPS), bad])
+
+    def test_merge_rejects_runless_log(self):
+        with pytest.raises(ValueError):
+            merge_sarif([{"version": "2.1.0"}])

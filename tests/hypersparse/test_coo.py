@@ -276,3 +276,93 @@ class TestSparseVec:
     def test_unhashable(self):
         with pytest.raises(TypeError):
             hash(SparseVec([1], [1.0]))
+
+
+class TestStableSortBoundary:
+    """The packed-sort guard at the exact 2^63/2^64 boundary.
+
+    ``_stable_sorted_with_order`` packs ``(value << index_bits) | index``
+    into uint64 only when the top packed key provably fits; RL013 proves
+    the packed arithmetic and these tests pin the guard at the edge
+    where one more bit would wrap.
+    """
+
+    @staticmethod
+    def _reference(coord):
+        order = np.argsort(coord, kind="stable")
+        return coord[order], order
+
+    @staticmethod
+    def _spy_argsort(monkeypatch):
+        from repro.hypersparse import coo
+
+        calls = []
+        real = np.argsort
+
+        def spy(*args, **kwargs):
+            calls.append(kwargs.get("kind"))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(coo.np, "argsort", spy)
+        return calls
+
+    def test_largest_bound_that_still_packs(self, monkeypatch):
+        from repro.hypersparse.coo import _stable_sorted_with_order
+
+        # n=4 uses 2 index bits; bound=2^62 puts the top packed key at
+        # exactly (2^62-1)<<2 | 3 == 2^64 - 1: the last value that fits.
+        coord = np.array([2**62 - 1, 0, 2**62 - 1, 5], dtype=np.uint64)
+        ref_sorted, ref_order = self._reference(coord)
+        calls = self._spy_argsort(monkeypatch)
+        got, order = _stable_sorted_with_order(coord.copy(), 2**62)
+        assert np.array_equal(got, ref_sorted)
+        assert np.array_equal(order, ref_order)
+        assert calls == []  # packed path: no argsort fallback
+
+    def test_one_past_the_boundary_falls_back(self, monkeypatch):
+        from repro.hypersparse.coo import _stable_sorted_with_order
+
+        # bound=2^62+1 would need the packed key to reach 2^64+3: wrap.
+        coord = np.array([2**62, 0, 2**62, 5], dtype=np.uint64)
+        ref_sorted, ref_order = self._reference(coord)
+        calls = self._spy_argsort(monkeypatch)
+        got, order = _stable_sorted_with_order(coord.copy(), 2**62 + 1)
+        assert np.array_equal(got, ref_sorted)
+        assert np.array_equal(order, ref_order)
+        assert calls == ["stable"]  # guard chose the argsort fallback
+
+    @pytest.mark.parametrize("bound", [2**63, 2**64])
+    def test_exact_power_boundaries_sort_correctly(self, bound):
+        from repro.hypersparse.coo import _stable_sorted_with_order
+
+        top = bound - 1
+        coord = np.array([top, 2**63 - 1, top, 0, 1], dtype=np.uint64)
+        got, order = _stable_sorted_with_order(coord.copy(), bound)
+        ref_sorted, ref_order = self._reference(coord)
+        assert np.array_equal(got, ref_sorted)
+        assert np.array_equal(order, ref_order)  # index ties stay stable
+
+    def test_boundary_results_identical_across_paths(self):
+        # The same coordinates sorted under a tight bound (packed) and a
+        # sloppy bound (fallback) must agree bit for bit.
+        from repro.hypersparse.coo import _stable_sorted_with_order
+
+        rng = np.random.default_rng(20220101)
+        coord = rng.integers(0, 2**40, size=257, dtype=np.uint64)
+        packed = _stable_sorted_with_order(coord.copy(), 2**40)
+        fallback = _stable_sorted_with_order(coord.copy(), 2**64)
+        assert np.array_equal(packed[0], fallback[0])
+        assert np.array_equal(packed[1], fallback[1])
+
+    def test_no_wraparound_under_overflow_sanitizer(self):
+        # The runtime cross-check of the same guard: sorting at the
+        # boundary under REPRO_SAN=overflow must record no traps.
+        from repro.analysis.sanitize.runtime import sanitizers, take_traps
+        from repro.hypersparse.coo import _stable_sorted_with_order
+
+        take_traps()
+        coord = np.array([2**62 - 1, 3, 2**62 - 1, 0], dtype=np.uint64)
+        with sanitizers(["overflow"]):
+            _stable_sorted_with_order(coord.copy(), 2**62)
+            _stable_sorted_with_order(coord.copy(), 2**64)
+        assert take_traps() == []
