@@ -1,0 +1,76 @@
+"""Pool dispatch overhead: pickle pipe vs the zero-copy shm transport.
+
+The dispatch cost of ``parallel_map`` over hypersparse matrices is
+dominated by serialization: the pickle path copies every key/value
+buffer through the worker pipe twice (submit and return), while the shm
+transport (``REPRO_SHM=1``) ships a 24-byte handle and lets workers map
+the segment directly.  Both benchmarks run the same worker over the
+same matrices on the same warm pool, so the delta is the transport —
+gated like every other pair by ``repro bench compare``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.parallel import parallel_map, shutdown_pools
+
+N_MATRICES = 8
+NNZ = 1 << 17
+PROCESSES = 2
+
+
+def _total(matrix):
+    """Minimal worker: the measurement is the dispatch, not the work."""
+    return float(matrix.vals.sum())
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    rng = np.random.default_rng(7)
+    out = []
+    for _ in range(N_MATRICES):
+        rows = rng.integers(0, 2**32, NNZ, dtype=np.uint64)
+        cols = rng.integers(0, 2**32, NNZ, dtype=np.uint64)
+        out.append(
+            HyperSparseMatrix(rows, cols, rng.random(NNZ), shape=(2**32, 2**32))
+        )
+    return out
+
+
+@pytest.fixture
+def warm_pool(monkeypatch):
+    """A fresh pool per benchmark so neither transport inherits state."""
+    shutdown_pools()
+    yield monkeypatch
+    shutdown_pools()
+
+
+def test_dispatch_pickle(benchmark, matrices, warm_pool):
+    """Baseline transport: matrices pickled through the worker pipe."""
+    warm_pool.setenv("REPRO_SHM", "0")
+    parallel_map(_total, matrices, processes=PROCESSES, min_parallel=1)  # warm up
+    totals = benchmark(
+        parallel_map, _total, matrices, processes=PROCESSES, min_parallel=1
+    )
+    assert len(totals) == N_MATRICES
+
+
+def test_dispatch_shm(benchmark, matrices, warm_pool):
+    """Zero-copy transport: workers map shared segments by handle."""
+    warm_pool.setenv("REPRO_SHM", "1")
+    parallel_map(_total, matrices, processes=PROCESSES, min_parallel=1)  # warm up
+    totals = benchmark(
+        parallel_map, _total, matrices, processes=PROCESSES, min_parallel=1
+    )
+    assert len(totals) == N_MATRICES
+
+
+def test_dispatch_results_identical(matrices, warm_pool):
+    """The transports must agree bit-for-bit before their speeds matter."""
+    warm_pool.setenv("REPRO_SHM", "0")
+    via_pickle = parallel_map(_total, matrices, processes=PROCESSES, min_parallel=1)
+    shutdown_pools()
+    warm_pool.setenv("REPRO_SHM", "1")
+    via_shm = parallel_map(_total, matrices, processes=PROCESSES, min_parallel=1)
+    assert via_shm == via_pickle

@@ -100,6 +100,13 @@ _RESOURCE_KINDS = {
     "Generator": "rng",
     "PCG64": "rng",
     "SeedSequence": "rng",
+    # Registered shared-memory buffers: module globals bound to a
+    # segment (or an exported-matrix handle) are the one sanctioned way
+    # for state to be visible on both sides of a pool dispatch — the
+    # concurrency rules (RL015/RL017) key off this classification.
+    "SharedMemory": "shm",
+    "export_matrix": "shm",
+    "import_matrix": "shm",
 }
 
 #: Decorators marking a method as a property (field-like attribute).

@@ -111,14 +111,21 @@ KNOBS: Tuple[Knob, ...] = (
         "REPRO_PROCESSES",
         "int",
         "cpu count",
-        "worker count for the persistent process pools",
+        "worker count for the persistent process pools (0 forces serial)",
         "repro/parallel/pool.py",
+    ),
+    Knob(
+        "REPRO_SHM",
+        "flag",
+        "off",
+        "route pool dispatch of hypersparse matrices through shared memory",
+        "repro/parallel/shm.py",
     ),
     Knob(
         "REPRO_SAN",
         "list",
         "(empty)",
-        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float)",
+        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float,shm)",
         "repro/analysis/sanitize/runtime.py",
     ),
     Knob(

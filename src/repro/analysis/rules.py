@@ -1,4 +1,4 @@
-"""The repro-lint rule catalogue (RL001–RL014).
+"""The repro-lint rule catalogue (RL001–RL017).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .concurrency import EscapeAnalysisRule, SharedGuardRule, ShmLifecycleRule
 from .config import LintConfig
 from .engine import FileContext, Finding, ProjectRule, Rule, parse_contexts
 from .intervals import (
@@ -49,6 +50,9 @@ __all__ = [
     "EnvKnobRule",
     "OverflowProofRule",
     "SanCoverageRule",
+    "EscapeAnalysisRule",
+    "ShmLifecycleRule",
+    "SharedGuardRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -1489,6 +1493,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     EnvKnobRule(),
     OverflowProofRule(),
     SanCoverageRule(),
+    EscapeAnalysisRule(),
+    ShmLifecycleRule(),
+    SharedGuardRule(),
 )
 
 

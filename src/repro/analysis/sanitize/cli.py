@@ -22,7 +22,7 @@ import json
 import sys
 from typing import List, Optional
 
-from . import mutate, runtime
+from . import mutate, runtime, shm
 from .fixtures import PROBES
 
 __all__ = ["main"]
@@ -74,6 +74,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> Optional[str]:
         for probe in PROBES.values():
             probe()
         mutate.verify_frozen()
+        shm.verify_released()
         return None
     from ...experiments import EXPERIMENTS, build_study, default_config
 
@@ -91,6 +92,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> Optional[str]:
         print(f"=== {name} (sanitized) ===")
         print(result.format())
     mutate.verify_frozen()
+    shm.verify_released()
     return None
 
 

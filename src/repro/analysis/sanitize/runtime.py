@@ -44,7 +44,7 @@ __all__ = [
 
 #: The sanitizers ``REPRO_SAN`` accepts, in arming order (``overflow``
 #: must patch the pristine kernels before ``fork`` wraps the pool).
-SANITIZER_NAMES: Tuple[str, ...] = ("overflow", "mutate", "fork", "float")
+SANITIZER_NAMES: Tuple[str, ...] = ("overflow", "mutate", "fork", "float", "shm")
 
 #: SARIF rule ids, one per sanitizer (the dynamic counterpart of RLxxx).
 RULE_IDS: Dict[str, str] = {
@@ -52,6 +52,7 @@ RULE_IDS: Dict[str, str] = {
     "mutate": "RS002",
     "fork": "RS003",
     "float": "RS004",
+    "shm": "RS005",
 }
 
 #: Distinct trap sites retained before further recording is dropped (a
@@ -170,13 +171,14 @@ def _registry() -> Dict[str, Callable[[], Callable[[], None]]]:
     Lazy so ``import repro`` never pays for sanitizer wiring; each arm
     function performs its patches and returns the matching undo.
     """
-    from . import floats, fork, mutate, overflow
+    from . import floats, fork, mutate, overflow, shm
 
     return {
         "overflow": overflow.arm,
         "mutate": mutate.arm,
         "fork": fork.arm,
         "float": floats.arm,
+        "shm": shm.arm,
     }
 
 

@@ -1,0 +1,117 @@
+"""The ``shm`` sanitizer (RS005): shared-memory dispatch integrity.
+
+The zero-copy transport (:mod:`repro.parallel.shm`) hands pool workers
+read-only views of shared segments; rule RL016 proves the lifecycle
+statically and RL017 guards the sanctioned mutations.  Armed, this
+sanitizer cross-validates both proofs at runtime:
+
+* every export is fingerprinted (SHA-256 of the segment bytes) and
+  re-hashed on release — a worker that scribbled on a segment between
+  the two sides of the dispatch records an RS005 trap even though the
+  write happened in another process (shared pages make it visible
+  here), the dynamic twin of RL017's guard discipline;
+* the transport's lifecycle faults (attach after unlink, double
+  release) are promoted from silent no-ops to RS005 traps — the
+  dynamic twin of RL016's typestate proof;
+* :func:`verify_released` asserts at end of run that no owned segment
+  outlived its dispatch, the runtime analogue of RL016's leak check.
+
+Patching is confined to the transport module's own attributes, so
+disarming restores the exact original bindings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+from .runtime import record_trap
+
+__all__ = ["arm", "verify_released"]
+
+#: Export-time fingerprints, segment name -> hex digest.
+_digests: Dict[str, str] = {}
+_armed = False
+
+
+def _segment_digest(transport, name: str) -> str:
+    """Content hash of an owned segment's bytes (empty if unknown)."""
+    seg = transport._created.get(name)
+    if seg is None:
+        return ""
+    return hashlib.sha256(bytes(seg.buf)).hexdigest()
+
+
+def verify_released() -> int:
+    """Trap every owned segment still alive; returns how many there were.
+
+    Called at the end of a ``repro san`` run (mirroring
+    :func:`repro.analysis.sanitize.mutate.verify_frozen`): a segment
+    that survives its dispatch is a leak the static leak check (RL016)
+    could not see, e.g. one held by a registry that never released it.
+    Silent when the sanitizer is not armed.
+    """
+    if not _armed:
+        return 0
+    from ...parallel import shm as transport
+
+    leaked = transport.active_segments()
+    for name in leaked:
+        record_trap(
+            "shm",
+            f"shared-memory segment {name!r} still alive at end of run "
+            "(leak: its dispatch never released it)",
+        )
+    return len(leaked)
+
+
+def arm() -> Callable[[], None]:
+    """Arm the shm sanitizer; returns the undo closure."""
+    global _armed
+    from ...parallel import shm as transport
+
+    _digests.clear()
+    orig_export = transport.export_matrix
+    orig_release = transport.release
+    orig_fault = transport._lifecycle_fault
+
+    def checked_export(matrix):
+        handle = orig_export(matrix)
+        if handle.name:
+            _digests[handle.name] = _segment_digest(transport, handle.name)
+        return handle
+
+    def checked_release(handle):
+        expected = _digests.get(handle.name)
+        if expected is not None:
+            actual = _segment_digest(transport, handle.name)
+            if actual and actual != expected:
+                record_trap(
+                    "shm",
+                    f"shared segment {handle.name!r} changed between export "
+                    "and release (a worker wrote through the zero-copy "
+                    "view; shared state must go through shm_guard)",
+                )
+        released = orig_release(handle)
+        if released:
+            _digests.pop(handle.name, None)
+        return released
+
+    def trapping_fault(message: str) -> None:
+        record_trap("shm", f"shared-memory lifecycle fault: {message}")
+        orig_fault(message)
+
+    transport.export_matrix = checked_export
+    transport.release = checked_release
+    transport._lifecycle_fault = trapping_fault
+    _armed = True
+
+    def undo() -> None:
+        global _armed
+        transport.export_matrix = orig_export
+        transport.release = orig_release
+        transport._lifecycle_fault = orig_fault
+        _digests.clear()
+        _armed = False
+
+    return undo

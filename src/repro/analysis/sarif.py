@@ -125,6 +125,7 @@ _SANITIZER_RULES = (
     ("RS002", "mutate", "canonical buffer changed after construction"),
     ("RS003", "fork", "pool worker mutated its submitted input"),
     ("RS004", "float", "NaN/inf escaped a statistical fit kernel"),
+    ("RS005", "shm", "shared-memory dispatch integrity violated"),
 )
 
 

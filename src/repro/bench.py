@@ -43,7 +43,8 @@ class BenchComparison:
     """One benchmark's baseline-vs-current verdict.
 
     ``status`` is one of ``"ok"``, ``"improved"``, ``"regressed"``,
-    ``"baseline-only"`` or ``"current-only"``; ``delta_pct`` is the
+    ``"baseline-only"`` or ``"new"`` (present only in the current run —
+    a freshly added benchmark, never a failure); ``delta_pct`` is the
     relative wall-median change (positive = slower), ``nan`` when the
     benchmark is missing on either side.
     """
@@ -112,7 +113,7 @@ def compare_results(
         if name not in base:
             rows.append(
                 BenchComparison(name, float("nan"), float(cur[name]["wall_median_s"]),
-                                float("nan"), "current-only")
+                                float("nan"), "new")
             )
             continue
         b = float(base[name]["wall_median_s"])
@@ -140,6 +141,12 @@ def format_comparison(rows: List[BenchComparison], tolerance_pct: float) -> str:
         curr = f"{r.current_s:.6f}s" if r.current_s == r.current_s else "-"
         delta = f"{r.delta_pct:+.1f}%" if r.delta_pct == r.delta_pct else "-"
         lines.append(f"{r.name:<{name_w}}  {base:>12}  {curr:>12}  {delta:>8}  {r.status}")
+    n_new = sum(r.status == "new" for r in rows)
+    if n_new:
+        lines.append(
+            f"note: {n_new} new benchmark(s) without a baseline — "
+            "refresh the baseline file to start tracking them"
+        )
     n_reg = sum(r.regressed for r in rows)
     verdict = (
         f"{n_reg} regression(s) beyond {tolerance_pct:g}% tolerance"

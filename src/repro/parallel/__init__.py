@@ -8,6 +8,7 @@ matrices from packet shards in parallel.
 """
 
 from .pool import configured_processes, cpu_count, get_pool, parallel_map, shutdown_pools
+from .shm import ShmHandle, export_matrix, import_matrix, release, release_all, shm_enabled
 from .streaming import parallel_accumulate, shard_packets
 
 __all__ = [
@@ -18,4 +19,10 @@ __all__ = [
     "shutdown_pools",
     "parallel_accumulate",
     "shard_packets",
+    "ShmHandle",
+    "export_matrix",
+    "import_matrix",
+    "release",
+    "release_all",
+    "shm_enabled",
 ]

@@ -21,11 +21,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+from multiprocessing import resource_tracker
 from multiprocessing.pool import Pool
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, cast
 
 from ..analysis.knobs import env_int
 from ..obs.spans import TimedCall, annotate, record_span, span, trace_epoch, tracing_enabled
+from . import shm
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -58,13 +60,15 @@ def cpu_count() -> int:
 def configured_processes() -> Optional[int]:
     """Worker count requested via ``REPRO_PROCESSES``; ``None`` when unset.
 
+    ``0`` is a valid request meaning "force serial execution" — the same
+    escape hatch as ``processes=1`` but settable from the environment.
     Read per call, not at import, so the environment can be changed (or
     monkeypatched) at runtime.  Malformed values raise ``ValueError``
     rather than silently running with a surprise width.
     """
     n = env_int(_ENV_PROCESSES)
-    if n is not None and n < 1:
-        raise ValueError(f"{_ENV_PROCESSES} must be >= 1, got {n}")
+    if n is not None and n < 0:
+        raise ValueError(f"{_ENV_PROCESSES} must be >= 0, got {n}")
     return n
 
 
@@ -90,10 +94,12 @@ def _reap_stale_pools() -> None:
 def get_pool(processes: Optional[int] = None) -> Pool:
     """The persistent worker pool of the given width (lazily created).
 
-    ``processes`` defaults to ``REPRO_PROCESSES`` or :func:`cpu_count`.
-    The first request of a given width starts the workers; later
-    requests reuse them, so steady-state parallel calls pay no startup.
-    All pools are closed at interpreter exit (or via
+    ``processes`` defaults to ``REPRO_PROCESSES`` or :func:`cpu_count`
+    (``REPRO_PROCESSES=0`` means "serial" — callers that honour it never
+    request a pool, so here it falls back to :func:`cpu_count` like
+    unset).  The first request of a given width starts the workers;
+    later requests reuse them, so steady-state parallel calls pay no
+    startup.  All pools are closed at interpreter exit (or via
     :func:`shutdown_pools`).
     """
     global _atexit_armed
@@ -106,17 +112,34 @@ def get_pool(processes: Optional[int] = None) -> Pool:
         if not _atexit_armed:
             atexit.register(shutdown_pools)
             _atexit_armed = True
+        # Start the shared-memory resource tracker before forking so the
+        # workers inherit it.  A worker that lazily spawns its own
+        # tracker would double-track segments it merely attached and
+        # complain about (or even unlink) them at worker exit.
+        resource_tracker.ensure_running()
         pool = _pools[n_proc] = _context().Pool(n_proc)
     return pool
 
 
 def shutdown_pools() -> None:
-    """Terminate and forget every persistent pool (idempotent)."""
+    """Terminate and forget every persistent pool (idempotent).
+
+    Safe to call repeatedly and from ``atexit`` after an explicit
+    shutdown: a pool whose workers already died (or that some caller
+    terminated behind our back) raises on double-close — the error is
+    swallowed so the remaining pools still get torn down.  Shared-memory
+    segments are destroyed with the pools: no dispatch buffer may
+    outlive the workers that could map it.
+    """
     _reap_stale_pools()
     while _pools:
         _, pool = _pools.popitem()
-        pool.terminate()
-        pool.join()
+        try:
+            pool.terminate()
+            pool.join()
+        except (OSError, ValueError):
+            pass
+    shm.release_all()
 
 
 def parallel_map(
@@ -137,7 +160,8 @@ def parallel_map(
         Work items; results come back in the same order.
     processes:
         Worker count; default ``REPRO_PROCESSES`` or :func:`cpu_count`.
-        1 forces serial execution.  The width is deliberately independent
+        1 (or ``REPRO_PROCESSES=0``) forces serial execution.  The width
+        is deliberately independent
         of ``len(items)`` so repeated calls share one persistent pool
         instead of spawning a differently-sized pool per batch.
     min_parallel:
@@ -149,7 +173,11 @@ def parallel_map(
     items = list(items)
     if not items:
         return []
-    n_proc = processes if processes is not None else (configured_processes() or cpu_count())
+    if processes is not None:
+        n_proc = processes
+    else:
+        env_n = configured_processes()
+        n_proc = cpu_count() if env_n is None else env_n
     if n_proc <= 1 or len(items) < min_parallel:
         with span("parallel_map", mode="serial"):
             annotate(items=len(items))
@@ -157,24 +185,43 @@ def parallel_map(
     if chunksize is None:
         chunksize = max(1, len(items) // (n_proc * 4))
     pool = get_pool(n_proc)
+    # Zero-copy transport (REPRO_SHM): matrices ride shared-memory
+    # segments instead of the pickle pipe; everything else is unchanged.
+    # Segments live exactly as long as this map — released on every exit
+    # path, so no dispatch can leak one.
+    handles: List[shm.ShmHandle] = []
+    mapped_fn: Callable = fn
+    if shm.shm_enabled():
+        items, handles = shm.encode_items(items)
+        if handles:
+            mapped_fn = shm.ShmCall(fn)
     fork = _context().get_start_method() == "fork"
-    with span("parallel_map", mode="pool"):
-        annotate(items=len(items), processes=n_proc, chunksize=chunksize)
-        if not tracing_enabled():
-            return pool.map(fn, items, chunksize=chunksize)
-        # Workers time each item (TimedCall); the parent re-ingests the
-        # measurements as child spans of this parallel_map span.  On fork
-        # pools the worker's perf_counter shares the parent clock, so the
-        # re-anchored start times place items on the real timeline; on
-        # spawn pools only durations are trustworthy.
-        timed = pool.map(TimedCall(fn), items, chunksize=chunksize)
-        results: List[R] = []
-        for result, (t0_abs, wall_s, cpu_s) in timed:
-            record_span(
-                "pool_task",
-                wall_s,
-                cpu_s,
-                t_start=(t0_abs - trace_epoch()) if fork else None,
+    try:
+        with span("parallel_map", mode="pool"):
+            annotate(
+                items=len(items),
+                processes=n_proc,
+                chunksize=chunksize,
+                shm_segments=len(handles),
             )
-            results.append(cast("R", result))
-        return results
+            if not tracing_enabled():
+                return pool.map(mapped_fn, items, chunksize=chunksize)
+            # Workers time each item (TimedCall); the parent re-ingests the
+            # measurements as child spans of this parallel_map span.  On fork
+            # pools the worker's perf_counter shares the parent clock, so the
+            # re-anchored start times place items on the real timeline; on
+            # spawn pools only durations are trustworthy.
+            timed = pool.map(TimedCall(mapped_fn), items, chunksize=chunksize)
+            results: List[R] = []
+            for result, (t0_abs, wall_s, cpu_s) in timed:
+                record_span(
+                    "pool_task",
+                    wall_s,
+                    cpu_s,
+                    t_start=(t0_abs - trace_epoch()) if fork else None,
+                )
+                results.append(cast("R", result))
+            return results
+    finally:
+        for handle in handles:
+            shm.release(handle)

@@ -1,0 +1,419 @@
+"""Zero-copy shared-memory transport for pool dispatch.
+
+The pickle path serializes every :class:`~repro.hypersparse.coo.
+HyperSparseMatrix` item into the pool's IPC pipe — for paper-scale
+sub-matrices that copy dominates dispatch.  This module moves the cached
+packed-key/value arrays into named ``multiprocessing.shared_memory``
+segments instead: the parent pays one memcpy into the segment at export,
+workers map the segment and rebuild the matrix as **read-only views**
+over the shared pages (zero copies on the worker side), and only a tiny
+:class:`ShmHandle` crosses the pipe.
+
+Lifecycle contract (the static twin is rule RL016, the dynamic twin the
+``shm`` sanitizer, RS005):
+
+* the exporting process **owns** every segment it creates: refcounted via
+  :func:`acquire`/:func:`release`, destroyed (``close`` + ``unlink``)
+  when the count reaches zero, and always before pool shutdown
+  (:func:`release_all` — zero leaked segments is an invariant);
+* attach-side mappings (:func:`import_matrix`) are only ever ``close``\\d,
+  never ``unlink``\\ed — unlink is the creator's job;
+* workers treat segment contents as immutable — views are exported
+  read-only, and every registry mutation in the parent goes through
+  :func:`shm_guard`, the registered guard rule RL017 checks for.
+
+The transport is opt-in via the ``REPRO_SHM`` flag knob and is wired
+into :func:`repro.parallel.pool.parallel_map`'s pool path only; the
+serial fallback never touches shared memory, so ``REPRO_PROCESSES=0``
+(or small batches) behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.knobs import env_flag
+
+__all__ = [
+    "ShmHandle",
+    "ShmCall",
+    "shm_enabled",
+    "shm_guard",
+    "export_matrix",
+    "import_matrix",
+    "acquire",
+    "release",
+    "release_all",
+    "active_segments",
+    "encode_items",
+    "decode_item",
+]
+
+#: Flag knob routing pool dispatch through shared memory (declared in
+#: :mod:`repro.analysis.knobs`).
+_ENV_SHM = "REPRO_SHM"
+
+_KEY_DTYPE = np.dtype(np.uint64)
+_VAL_DTYPE = np.dtype(np.float64)
+
+#: Serializes every mutation of the shared-segment registries below;
+#: exposed as :func:`shm_guard` so the requirement is part of the API.
+#: Re-entrant because view finalizers can fire inside a guarded region
+#: (any refcount drop may trigger them on the same thread).
+_registry_lock = threading.RLock()
+
+#: Segments this process created (name -> mapping); the owner side.
+_created: Dict[str, shared_memory.SharedMemory] = {}
+#: Live reference counts for created segments.
+_refcounts: Dict[str, int] = {}
+#: Read-side mappings this process attached (name -> mapping).
+_attached: Dict[str, shared_memory.SharedMemory] = {}
+#: Live numpy views handed out per attached mapping; the mapping may
+#: only be closed when this reaches zero — see :func:`_finalize_view`.
+_view_counts: Dict[str, int] = {}
+#: Pid owning the registries; a forked child must not reuse (or destroy)
+#: mappings it inherited from its parent — see :func:`_reap_after_fork`.
+_registry_pid: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable reference to one exported matrix.
+
+    Only this tiny record crosses the pool pipe: the segment ``name``,
+    the entry count ``nnz`` (keys and vals lengths), and the matrix
+    ``shape``.  The segment itself holds ``nnz`` packed uint64 keys
+    followed by ``nnz`` float64 values.  Empty matrices use the sentinel
+    ``name == ""`` and no segment at all.
+    """
+
+    name: str
+    nnz: int
+    shape: Tuple[int, int]
+
+
+@contextmanager
+def shm_guard() -> Iterator[None]:
+    """The registered guard for parent/worker-shared shm state.
+
+    Every mutation of state reachable from both sides of a dispatch must
+    run under this context manager — rule RL017 verifies statically that
+    no mutation of a registered shared-memory buffer bypasses it.
+    """
+    with _registry_lock:
+        yield
+
+
+def shm_enabled() -> bool:
+    """True when ``REPRO_SHM`` routes pool dispatch through shared memory."""
+    return env_flag(_ENV_SHM)
+
+
+def _reap_after_fork() -> None:
+    """Forget registries inherited across a fork — they belong to the parent.
+
+    A forked worker sees the parent's dictionaries but owns none of the
+    segments: releasing (worse, unlinking) them would yank pages out from
+    under the parent.  Dropping the references is safe — the mappings die
+    with the child, the parent keeps managing the real lifetimes.
+    """
+    global _registry_pid
+    pid = os.getpid()
+    if _registry_pid != pid:
+        _created.clear()
+        _refcounts.clear()
+        _attached.clear()
+        _view_counts.clear()
+        _registry_pid = pid
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Undo the attach-side ``resource_tracker`` registration.
+
+    CPython (pre-3.13) registers *attached* segments with the resource
+    tracker as if this process had created them.  On fork platforms the
+    tracker is shared with the creator, its registry is a set, and the
+    duplicate registration is a no-op — unregistering here would cancel
+    the *creator's* entry, so we must not.  Only on spawn platforms
+    (own tracker per process) does the spurious registration survive to
+    produce "leaked shared_memory" warnings and a double unlink at
+    worker exit; there the attach side unregisters it.
+    """
+    import multiprocessing as mp
+
+    if "fork" in mp.get_all_start_methods():
+        return
+    try:  # pragma: no cover - spawn-only platforms
+        resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def _lifecycle_fault(message: str) -> None:
+    """Hook observing runtime lifecycle violations (default: no-op).
+
+    The ``shm`` sanitizer (RS005) patches this to record a trap; the
+    transport itself stays forgiving — a double release is dropped, an
+    attach after unlink re-raises the underlying ``FileNotFoundError``.
+    """
+
+
+def export_matrix(matrix: Any) -> ShmHandle:
+    """Place ``matrix``'s packed keys/values into a fresh named segment.
+
+    Forces the cached canonical arrays (``matrix.keys`` / ``matrix.vals``),
+    copies them into one shared-memory segment, registers the segment
+    with refcount 1 and returns the picklable handle.  The caller owns
+    the reference and must :func:`release` it.
+    """
+    keys = np.ascontiguousarray(matrix.keys, dtype=_KEY_DTYPE)
+    vals = np.ascontiguousarray(matrix.vals, dtype=_VAL_DTYPE)
+    n = int(vals.size)
+    shape = (int(matrix.shape[0]), int(matrix.shape[1]))
+    if n == 0:
+        return ShmHandle("", 0, shape)
+    _reap_after_fork()
+    seg = shared_memory.SharedMemory(create=True, size=keys.nbytes + vals.nbytes)
+    kview = np.ndarray(n, dtype=_KEY_DTYPE, buffer=seg.buf)
+    vview = np.ndarray(n, dtype=_VAL_DTYPE, buffer=seg.buf, offset=keys.nbytes)
+    kview[:] = keys
+    vview[:] = vals
+    # The views pin seg.buf; drop them so a later close() stays legal.
+    del kview, vview
+    with shm_guard():
+        _created[seg.name] = seg
+        _refcounts[seg.name] = 1
+    return ShmHandle(seg.name, n, shape)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map the named segment read-side (cached per process)."""
+    _reap_after_fork()
+    seg = _attached.get(name)
+    if seg is None:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            _lifecycle_fault(
+                f"attach of unlinked shared-memory segment {name!r} (use after free)"
+            )
+            raise
+        # Only foreign segments get untracked: attaching a segment this
+        # same process created must not cancel the creator's own
+        # resource_tracker registration (unlink cancels it exactly once).
+        if name not in _created:
+            _untrack(seg)
+        with shm_guard():
+            _attached[name] = seg
+    return seg
+
+
+def import_matrix(handle: ShmHandle) -> Any:
+    """Rebuild the matrix behind ``handle`` as read-only views (zero copy).
+
+    The returned matrix aliases the shared pages: its ``keys``/``vals``
+    arrays are non-writeable views, bit-identical to the exported arrays.
+    The mapping's lifetime is tied to the views — a numpy array built
+    over ``seg.buf`` does **not** hold a buffer export, so closing the
+    mapping early would leave the array pointing at unmapped pages.
+    Each view registers a finalizer; the mapping is closed only once
+    every view handed out for it has been garbage-collected.  The name
+    is never unlinked here — destruction is the exporter's job.
+    """
+    from ..hypersparse.coo import HyperSparseMatrix
+
+    if not handle.name:
+        return HyperSparseMatrix.empty(shape=handle.shape)
+    seg = _attach(handle.name)
+    key_bytes = handle.nnz * _KEY_DTYPE.itemsize
+    keys = np.ndarray(handle.nnz, dtype=_KEY_DTYPE, buffer=seg.buf)
+    vals = np.ndarray(handle.nnz, dtype=_VAL_DTYPE, buffer=seg.buf, offset=key_bytes)
+    keys.flags.writeable = False
+    vals.flags.writeable = False
+    with shm_guard():
+        _view_counts[handle.name] = _view_counts.get(handle.name, 0) + 2
+    weakref.finalize(keys, _finalize_view, handle.name)
+    weakref.finalize(vals, _finalize_view, handle.name)
+    return HyperSparseMatrix._from_keys(keys, vals, handle.shape)
+
+
+def _finalize_view(name: str) -> None:
+    """Close an attached mapping once its last handed-out view dies.
+
+    Derived arrays (slices) keep the handed-out view alive through their
+    ``base`` chain, so a zero count proves no live pointer into the
+    mapping remains and closing is safe.  Long-lived pool workers rely
+    on this to avoid accumulating one mapping per dispatched item.
+    """
+    with shm_guard():
+        count = _view_counts.get(name, 0) - 1
+        if count > 0:
+            _view_counts[name] = count
+            return
+        _view_counts.pop(name, None)
+        seg = _attached.pop(name, None)
+    if seg is not None:
+        _close_quietly(seg)
+
+
+def acquire(handle: ShmHandle) -> ShmHandle:
+    """Take one extra reference on an exported segment."""
+    if not handle.name:
+        return handle
+    _reap_after_fork()
+    with shm_guard():
+        if handle.name in _refcounts:
+            _refcounts[handle.name] += 1
+        else:
+            _lifecycle_fault(
+                f"acquire of unknown or already-released segment {handle.name!r}"
+            )
+    return handle
+
+
+def release(handle: ShmHandle) -> bool:
+    """Drop one reference; destroy the segment when the count hits zero.
+
+    Destruction closes this process's mappings and unlinks the name, so
+    released segments can never leak past pool shutdown.  Releasing an
+    empty-matrix handle is a no-op; releasing an unknown (or
+    already-destroyed) segment is reported to the sanitizer hook and
+    otherwise ignored.  Returns True when this call destroyed the segment.
+    """
+    if not handle.name:
+        return False
+    _reap_after_fork()
+    with shm_guard():
+        count = _refcounts.get(handle.name)
+        if count is None:
+            _lifecycle_fault(
+                f"release of unknown or already-released segment {handle.name!r}"
+            )
+            return False
+        if count > 1:
+            _refcounts[handle.name] = count - 1
+            return False
+        del _refcounts[handle.name]
+        seg = _created.pop(handle.name)
+    # Attach-side mappings of this name (if any) are owned by their live
+    # views and close via _finalize_view; unlinking now only removes the
+    # name — existing mappings stay valid until their views die.
+    _close_quietly(seg)
+    seg.unlink()
+    return True
+
+
+def _close_quietly(seg: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating teardown errors.
+
+    Destruction must proceed (``unlink`` does not need the mapping
+    closed), so a close that fails — e.g. live exports on the buffer —
+    leaves the mapping to die with the process instead of aborting.
+    """
+    try:
+        seg.close()
+    except (BufferError, OSError):  # pragma: no cover - teardown races
+        pass
+
+
+def release_all() -> int:
+    """Destroy every live owned segment; returns how many were destroyed.
+
+    The pool teardown path calls this so that no segment outlives
+    :func:`repro.parallel.pool.shutdown_pools` — the zero-leak invariant
+    the test suite (and the ``shm`` sanitizer's leak check) pins.
+    Attach-side mappings are *not* force-closed: they belong to their
+    live views and close themselves via :func:`_finalize_view`.
+    """
+    _reap_after_fork()
+    with shm_guard():
+        owned = list(_created.values())
+        _created.clear()
+        _refcounts.clear()
+    for seg in owned:
+        _close_quietly(seg)
+        seg.unlink()
+    return len(owned)
+
+
+def active_segments() -> List[str]:
+    """Names of segments this process created and has not yet destroyed."""
+    _reap_after_fork()
+    with shm_guard():
+        return sorted(_created)
+
+
+def encode_items(items: Sequence[Any]) -> Tuple[List[Any], List[ShmHandle]]:
+    """Swap matrices in a dispatch batch for shared-memory handles.
+
+    Matrices are recognized at the top level and one level inside plain
+    tuples/lists (the shapes ``parallel_map`` consumers actually send);
+    everything else passes through to pickle untouched.  Returns the
+    encoded batch plus every handle created — the caller must
+    :func:`release` each one after the map completes.
+    """
+    from ..hypersparse.coo import HyperSparseMatrix
+
+    handles: List[ShmHandle] = []
+
+    def _export(obj: Any) -> Any:
+        if isinstance(obj, HyperSparseMatrix):
+            handle = export_matrix(obj)
+            handles.append(handle)
+            return handle
+        return obj
+
+    encoded: List[Any] = []
+    for item in items:
+        if isinstance(item, HyperSparseMatrix):
+            encoded.append(_export(item))
+        elif type(item) in (tuple, list) and any(
+            isinstance(x, HyperSparseMatrix) for x in item
+        ):
+            encoded.append(type(item)(_export(x) for x in item))
+        else:
+            encoded.append(item)
+    return encoded, handles
+
+
+def decode_item(item: Any) -> Any:
+    """Rehydrate one encoded dispatch item (inverse of :func:`encode_items`)."""
+    if isinstance(item, ShmHandle):
+        return import_matrix(item)
+    if type(item) in (tuple, list) and any(isinstance(x, ShmHandle) for x in item):
+        return type(item)(decode_item(x) for x in item)
+    return item
+
+
+class ShmCall:
+    """Picklable worker wrapper that rehydrates :class:`ShmHandle` items.
+
+    ``pool.map(ShmCall(fn), encoded_items)`` behaves exactly like
+    ``pool.map(fn, items)`` — the wrapper decodes handles back into
+    matrices in the worker and runs ``fn``.  Worker-side mappings close
+    themselves when the decoded matrices (and anything viewing them)
+    are garbage-collected, so long-lived workers do not accumulate one
+    mapping per dispatched item.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Any) -> None:
+        self.fn = fn
+
+    def __getstate__(self) -> Any:
+        return self.fn
+
+    def __setstate__(self, state: Any) -> None:
+        self.fn = state
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(decode_item(item))

@@ -1,0 +1,39 @@
+"""RL015 fixtures: every escape proof the rule must classify.
+
+One submission leaks a mutable module global by reference; the rest
+carry a proof — copied (locals/parameters are pickled per item),
+provably immutable (nothing in this module mutates ``FROZEN``), or a
+registered shared-memory buffer (``SEG``).
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from .pool import parallel_map
+
+__all__ = ["submit_all"]
+
+_QUEUE = []
+FROZEN = (1, 2, 3)
+SEG = SharedMemory(create=True, size=64)
+
+
+def _fill(x):
+    """Mutates the queue — sharing it by reference is therefore unsafe."""
+    _QUEUE.append(x)
+
+
+def _worker(x):
+    """Pure worker; the rule classifies the payload, not the worker."""
+    return x
+
+
+def submit_all(items):
+    """Each escape shape the rule must classify."""
+    parallel_map(_worker, _QUEUE)  # flagged: mutable global by reference
+    parallel_map(_worker, FROZEN)  # clean: provably immutable
+    parallel_map(_worker, SEG)  # clean: registered shm buffer
+    parallel_map(_worker, items)  # clean: parameter, pickled per item
+    local = [1, 2]
+    parallel_map(_worker, local)  # clean: local, pickled per item
+    # lint: allow-escape -- workers only read the queue, asserted by tests
+    parallel_map(_worker, _QUEUE)

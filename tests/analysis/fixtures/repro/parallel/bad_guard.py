@@ -1,0 +1,17 @@
+"""RL017 fixtures: unguarded mutation of parent/worker-shared state."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+__all__ = ["poke", "read_back"]
+
+SEG = SharedMemory(create=True, size=64)
+
+
+def poke(i):
+    """Writes the shared buffer without taking the guard."""
+    SEG.buf[i] = 1  # flagged: racing whoever mapped the segment
+
+
+def read_back(i):
+    """Reads are not mutations: no guard needed."""
+    return SEG.buf[i]

@@ -1,0 +1,46 @@
+"""RL016 fixtures: every shared-memory lifecycle violation shape."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+__all__ = [
+    "leaky_create",
+    "forgetful_attach",
+    "use_after_close",
+    "double_unlink",
+    "attacher_unlinks",
+]
+
+
+def leaky_create(size):
+    """Creates a segment but never unlinks it: the backing file leaks."""
+    seg = SharedMemory(create=True, size=size)
+    seg.buf[0] = 1
+    seg.close()
+
+
+def forgetful_attach(name):
+    """Attaches but never closes the mapping."""
+    seg = SharedMemory(name=name)
+    return bytes(seg.buf)
+
+
+def use_after_close(name):
+    """Reads the buffer after the mapping is gone."""
+    seg = SharedMemory(name=name)
+    first = seg.buf[0]
+    seg.close()
+    return first + seg.buf[1]
+
+
+def double_unlink(size, flaky):
+    """Unlinks twice on the retry path."""
+    seg = SharedMemory(create=True, size=size)
+    if flaky:
+        seg.unlink()
+    seg.unlink()
+
+
+def attacher_unlinks(name):
+    """The attach side destroys a segment it does not own."""
+    seg = SharedMemory(name=name)
+    seg.unlink()

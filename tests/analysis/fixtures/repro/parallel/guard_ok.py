@@ -1,0 +1,15 @@
+"""RL017 fixtures: shared-buffer writes under the registered guard."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from .shm import shm_guard
+
+__all__ = ["poke_guarded"]
+
+SEG = SharedMemory(create=True, size=64)
+
+
+def poke_guarded(i):
+    """The guard serializes parent- and worker-side access."""
+    with shm_guard():
+        SEG.buf[i] = 1

@@ -1,0 +1,11 @@
+"""Stub of the shm transport entry points, so guard fixtures resolve."""
+
+from contextlib import contextmanager
+
+__all__ = ["shm_guard"]
+
+
+@contextmanager
+def shm_guard():
+    """Stand-in for the registered shared-memory guard."""
+    yield

@@ -1,0 +1,38 @@
+"""RL016 fixtures: lifecycle-clean shared-memory usage patterns."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+__all__ = ["roundtrip", "read_segment", "publish"]
+
+_REGISTRY = {}
+
+
+def roundtrip(size, payload):
+    """Create-side discipline: unlinked exactly once, on every path.
+
+    The early ``return`` unwinds through ``finally`` — the checker must
+    apply the cleanup before judging the exit path.
+    """
+    seg = SharedMemory(create=True, size=size)
+    try:
+        seg.buf[: len(payload)] = payload
+        return bytes(seg.buf)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def read_segment(name):
+    """Attach-side discipline: every attach is matched by a close."""
+    seg = SharedMemory(name=name)
+    try:
+        return bytes(seg.buf)
+    finally:
+        seg.close()
+
+
+def publish(name, size):
+    """Ownership transfer: the registry owns the obligation from here."""
+    seg = SharedMemory(create=True, size=size)
+    _REGISTRY[name] = seg
+    return name

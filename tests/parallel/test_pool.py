@@ -56,6 +56,17 @@ def worker_pid(_):
     return os.getpid()
 
 
+def _tiny_matrix():
+    from repro.hypersparse import HyperSparseMatrix
+
+    return HyperSparseMatrix(
+        np.array([1, 2], dtype=np.uint64),
+        np.array([3, 4], dtype=np.uint64),
+        np.array([1.0, 2.0]),
+        shape=(2**32, 2**32),
+    )
+
+
 class TestPersistentPool:
     """The pool survives between calls: startup is paid once, not per map."""
 
@@ -92,6 +103,43 @@ class TestPersistentPool:
         shutdown_pools()
         shutdown_pools()
 
+    def test_shutdown_swallows_double_close_errors(self):
+        # A pool whose teardown raises (workers already dead, or some
+        # caller closed it behind our back) must not abort the shutdown:
+        # atexit replays shutdown_pools after explicit shutdowns.
+        from repro.parallel import pool as pool_mod
+
+        class _Broken:
+            def terminate(self):
+                raise OSError("already closed")
+
+            def join(self):  # pragma: no cover - terminate raises first
+                raise AssertionError("join after failed terminate")
+
+        pool_mod._reap_stale_pools()
+        pool_mod._pools[99] = _Broken()
+        shutdown_pools()
+        assert pool_mod._pools == {}
+
+    def test_atexit_replay_after_explicit_shutdown(self):
+        # Explicit shutdown, then the atexit hook fires anyway: the
+        # second call sees an empty registry and must be a clean no-op,
+        # and the pools must still be usable afterwards.
+        get_pool(2)
+        shutdown_pools()
+        shutdown_pools()
+        assert parallel_map(square, list(range(20)), processes=2) == [
+            x * x for x in range(20)
+        ]
+
+    def test_shutdown_releases_shm_segments(self):
+        from repro.parallel import shm
+
+        handle = shm.export_matrix(_tiny_matrix())
+        assert shm.active_segments() == [handle.name]
+        shutdown_pools()
+        assert shm.active_segments() == []
+
 
 class TestProcessesEnv:
     def test_unset_returns_none(self, monkeypatch):
@@ -110,11 +158,22 @@ class TestProcessesEnv:
         monkeypatch.setenv("REPRO_PROCESSES", "1")
         assert parallel_map(worker_pid, list(range(8))) == [os.getpid()] * 8
 
+    def test_env_zero_forces_serial(self, monkeypatch):
+        # 0 is the environment-side "switch parallelism off" escape
+        # hatch: every item runs in the parent, no pool is created.
+        from repro.parallel import pool as pool_mod
+
+        monkeypatch.setenv("REPRO_PROCESSES", "0")
+        assert configured_processes() == 0
+        shutdown_pools()
+        assert parallel_map(worker_pid, list(range(8))) == [os.getpid()] * 8
+        assert pool_mod._pools == {}
+
     def test_explicit_processes_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROCESSES", "4")
         assert parallel_map(worker_pid, list(range(8)), processes=1) == [os.getpid()] * 8
 
-    @pytest.mark.parametrize("bad", ["lots", "0", "-2", "2.5"])
+    @pytest.mark.parametrize("bad", ["lots", "-2", "2.5"])
     def test_malformed_env_raises(self, monkeypatch, bad):
         monkeypatch.setenv("REPRO_PROCESSES", bad)
         with pytest.raises(ValueError, match="REPRO_PROCESSES"):

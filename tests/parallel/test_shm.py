@@ -1,0 +1,150 @@
+"""The zero-copy shared-memory transport: identity, lifecycle, dispatch."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import HyperSparseMatrix
+from repro.parallel import parallel_map, shutdown_pools
+from repro.parallel import shm
+
+
+@pytest.fixture(autouse=True)
+def clean_transport():
+    shutdown_pools()  # also releases any leftover segments
+    yield
+    shutdown_pools()
+
+
+def matrix_of(rng, nnz=256):
+    rows = rng.integers(0, 2**32, size=nnz, dtype=np.uint64)
+    cols = rng.integers(0, 2**32, size=nnz, dtype=np.uint64)
+    vals = rng.random(nnz)
+    return HyperSparseMatrix(rows, cols, vals, shape=(2**32, 2**32))
+
+
+def total(matrix):
+    return float(matrix.vals.sum())
+
+
+def roundtrip(matrix):
+    """Worker that sends the matrix straight back through the pickle pipe."""
+    return matrix
+
+
+def scaled(matrix):
+    """Worker that derives a new matrix from the shared one."""
+    return HyperSparseMatrix._from_keys(
+        matrix.keys.copy(), matrix.vals * 2.0, shape=matrix.shape
+    )
+
+
+class TestExportImport:
+    def test_bit_identity(self, rng):
+        m = matrix_of(rng)
+        handle = shm.export_matrix(m)
+        out = shm.import_matrix(handle)
+        assert out.keys.tobytes() == m.keys.tobytes()
+        assert out.vals.tobytes() == m.vals.tobytes()
+        assert out.shape == m.shape
+        del out
+        assert shm.release(handle)
+
+    def test_imported_views_are_read_only(self, rng):
+        handle = shm.export_matrix(matrix_of(rng))
+        out = shm.import_matrix(handle)
+        with pytest.raises(ValueError):
+            out.vals[0] = 99.0
+        del out
+        shm.release(handle)
+
+    def test_empty_matrix_needs_no_segment(self):
+        handle = shm.export_matrix(HyperSparseMatrix.empty())
+        assert handle.name == "" and handle.nnz == 0
+        assert shm.active_segments() == []
+        out = shm.import_matrix(handle)
+        assert out.nnz == 0
+
+    def test_views_survive_release(self, rng):
+        # The parent may unlink while an imported view is still alive:
+        # the mapping stays valid until the last view is collected.
+        m = matrix_of(rng)
+        handle = shm.export_matrix(m)
+        out = shm.import_matrix(handle)
+        shm.release(handle)
+        assert shm.active_segments() == []
+        assert float(out.vals.sum()) == pytest.approx(float(m.vals.sum()))
+        del out
+        gc.collect()
+
+    def test_refcount_destroys_only_at_zero(self, rng):
+        handle = shm.export_matrix(matrix_of(rng))
+        shm.acquire(handle)
+        assert not shm.release(handle)  # one holder left
+        assert shm.active_segments() == [handle.name]
+        assert shm.release(handle)
+        assert shm.active_segments() == []
+
+    def test_release_unknown_returns_false(self):
+        ghost = shm.ShmHandle(name="psm_gone", nnz=1, shape=(2**32, 2**32))
+        assert not shm.release(ghost)
+
+
+class TestEncodeDecode:
+    def test_mixed_items(self, rng):
+        m = matrix_of(rng)
+        items = [m, (m, 3), [1, m], "plain", 7]
+        encoded, handles = shm.encode_items(items)
+        assert len(handles) == 3
+        decoded = [shm.decode_item(item) for item in encoded]
+        assert decoded[0].keys.tobytes() == m.keys.tobytes()
+        assert decoded[1][1] == 3 and decoded[2][0] == 1
+        assert decoded[3] == "plain" and decoded[4] == 7
+        for h in handles:
+            shm.release(h)
+
+    def test_matrix_free_items_untouched(self):
+        items = [1, "two", (3, 4)]
+        encoded, handles = shm.encode_items(items)
+        assert encoded == items and handles == []
+
+
+class TestShmDispatch:
+    @pytest.fixture(autouse=True)
+    def shm_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "1")
+
+    def test_matches_pickle_dispatch(self, rng, monkeypatch):
+        mats = [matrix_of(rng) for _ in range(8)]
+        via_shm = parallel_map(total, mats, processes=2, min_parallel=1)
+        monkeypatch.setenv("REPRO_SHM", "0")
+        shutdown_pools()
+        via_pickle = parallel_map(total, mats, processes=2, min_parallel=1)
+        assert via_shm == via_pickle
+
+    def test_workers_can_return_matrices(self, rng):
+        mats = [matrix_of(rng) for _ in range(4)]
+        outs = parallel_map(roundtrip, mats, processes=2, min_parallel=1)
+        for m, out in zip(mats, outs):
+            assert out.keys.tobytes() == m.keys.tobytes()
+            assert out.vals.tobytes() == m.vals.tobytes()
+
+    def test_derived_results_bit_identical_to_serial(self, rng):
+        mats = [matrix_of(rng) for _ in range(4)]
+        parallel = parallel_map(scaled, mats, processes=2, min_parallel=1)
+        serial = [scaled(m) for m in mats]
+        for p, s in zip(parallel, serial):
+            assert p.keys.tobytes() == s.keys.tobytes()
+            assert p.vals.tobytes() == s.vals.tobytes()
+
+    def test_no_segment_survives_the_map(self, rng):
+        mats = [matrix_of(rng) for _ in range(6)]
+        parallel_map(total, mats, processes=2, min_parallel=1)
+        assert shm.active_segments() == []
+
+    def test_serial_path_ignores_shm(self, rng):
+        mats = [matrix_of(rng) for _ in range(4)]
+        out = parallel_map(total, mats, processes=1)
+        assert out == [total(m) for m in mats]
+        assert shm.active_segments() == []

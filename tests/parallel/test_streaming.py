@@ -67,3 +67,46 @@ class TestAccumulate:
         direct = build_traffic_matrix(p)
         acc = parallel_accumulate(p, shard_size=shard_size, processes=1, cutoff=8)
         assert acc == direct
+
+
+class TestDispatchSemantics:
+    """The pool is an optimization, never a semantic change."""
+
+    def test_shard_results_come_back_in_order(self, rng):
+        from functools import partial
+
+        from repro.parallel import parallel_map
+        from repro.parallel.streaming import _shard_matrix
+
+        p = stream(2000, rng)
+        arrays = [(s.src, s.dst) for s in shard_packets(p, 250)]
+        worker = partial(_shard_matrix, shape=(2**32, 2**32))
+        pooled = parallel_map(worker, arrays, processes=2, min_parallel=1)
+        serial = [worker(a) for a in arrays]
+        assert pooled == serial  # same shard, same slot
+
+    def test_worker_spans_reingested(self, rng):
+        from repro.obs.spans import take_spans, tracing
+
+        p = stream(4000, rng)
+        with tracing(True):
+            parallel_accumulate(p, shard_size=256, processes=2)
+            spans = take_spans()
+        names = [s.name for s in spans]
+        assert "parallel_accumulate" in names
+        pool_spans = [s for s in spans if s.name == "parallel_map"]
+        assert any(s.label_attrs.get("mode") == "pool" for s in pool_spans)
+        # One re-ingested worker measurement per shard.
+        tasks = [s for s in spans if s.name == "pool_task"]
+        assert len(tasks) == 16
+        assert all(t.wall_s >= 0.0 for t in tasks)
+
+    def test_env_zero_forces_serial_accumulation(self, rng, monkeypatch):
+        from repro.parallel import pool as pool_mod
+
+        monkeypatch.setenv("REPRO_PROCESSES", "0")
+        pool_mod.shutdown_pools()
+        p = stream(3000, rng)
+        acc = parallel_accumulate(p, shard_size=256)
+        assert acc == build_traffic_matrix(p)
+        assert pool_mod._pools == {}

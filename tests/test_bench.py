@@ -83,8 +83,14 @@ class TestCompareResults:
             payload({"old": 1.0, "both": 1.0}), payload({"new": 1.0, "both": 1.0}), 10.0
         )
         by_name = {r.name: r.status for r in rows}
-        assert by_name == {"old": "baseline-only", "new": "current-only", "both": "ok"}
+        assert by_name == {"old": "baseline-only", "new": "new", "both": "ok"}
         assert not any(r.regressed for r in rows)
+
+    def test_new_benchmarks_reported_with_note(self):
+        rows = compare_results(payload({"a": 1.0}), payload({"a": 1.0, "b": 2.0}), 10.0)
+        text = format_comparison(rows, 10.0)
+        assert "1 new benchmark(s) without a baseline" in text
+        assert "no regressions" in text
 
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):
