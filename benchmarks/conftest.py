@@ -24,17 +24,16 @@ timings are not perturbed) and writes two artifacts at exit:
 from __future__ import annotations
 
 import json
-import platform
 import resource
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
-from repro.bench import BENCH_SCHEMA
+from repro.bench import BENCH_SCHEMA, machine_fingerprint
 from repro.experiments import build_study, format_checks
-from repro.obs import enable_metrics, snapshot, wall_timestamp
-from repro.parallel import cpu_count
+from repro.obs import enable_metrics, export_snapshot, snapshot, wall_timestamp
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 METRICS_FILE = OUTPUT_DIR / "metrics.json"
@@ -79,21 +78,13 @@ def pytest_runtest_logreport(report):
         _metrics.update(snapshot())
 
 
-def _machine_fingerprint() -> dict:
-    """Host facts a benchmark number is only comparable within."""
-    import numpy
-
-    return {
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "cpu_count": cpu_count(),
-        "numpy": numpy.__version__,
-    }
-
-
 def _write_bench_results(session, exitstatus) -> None:
-    """Persist the schema-versioned record for ``repro bench compare``."""
+    """Persist the schema-versioned record for ``repro bench compare``.
+
+    Schema 2: alongside the medians, each benchmark carries its round
+    percentiles (p50/p90/p99 over the pytest-benchmark repeats) so the
+    history store can trend tail latency without keeping raw round data.
+    """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return
@@ -102,11 +93,16 @@ def _write_bench_results(session, exitstatus) -> None:
         stats = meta.stats
         if meta.has_error or not getattr(stats, "data", None):
             continue
+        rounds = np.asarray(stats.data, dtype=np.float64)
+        p50, p90, p99 = (float(p) for p in np.percentile(rounds, [50, 90, 99]))
         benchmarks[meta.fullname] = {
             "wall_median_s": stats.median,
             "wall_mean_s": stats.mean,
             "wall_min_s": stats.min,
             "wall_stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
+            "wall_p50_s": p50,
+            "wall_p90_s": p90,
+            "wall_p99_s": p99,
             "rounds": stats.rounds,
             "iterations": meta.iterations,
             "cpu_s": _cpu_times.get(meta.fullname, None),
@@ -116,7 +112,7 @@ def _write_bench_results(session, exitstatus) -> None:
     payload = {
         "schema": BENCH_SCHEMA,
         "written": wall_timestamp(),
-        "machine": _machine_fingerprint(),
+        "machine": machine_fingerprint(),
         "exitstatus": int(exitstatus),
         "benchmarks": dict(sorted(benchmarks.items())),
         "counters": (_metrics or snapshot()).get("counters", {}),
@@ -128,17 +124,18 @@ def pytest_sessionfinish(session, exitstatus):
     """Persist the metrics snapshot for dashboards and CI artifacts."""
     OUTPUT_DIR.mkdir(exist_ok=True)
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    payload = {
-        "schema": 1,
-        "written": wall_timestamp(),
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-        "exitstatus": int(exitstatus),
-        "max_rss_kb": rss_kb,
-        "durations_s": dict(sorted(_durations.items())),
-        **(_metrics or snapshot()),
-    }
-    METRICS_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    live = _metrics or snapshot()
+    export_snapshot(
+        METRICS_FILE,
+        extra={
+            "python": sys.version.split()[0],
+            "platform": machine_fingerprint()["platform"],
+            "exitstatus": int(exitstatus),
+            "max_rss_kb": rss_kb,
+            "durations_s": dict(sorted(_durations.items())),
+            **live,
+        },
+    )
     _write_bench_results(session, exitstatus)
 
 

@@ -1,0 +1,90 @@
+"""Perf intelligence: benchmark results, history, trends, and reports.
+
+What began as a single pairwise baseline check is a small subsystem:
+
+* :mod:`repro.bench.results` — the ``BENCH_results.json`` schema
+  (currently version 2), validation, and the machine fingerprint that
+  keys comparability.
+* :mod:`repro.bench.history` — the append-only ``benchmarks/history/``
+  store: one JSON record per recorded run (git SHA + machine id +
+  joined :mod:`repro.obs` counter snapshot) plus a rebuildable index.
+* :mod:`repro.bench.trend` — percentile stats across rounds and runs,
+  change-point detection over the wall-time trajectory, and counter
+  attribution for each detected shift.
+* :mod:`repro.bench.report` — terminal, markdown, and self-contained
+  HTML renderings of the trends.
+* :mod:`repro.bench.compare` — the pairwise regression gate, now
+  history-aware: verdict rows carry trend context when a history
+  exists, and ``--json`` emits a stable machine-readable document.
+
+The CLI surface is ``repro bench record | trend | report | compare``
+(see ``docs/PERFORMANCE.md``, "Perf intelligence").  The flat public
+API below is the package's compatibility contract — everything
+``repro.bench`` exported as a single module keeps importing from here.
+"""
+
+from .compare import (
+    BenchComparison,
+    compare_results,
+    comparison_json,
+    format_comparison,
+    trend_notes,
+)
+from .history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA,
+    History,
+    RunRecord,
+    load_history,
+    rebuild_index,
+    record_run,
+)
+from .report import format_trends, render_html_report, render_markdown_report
+from .results import (
+    BENCH_SCHEMA,
+    KNOWN_SCHEMAS,
+    load_metrics,
+    load_results,
+    machine_fingerprint,
+    machine_id,
+)
+from .trend import (
+    BenchmarkTrend,
+    ChangePoint,
+    CounterMove,
+    analyze_history,
+    attribute_counters,
+    detect_change_points,
+    percentile_stats,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "KNOWN_SCHEMAS",
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "BenchComparison",
+    "BenchmarkTrend",
+    "ChangePoint",
+    "CounterMove",
+    "History",
+    "RunRecord",
+    "analyze_history",
+    "attribute_counters",
+    "compare_results",
+    "comparison_json",
+    "detect_change_points",
+    "format_comparison",
+    "format_trends",
+    "load_history",
+    "load_metrics",
+    "load_results",
+    "machine_fingerprint",
+    "machine_id",
+    "percentile_stats",
+    "rebuild_index",
+    "record_run",
+    "render_html_report",
+    "render_markdown_report",
+    "trend_notes",
+]

@@ -1,12 +1,6 @@
-"""Benchmark-result files and regression comparison.
+"""Pairwise baseline-vs-current comparison with optional trend context.
 
-The benchmark session (``benchmarks/conftest.py``) writes a
-schema-versioned ``BENCH_results.json`` next to its other artifacts:
-per-benchmark wall-time medians over the pytest-benchmark repeats, the
-call-phase CPU time, a machine fingerprint, and the :mod:`repro.obs`
-counter snapshot.  This module is the consumer side: load such files,
-compare a current run against a committed baseline, and render the
-verdict — the engine behind ``repro bench compare``::
+The engine behind ``repro bench compare``::
 
     repro bench compare benchmarks/baseline.json \\
         benchmarks/output/BENCH_results.json --tolerance 25
@@ -17,25 +11,29 @@ reports per-benchmark rows; the CLI exits non-zero iff any row regressed,
 so CI can gate merges on kernel throughput the same way it gates on
 tests.  Benchmarks present on only one side are reported but never fail
 the comparison — adding or retiring a benchmark is not a regression.
+
+When a benchmark history (:mod:`repro.bench.history`) is available,
+:func:`trend_notes` annotates verdict rows with trajectory context —
+*when* the step change first appeared and *which* counters moved with it
+— so a regression verdict carries a lead, not just a number.  Without a
+history the output is byte-identical to the plain pairwise comparison.
+
+``comparison_json`` renders the same rows as a stable machine-readable
+document for CI gates that should not scrape terminal text.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, List, Union
+from typing import Any, Dict, List, Optional
 
 __all__ = [
-    "BENCH_SCHEMA",
     "BenchComparison",
-    "load_results",
     "compare_results",
     "format_comparison",
+    "comparison_json",
+    "trend_notes",
 ]
-
-#: Schema version understood by this reader (and written by the harness).
-BENCH_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -61,34 +59,6 @@ class BenchComparison:
         return self.status == "regressed"
 
 
-def load_results(path: Union[str, Path]) -> Dict:
-    """Load and validate a ``BENCH_results.json`` file.
-
-    Raises ``ValueError`` on schema mismatch or a malformed payload, and
-    ``OSError`` when the file cannot be read — callers map both onto a
-    usage-error exit status.
-    """
-    raw = Path(path).read_text(encoding="utf-8")
-    try:
-        data = json.loads(raw)
-    except json.JSONDecodeError as exc:
-        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
-    if not isinstance(data, dict):
-        raise ValueError(f"{path}: expected a JSON object, got {type(data).__name__}")
-    schema = data.get("schema")
-    if schema != BENCH_SCHEMA:
-        raise ValueError(
-            f"{path}: unsupported benchmark schema {schema!r} (expected {BENCH_SCHEMA})"
-        )
-    benches = data.get("benchmarks")
-    if not isinstance(benches, dict):
-        raise ValueError(f"{path}: missing 'benchmarks' mapping")
-    for name, entry in benches.items():
-        if not isinstance(entry, dict) or "wall_median_s" not in entry:
-            raise ValueError(f"{path}: benchmark {name!r} lacks 'wall_median_s'")
-    return data
-
-
 def compare_results(
     baseline: Dict, current: Dict, tolerance_pct: float = 10.0
 ) -> List[BenchComparison]:
@@ -96,7 +66,9 @@ def compare_results(
 
     ``tolerance_pct`` is the allowed slowdown of the wall median before a
     benchmark counts as regressed; improvements beyond the same margin
-    are labelled ``"improved"`` (informational).
+    are labelled ``"improved"`` (informational).  Rows come back sorted
+    by benchmark name — the ordering is part of the output contract for
+    both the terminal table and the ``--json`` document.
     """
     if tolerance_pct < 0:
         raise ValueError("tolerance must be non-negative")
@@ -129,8 +101,18 @@ def compare_results(
     return rows
 
 
-def format_comparison(rows: List[BenchComparison], tolerance_pct: float) -> str:
-    """Render comparison rows as an aligned terminal table."""
+def format_comparison(
+    rows: List[BenchComparison],
+    tolerance_pct: float,
+    notes: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render comparison rows as an aligned terminal table.
+
+    ``notes`` maps benchmark names to one-line trend annotations
+    (:func:`trend_notes`); each is printed indented beneath its row.
+    With no notes the rendering is byte-identical to the history-free
+    comparison, so existing CI gates see no behavior change.
+    """
     name_w = max([len(r.name) for r in rows] + [len("benchmark")])
     lines = [
         f"{'benchmark':<{name_w}}  {'baseline':>12}  {'current':>12}  "
@@ -141,6 +123,8 @@ def format_comparison(rows: List[BenchComparison], tolerance_pct: float) -> str:
         curr = f"{r.current_s:.6f}s" if r.current_s == r.current_s else "-"
         delta = f"{r.delta_pct:+.1f}%" if r.delta_pct == r.delta_pct else "-"
         lines.append(f"{r.name:<{name_w}}  {base:>12}  {curr:>12}  {delta:>8}  {r.status}")
+        if notes and r.name in notes:
+            lines.append(f"{'':<{name_w}}    trend: {notes[r.name]}")
     n_new = sum(r.status == "new" for r in rows)
     if n_new:
         lines.append(
@@ -155,3 +139,73 @@ def format_comparison(rows: List[BenchComparison], tolerance_pct: float) -> str:
     )
     lines.append(verdict)
     return "\n".join(lines)
+
+
+def comparison_json(
+    rows: List[BenchComparison],
+    tolerance_pct: float,
+    notes: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """The comparison as a stable machine-readable document.
+
+    Row order follows :func:`compare_results` (sorted by name); ``nan``
+    sides serialize as ``None`` so the document is strict JSON.  CI
+    gates should consume this instead of scraping the terminal table.
+    """
+
+    def _num(v: float) -> Optional[float]:
+        return v if v == v else None
+
+    return {
+        "schema": 1,
+        "tolerance_pct": tolerance_pct,
+        "regressions": sum(r.regressed for r in rows),
+        "rows": [
+            {
+                "name": r.name,
+                "baseline_s": _num(r.baseline_s),
+                "current_s": _num(r.current_s),
+                "delta_pct": _num(r.delta_pct),
+                "status": r.status,
+                **({"trend": notes[r.name]} if notes and r.name in notes else {}),
+            }
+            for r in rows
+        ],
+    }
+
+
+def trend_notes(
+    history: Any,
+    rows: List[BenchComparison],
+    *,
+    min_runs: int = 4,
+) -> Dict[str, str]:
+    """Trajectory context for comparison rows, from a benchmark history.
+
+    For every row whose benchmark has at least ``min_runs`` recorded runs
+    and a detected step change, produce a one-line note naming the run
+    where the shift first appeared and the counters that moved with it::
+
+        step change first seen at run 7 (+41.2%); merge_fastpath_hits -37.0%
+
+    ``history`` is a :class:`repro.bench.history.History`; rows without a
+    history trajectory get no note (and the comparison output stays
+    byte-identical to the history-free rendering).
+    """
+    from .trend import analyze_history
+
+    names = {r.name for r in rows if r.status in ("regressed", "improved", "ok")}
+    trends = analyze_history(history, min_runs=min_runs)
+    notes: Dict[str, str] = {}
+    for t in trends:
+        if t.name not in names or not t.change_points:
+            continue
+        cp = t.change_points[-1]
+        note = f"step change first seen at run {cp.index} ({cp.delta_pct:+.1f}%)"
+        if cp.counters:
+            moved = "; ".join(
+                f"{m.name} {m.delta_pct:+.1f}%" for m in cp.counters[:3]
+            )
+            note += f"; {moved}"
+        notes[t.name] = note
+    return notes

@@ -1,0 +1,308 @@
+"""Append-only benchmark history store (``benchmarks/history/``).
+
+Every recorded benchmark session becomes one immutable JSON file —
+``run-<seq>-<sha>-<machine>.json`` — joining the ``BENCH_results.json``
+wall statistics with the ``metrics.json`` counter snapshot, keyed by git
+SHA and machine fingerprint.  A small ``index.json`` carries the run
+catalogue (sequence number, SHA, machine id, benchmark count per run) so
+trend queries can order the trajectory without parsing every record;
+:func:`rebuild_index` regenerates it from the record files after manual
+pruning (compaction).
+
+Records are append-only by construction: ``repro bench record`` only
+ever writes the next sequence number.  Loading is forgiving — a corrupt
+or truncated record is skipped with a warning rather than poisoning the
+whole trajectory, because a history that survives a crashed CI run is
+worth more than a strict one.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .results import BENCH_SCHEMA, machine_id
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_DIR",
+    "RunRecord",
+    "History",
+    "record_run",
+    "load_history",
+    "rebuild_index",
+]
+
+#: Bumped when the record/index layout changes incompatibly.
+HISTORY_SCHEMA = 1
+
+#: Where the CLI looks for a history unless told otherwise.
+DEFAULT_HISTORY_DIR = "benchmarks/history"
+
+_INDEX = "index.json"
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One recorded benchmark session.
+
+    ``benchmarks`` maps benchmark names to their wall statistics (the
+    ``BENCH_results.json`` entries); ``counters`` is the joined
+    :mod:`repro.obs` counter snapshot for the same session.
+    """
+
+    seq: int
+    sha: str
+    machine: str
+    written: str
+    benchmarks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    path: str = ""
+
+    def wall_median(self, name: str) -> float:
+        """Wall median for one benchmark (``nan`` when absent this run)."""
+        entry = self.benchmarks.get(name)
+        return float(entry["wall_median_s"]) if entry else float("nan")
+
+
+@dataclass
+class History:
+    """A loaded trajectory: run records in sequence order."""
+
+    runs: List[RunRecord] = field(default_factory=list)
+    directory: str = ""
+
+    def __len__(self) -> int:
+        """Number of loaded runs."""
+        return len(self.runs)
+
+    def benchmarks(self) -> List[str]:
+        """Sorted union of benchmark names across all runs."""
+        names: set = set()
+        for run in self.runs:
+            names.update(run.benchmarks)
+        return sorted(names)
+
+    def series(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(run sequence numbers, wall medians) for one benchmark.
+
+        Only runs where the benchmark was measured contribute — the
+        trajectory never interpolates across gaps.
+        """
+        seqs = [r.seq for r in self.runs if name in r.benchmarks]
+        vals = [r.wall_median(name) for r in self.runs if name in r.benchmarks]
+        return (
+            np.asarray(seqs, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
+
+    def counter_series(self, counter: str) -> np.ndarray:
+        """Per-run totals of one counter (``nan`` where unrecorded)."""
+        return np.asarray(
+            [float(r.counters.get(counter, float("nan"))) for r in self.runs],
+            dtype=np.float64,
+        )
+
+    def counter_names(self) -> List[str]:
+        """Sorted union of counter names across all runs."""
+        names: set = set()
+        for run in self.runs:
+            names.update(run.counters)
+        return sorted(names)
+
+
+def _record_name(seq: int, sha: str, machine: str) -> str:
+    return f"run-{seq:06d}-{(sha or 'unknown')[:12]}-{machine[:12]}.json"
+
+
+def _read_json(path: Path) -> Dict[str, Any]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError("not a JSON object")
+    return data
+
+
+def _next_seq(directory: Path) -> int:
+    seqs = [0]
+    for p in directory.glob("run-*.json"):
+        head = p.name.split("-")
+        if len(head) >= 2 and head[1].isdigit():
+            seqs.append(int(head[1]))
+    return max(seqs) + 1
+
+
+def record_run(
+    history_dir: PathLike,
+    results: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]] = None,
+    *,
+    sha: str = "unknown",
+    written: Optional[str] = None,
+) -> Path:
+    """Append one run record joining results and metrics; return its path.
+
+    ``results`` is a loaded ``BENCH_results.json`` payload
+    (:func:`repro.bench.load_results`); ``metrics`` an optional loaded
+    ``metrics.json`` snapshot whose counters are joined into the record
+    (metrics-side totals win on conflict — the snapshot postdates the
+    results file).  The index is updated in the same call.
+    """
+    directory = Path(history_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    fingerprint = results.get("machine", {}) or {}
+    mid = machine_id(fingerprint)
+    counters = dict(results.get("counters", {}) or {})
+    if metrics:
+        counters.update(metrics.get("counters", {}) or {})
+        # Span-duration histograms join as derived series so change-point
+        # attribution can name them alongside the plain counters.
+        for name, h in (metrics.get("histograms", {}) or {}).items():
+            if isinstance(h, dict) and h.get("count"):
+                counters[f"hist.{name}.mean"] = float(h["mean"])
+                counters[f"hist.{name}.count"] = float(h["count"])
+    if written is None:
+        from ..obs import wall_timestamp
+
+        written = results.get("written") or wall_timestamp()
+    seq = _next_seq(directory)
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "bench_schema": results.get("schema", BENCH_SCHEMA),
+        "seq": seq,
+        "sha": sha or "unknown",
+        "machine_id": mid,
+        "machine": fingerprint,
+        "written": written,
+        "benchmarks": dict(sorted(results.get("benchmarks", {}).items())),
+        "counters": dict(sorted(counters.items())),
+    }
+    if metrics and "max_rss_kb" in metrics:
+        record["max_rss_kb"] = metrics["max_rss_kb"]
+    path = directory / _record_name(seq, record["sha"], mid)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    _update_index(directory, record, path.name)
+    return path
+
+
+def _index_entry(record: Dict[str, Any], filename: str) -> Dict[str, Any]:
+    return {
+        "file": filename,
+        "seq": record["seq"],
+        "sha": record.get("sha", "unknown"),
+        "machine_id": record.get("machine_id", ""),
+        "written": record.get("written", ""),
+        "n_benchmarks": len(record.get("benchmarks", {})),
+    }
+
+
+def _update_index(directory: Path, record: Dict[str, Any], filename: str) -> None:
+    index_path = directory / _INDEX
+    entries: List[Dict[str, Any]] = []
+    if index_path.exists():
+        try:
+            entries = _read_json(index_path).get("runs", [])
+        except (ValueError, json.JSONDecodeError):
+            entries = []  # rebuilt below from the surviving entries + this run
+    entries = [e for e in entries if e.get("seq") != record["seq"]]
+    entries.append(_index_entry(record, filename))
+    entries.sort(key=lambda e: e.get("seq", 0))
+    index_path.write_text(
+        json.dumps({"schema": HISTORY_SCHEMA, "runs": entries},
+                   indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def rebuild_index(history_dir: PathLike) -> int:
+    """Regenerate ``index.json`` from the record files; return run count.
+
+    The compaction path: after deleting or hand-pruning record files the
+    index is stale — this rescans the directory, drops entries whose
+    records are gone, and rewrites the catalogue in sequence order.
+    Corrupt records are skipped with a warning, mirroring
+    :func:`load_history`.
+    """
+    directory = Path(history_dir)
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob("run-*.json")):
+        try:
+            record = _read_json(path)
+            entries.append(_index_entry(record, path.name))
+        except (ValueError, json.JSONDecodeError) as exc:
+            warnings.warn(f"bench history: skipping corrupt record {path.name}: {exc}",
+                          stacklevel=2)
+    entries.sort(key=lambda e: e.get("seq", 0))
+    (directory / _INDEX).write_text(
+        json.dumps({"schema": HISTORY_SCHEMA, "runs": entries},
+                   indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def load_history(history_dir: PathLike) -> History:
+    """Load every readable run record in sequence order.
+
+    The index orders the scan when present and consistent; records
+    missing from the index (or an unreadable index) fall back to a
+    directory scan, so the store survives a lost ``index.json``.
+    Corrupt records are skipped with a warning — an interrupted CI
+    upload must not erase the rest of the trajectory.
+    """
+    directory = Path(history_dir)
+    if not directory.is_dir():
+        return History(runs=[], directory=str(directory))
+    names = {p.name for p in directory.glob("run-*.json")}
+    ordered: List[str] = []
+    index_path = directory / _INDEX
+    if index_path.exists():
+        try:
+            for entry in _read_json(index_path).get("runs", []):
+                if entry.get("file") in names:
+                    ordered.append(entry["file"])
+        except (ValueError, json.JSONDecodeError):
+            warnings.warn(
+                f"bench history: unreadable index in {directory}; scanning records",
+                stacklevel=2,
+            )
+            ordered = []
+    for name in sorted(names):
+        if name not in ordered:
+            ordered.append(name)
+    runs: List[RunRecord] = []
+    for name in ordered:
+        path = directory / name
+        try:
+            record = _read_json(path)
+            if int(record.get("schema", 0)) > HISTORY_SCHEMA:
+                raise ValueError(
+                    f"history schema {record['schema']} is newer than this "
+                    f"reader (max {HISTORY_SCHEMA})"
+                )
+            runs.append(
+                RunRecord(
+                    seq=int(record["seq"]),
+                    sha=str(record.get("sha", "unknown")),
+                    machine=str(record.get("machine_id", "")),
+                    written=str(record.get("written", "")),
+                    benchmarks=record.get("benchmarks", {}) or {},
+                    counters={
+                        k: float(v)
+                        for k, v in (record.get("counters", {}) or {}).items()
+                    },
+                    path=str(path),
+                )
+            )
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            warnings.warn(f"bench history: skipping corrupt record {name}: {exc}",
+                          stacklevel=2)
+    runs.sort(key=lambda r: r.seq)
+    return History(runs=runs, directory=str(directory))

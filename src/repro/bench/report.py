@@ -1,0 +1,265 @@
+"""Rendering the perf-intelligence views: terminal, markdown, and HTML.
+
+Three renderings of the same :class:`repro.bench.trend.BenchmarkTrend`
+summaries:
+
+* :func:`format_trends` — the ``repro bench trend`` terminal view: one
+  sparkline row per benchmark (change points marked ``|``) plus a
+  change-point table with counter attributions.
+* :func:`render_markdown_report` — the same content as a markdown
+  document, for CI job summaries and commit comments.
+* :func:`render_html_report` — a fully self-contained HTML file (inline
+  CSS, inline SVG sparklines, no external requests) uploaded as a CI
+  artifact by the ``bench-trend`` job.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Sequence
+
+import numpy as np
+
+from ..report.ascii_plot import render_sparkline
+from .history import History
+from .trend import BenchmarkTrend, ChangePoint
+
+__all__ = [
+    "format_trends",
+    "render_markdown_report",
+    "render_html_report",
+]
+
+
+def _fmt_s(v: float) -> str:
+    """Seconds with benchmark-table precision (``-`` for non-finite)."""
+    return f"{v:.6f}s" if v == v and v not in (float("inf"),) else "-"
+
+
+def _counter_summary(cp: ChangePoint, limit: int = 3) -> str:
+    if not cp.counters:
+        return "(no counter moved)"
+    return ", ".join(f"{m.name} {m.delta_pct:+.1f}%" for m in cp.counters[:limit])
+
+
+def _header(history: History) -> str:
+    machines = sorted({r.machine for r in history.runs if r.machine})
+    span = ""
+    if history.runs:
+        span = f" (runs {history.runs[0].seq}..{history.runs[-1].seq})"
+    return (
+        f"benchmark trend: {len(history.runs)} run(s) in "
+        f"{history.directory or 'history'}{span}, "
+        f"{len(machines)} machine(s)"
+    )
+
+
+def format_trends(
+    trends: List[BenchmarkTrend], history: History, *, width: int = 32
+) -> str:
+    """The ``repro bench trend`` terminal view.
+
+    One row per benchmark — run count, across-run p50/p90/p99, the
+    latest value, and a sparkline with change points marked ``|`` — then
+    a change-point table naming when each step first appeared and which
+    counters moved with it.
+    """
+    lines = [_header(history), ""]
+    if not trends:
+        lines.append("(no benchmark has enough recorded runs to trend)")
+        return "\n".join(lines)
+    name_w = max(len(t.name) for t in trends)
+    lines.append(
+        f"{'benchmark':<{name_w}}  {'runs':>4}  {'p50':>11}  {'p90':>11}  "
+        f"{'p99':>11}  {'latest':>11}  trend"
+    )
+    for t in trends:
+        spark = render_sparkline(
+            t.values, width=width, marks=[cp.position for cp in t.change_points]
+        )
+        lines.append(
+            f"{t.name:<{name_w}}  {t.stats['n']:>4d}  {_fmt_s(t.stats['p50']):>11}  "
+            f"{_fmt_s(t.stats['p90']):>11}  {_fmt_s(t.stats['p99']):>11}  "
+            f"{_fmt_s(t.stats['latest']):>11}  {spark}"
+        )
+    lines.append("")
+    lines.append("change points:")
+    any_cp = False
+    for t in trends:
+        for cp in t.change_points:
+            any_cp = True
+            lines.append(
+                f"  {t.name}: first seen at run {cp.index} "
+                f"({_fmt_s(cp.before_mean)} -> {_fmt_s(cp.after_mean)}, "
+                f"{cp.delta_pct:+.1f}%) — {_counter_summary(cp)}"
+            )
+    if not any_cp:
+        lines.append("  (none detected)")
+    return "\n".join(lines)
+
+
+def render_markdown_report(
+    trends: List[BenchmarkTrend], history: History, *, title: str = "Benchmark trends"
+) -> str:
+    """The trend summaries as a markdown document."""
+    lines = [f"# {title}", "", _header(history), ""]
+    if not trends:
+        lines.append("_No benchmark has enough recorded runs to trend._")
+        return "\n".join(lines) + "\n"
+    lines += [
+        "| benchmark | runs | p50 | p90 | p99 | latest | trend |",
+        "| --- | ---: | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for t in trends:
+        spark = render_sparkline(
+            t.values, width=24, marks=[cp.position for cp in t.change_points]
+        )
+        lines.append(
+            f"| `{t.name}` | {t.stats['n']} | {_fmt_s(t.stats['p50'])} "
+            f"| {_fmt_s(t.stats['p90'])} | {_fmt_s(t.stats['p99'])} "
+            f"| {_fmt_s(t.stats['latest'])} | `{spark}` |"
+        )
+    lines += ["", "## Change points", ""]
+    any_cp = False
+    for t in trends:
+        for cp in t.change_points:
+            any_cp = True
+            lines.append(
+                f"- `{t.name}`: first seen at run **{cp.index}** "
+                f"({_fmt_s(cp.before_mean)} → {_fmt_s(cp.after_mean)}, "
+                f"{cp.delta_pct:+.1f}%) — {_counter_summary(cp)}"
+            )
+    if not any_cp:
+        lines.append("_None detected._")
+    return "\n".join(lines) + "\n"
+
+
+def _svg_sparkline(
+    values: Sequence[float],
+    positions: Sequence[int],
+    *,
+    width: int = 260,
+    height: int = 48,
+) -> str:
+    """Inline SVG polyline of a series with change points marked."""
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.size
+    if n == 0:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    lo, hi = float(arr.min()), float(arr.max())
+    span = (hi - lo) or 1.0
+    pad = 4
+    xs = (
+        np.linspace(pad, width - pad, n)
+        if n > 1
+        else np.asarray([width / 2.0])
+    )
+    ys = height - pad - (arr - lo) / span * (height - 2 * pad)
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    marks = "".join(
+        f'<line x1="{xs[p]:.1f}" y1="{pad}" x2="{xs[p]:.1f}" '
+        f'y2="{height - pad}" class="cp"/>'
+        for p in positions
+        if 0 <= p < n
+    )
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">'
+        f'<polyline points="{points}" fill="none" class="line"/>{marks}</svg>'
+    )
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem;
+       color: #1a1a1a; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #ddd;
+         font-variant-numeric: tabular-nums; }
+th { border-bottom: 2px solid #999; }
+td.num, th.num { text-align: right; }
+code { font: 12px/1.4 ui-monospace, monospace; background: #f4f4f4;
+       padding: .1rem .25rem; border-radius: 3px; }
+svg .line { stroke: #2a6fbb; stroke-width: 1.5; }
+svg .cp { stroke: #c0392b; stroke-width: 1; stroke-dasharray: 2 2; }
+.delta-up { color: #c0392b; } .delta-down { color: #1e8449; }
+.meta { color: #666; }
+""".strip()
+
+
+def render_html_report(
+    trends: List[BenchmarkTrend],
+    history: History,
+    *,
+    title: str = "repro perf intelligence",
+) -> str:
+    """A self-contained HTML trend report (inline CSS + SVG, no assets).
+
+    One table row per benchmark with an SVG sparkline, then a
+    change-point section with counter attribution — everything a
+    reviewer needs to answer "when did this get slow, and why" from a
+    single CI artifact.
+    """
+    esc = _html.escape
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f'<p class="meta">{esc(_header(history))}</p>',
+    ]
+    if trends:
+        parts.append("<table><thead><tr><th>benchmark</th>")
+        parts.append(
+            '<th class="num">runs</th><th class="num">p50</th>'
+            '<th class="num">p90</th><th class="num">p99</th>'
+            '<th class="num">latest</th><th>trend</th></tr></thead><tbody>'
+        )
+        for t in trends:
+            svg = _svg_sparkline(
+                t.values, [cp.position for cp in t.change_points]
+            )
+            parts.append(
+                f"<tr><td><code>{esc(t.name)}</code></td>"
+                f'<td class="num">{t.stats["n"]}</td>'
+                f'<td class="num">{_fmt_s(t.stats["p50"])}</td>'
+                f'<td class="num">{_fmt_s(t.stats["p90"])}</td>'
+                f'<td class="num">{_fmt_s(t.stats["p99"])}</td>'
+                f'<td class="num">{_fmt_s(t.stats["latest"])}</td>'
+                f"<td>{svg}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    else:
+        parts.append("<p><em>No benchmark has enough recorded runs to trend.</em></p>")
+    parts.append("<h2>Change points</h2>")
+    cps = [(t, cp) for t in trends for cp in t.change_points]
+    if cps:
+        parts.append("<ul>")
+        for t, cp in cps:
+            cls = "delta-up" if cp.delta_pct >= 0 else "delta-down"
+            parts.append(
+                f"<li><code>{esc(t.name)}</code>: first seen at run "
+                f"<strong>{cp.index}</strong> ({_fmt_s(cp.before_mean)} → "
+                f'{_fmt_s(cp.after_mean)}, <span class="{cls}">'
+                f"{cp.delta_pct:+.1f}%</span>) — {esc(_counter_summary(cp))}</li>"
+            )
+        parts.append("</ul>")
+    else:
+        parts.append("<p><em>None detected.</em></p>")
+    if history.runs:
+        parts.append("<h2>Run catalogue</h2>")
+        parts.append(
+            "<table><thead><tr><th class=\"num\">run</th><th>sha</th>"
+            "<th>machine</th><th>written</th>"
+            '<th class="num">benchmarks</th></tr></thead><tbody>'
+        )
+        for r in history.runs:
+            parts.append(
+                f'<tr><td class="num">{r.seq}</td><td><code>{esc(r.sha[:12])}</code></td>'
+                f"<td><code>{esc(r.machine)}</code></td><td>{esc(r.written)}</td>"
+                f'<td class="num">{len(r.benchmarks)}</td></tr>'
+            )
+        parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

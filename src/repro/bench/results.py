@@ -1,0 +1,132 @@
+"""Benchmark result files: schema, validation, and machine identity.
+
+The benchmark session (``benchmarks/conftest.py``) writes a
+schema-versioned ``BENCH_results.json`` next to its other artifacts:
+per-benchmark wall-time medians and round percentiles over the
+pytest-benchmark repeats, the call-phase CPU time, a machine
+fingerprint, and the :mod:`repro.obs` counter snapshot.  This module is
+the shared consumer side — loading and validating those files — used by
+both the pairwise comparison (:mod:`repro.bench.compare`) and the
+append-only history store (:mod:`repro.bench.history`).
+
+Schema history:
+
+* **1** — wall medians/means/min/stddev per benchmark, machine
+  fingerprint, session counter totals.
+* **2** — adds per-benchmark round percentiles (``wall_p50_s`` /
+  ``wall_p90_s`` / ``wall_p99_s``) so percentile trends do not depend on
+  keeping raw round data, and declares the counter snapshot joined from
+  ``benchmarks/output/metrics.json`` part of the record.
+
+Readers accept every schema in :data:`KNOWN_SCHEMAS` (old baselines keep
+comparing) and reject anything newer with a clear upgrade message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "KNOWN_SCHEMAS",
+    "load_results",
+    "load_metrics",
+    "machine_fingerprint",
+    "machine_id",
+]
+
+#: Schema version written by the harness (``benchmarks/conftest.py``).
+BENCH_SCHEMA = 2
+
+#: Every schema version this reader understands.
+KNOWN_SCHEMAS = (1, 2)
+
+PathLike = Union[str, Path]
+
+
+def load_results(path: PathLike) -> Dict[str, Any]:
+    """Load and validate a ``BENCH_results.json`` file.
+
+    Accepts every schema version in :data:`KNOWN_SCHEMAS` — committed
+    baselines written by older harnesses stay comparable.  A schema
+    *newer* than :data:`BENCH_SCHEMA` is rejected with an explicit
+    upgrade message rather than a generic mismatch: the file is fine,
+    this reader is old.
+
+    Raises ``ValueError`` on schema mismatch or a malformed payload, and
+    ``OSError`` when the file cannot be read — callers map both onto a
+    usage-error exit status.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object, got {type(data).__name__}")
+    schema = data.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        if isinstance(schema, int) and schema > BENCH_SCHEMA:
+            raise ValueError(
+                f"{path}: benchmark schema {schema} is newer than this reader "
+                f"understands (max {BENCH_SCHEMA}) — upgrade repro to read it"
+            )
+        raise ValueError(
+            f"{path}: unsupported benchmark schema {schema!r} "
+            f"(known: {', '.join(map(str, KNOWN_SCHEMAS))})"
+        )
+    benches = data.get("benchmarks")
+    if not isinstance(benches, dict):
+        raise ValueError(f"{path}: missing 'benchmarks' mapping")
+    for name, entry in benches.items():
+        if not isinstance(entry, dict) or "wall_median_s" not in entry:
+            raise ValueError(f"{path}: benchmark {name!r} lacks 'wall_median_s'")
+    return data
+
+
+def load_metrics(path: PathLike) -> Dict[str, Any]:
+    """Load a ``metrics.json`` observability snapshot (best-effort shape).
+
+    The counter/gauge/histogram export written by
+    :func:`repro.obs.export_snapshot` (and the benchmark session).  Only
+    the envelope is validated — the caller joins whatever counters are
+    present into the run record.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("counters", {}), dict):
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return data
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Host facts a benchmark number is only comparable within."""
+    import numpy
+
+    from ..parallel import cpu_count
+
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
+def machine_id(fingerprint: Dict[str, Any]) -> str:
+    """Stable 12-hex digest of a machine fingerprint.
+
+    History records are keyed by (git SHA, machine id) so trajectories
+    never mix runs from incomparable hosts.
+    """
+    canon = json.dumps(fingerprint or {}, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]

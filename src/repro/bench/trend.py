@@ -1,0 +1,270 @@
+"""Trajectory analysis over the benchmark history: percentiles, change
+points, and counter attribution.
+
+Three layers, all pure numpy and fully deterministic:
+
+* :func:`percentile_stats` — p50/p90/p99 (and friends) of a wall-time
+  series, used both across pytest-benchmark rounds (at record time) and
+  across runs (at trend time).
+* :func:`detect_change_points` — offline step detection on a wall-time
+  trajectory by recursive binary segmentation of a piecewise-constant
+  mean model (the classic PELT/BinSeg cost: within-segment sum of
+  squared deviations, BIC-style penalty from a robust first-difference
+  noise estimate).  A split must both beat the penalty *and* move the
+  segment mean by ``min_rel_pct`` — so a flat series with float jitter
+  never alarms, while a slow drift that pairwise comparison cannot see
+  is surfaced as one or more steps.
+* :func:`attribute_counters` — for a detected shift, which
+  :mod:`repro.obs` counters (merge fastpath hits, invariant checks, …)
+  moved at the same run: the "why" line on a regression verdict.
+
+:func:`analyze_history` joins the three into per-benchmark
+:class:`BenchmarkTrend` summaries for the report layer.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .history import History
+
+__all__ = [
+    "CounterMove",
+    "ChangePoint",
+    "BenchmarkTrend",
+    "percentile_stats",
+    "detect_change_points",
+    "attribute_counters",
+    "analyze_history",
+]
+
+
+@dataclass(frozen=True)
+class CounterMove:
+    """One counter's shift across a detected change point."""
+
+    name: str
+    before: float
+    after: float
+    delta_pct: float
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected step in a benchmark's wall-time trajectory.
+
+    ``position`` indexes the trajectory array (first point of the new
+    regime); ``index`` is the corresponding run sequence number — the
+    "first seen at run N" in reports.  ``delta_pct`` compares the mean
+    after the step to the mean before it (positive = slower).
+    """
+
+    position: int
+    index: int
+    before_mean: float
+    after_mean: float
+    delta_pct: float
+    counters: List[CounterMove] = field(default_factory=list)
+
+
+@dataclass
+class BenchmarkTrend:
+    """One benchmark's trajectory summary: series, stats, change points."""
+
+    name: str
+    seqs: np.ndarray
+    values: np.ndarray
+    stats: Dict[str, float]
+    change_points: List[ChangePoint] = field(default_factory=list)
+
+
+def percentile_stats(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p99 plus mean/min/max/latest of a wall-time series.
+
+    Percentiles use linear interpolation (numpy default), matching what
+    pytest-benchmark reports for its own round statistics.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return {"n": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                "mean": 0.0, "min": 0.0, "max": 0.0, "latest": 0.0}
+    p50, p90, p99 = (float(p) for p in np.percentile(arr, [50, 90, 99]))
+    return {
+        "n": int(arr.size),
+        "p50": p50,
+        "p90": p90,
+        "p99": p99,
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "latest": float(arr[-1]),
+    }
+
+
+def _sse(prefix: np.ndarray, prefix2: np.ndarray, i: int, j: int) -> float:
+    """Sum of squared deviations from the mean over ``values[i:j]``."""
+    n = j - i
+    s = prefix[j] - prefix[i]
+    s2 = prefix2[j] - prefix2[i]
+    return float(max(s2 - s * s / n, 0.0))
+
+
+def detect_change_points(
+    values: Sequence[float],
+    *,
+    min_segment: int = 2,
+    penalty_scale: float = 2.0,
+    min_rel_pct: float = 3.0,
+) -> List[int]:
+    """Positions where the trajectory's mean level steps (sorted).
+
+    Recursive binary segmentation: within a segment, the best split is
+    the one minimizing the summed within-part squared deviations; it is
+    kept when the cost reduction exceeds a BIC-style penalty
+    ``penalty_scale * sigma^2 * log(n)`` — ``sigma`` estimated robustly
+    from the median absolute first difference, so a single step does not
+    inflate its own noise floor — *and* the mean level moves by at least
+    ``min_rel_pct`` percent.  Each returned position is the first point
+    of the new regime.  Deterministic; no randomness involved.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2 * min_segment or not np.all(np.isfinite(arr)):
+        return []
+    prefix = np.concatenate([[0.0], np.cumsum(arr)])
+    prefix2 = np.concatenate([[0.0], np.cumsum(arr * arr)])
+    diffs = np.abs(np.diff(arr))
+    # 1.4826 * MAD estimates sigma of the diffs; a step inflates only a
+    # single diff, which the median ignores.  /sqrt(2): diff of two iid.
+    sigma = 1.4826 * float(np.median(diffs)) / np.sqrt(2.0)
+    penalty = penalty_scale * sigma * sigma * np.log(max(arr.size, 2))
+
+    found: List[int] = []
+
+    def _split(lo: int, hi: int) -> None:
+        if hi - lo < 2 * min_segment:
+            return
+        total = _sse(prefix, prefix2, lo, hi)
+        best_k, best_cost = -1, np.inf
+        for k in range(lo + min_segment, hi - min_segment + 1):
+            cost = _sse(prefix, prefix2, lo, k) + _sse(prefix, prefix2, k, hi)
+            if cost < best_cost:
+                best_k, best_cost = k, cost
+        if best_k < 0 or total - best_cost <= penalty:
+            return
+        before = float(arr[lo:best_k].mean())
+        after = float(arr[best_k:hi].mean())
+        if before > 0 and abs(after / before - 1.0) * 100.0 < min_rel_pct:
+            return
+        _split(lo, best_k)
+        found.append(best_k)
+        _split(best_k, hi)
+
+    _split(0, arr.size)
+    return sorted(found)
+
+
+def attribute_counters(
+    history: History,
+    seq_after: int,
+    seq_before: int,
+    *,
+    threshold_pct: float = 5.0,
+    top: int = 5,
+) -> List[CounterMove]:
+    """Counters that moved between two recorded runs, largest shift first.
+
+    ``seq_after`` is the run where a change point first appears and
+    ``seq_before`` the preceding measured run.  Counters are per-session
+    totals, so the adjacent-run ratio is the per-run shift.  Only moves
+    beyond ``threshold_pct`` percent are reported, at most ``top`` of
+    them, ordered by shift magnitude (ties by name for determinism).
+    """
+    by_seq = {r.seq: r for r in history.runs}
+    before_run = by_seq.get(seq_before)
+    after_run = by_seq.get(seq_after)
+    if before_run is None or after_run is None:
+        return []
+    moves: List[CounterMove] = []
+    for name in sorted(set(before_run.counters) & set(after_run.counters)):
+        b = before_run.counters[name]
+        a = after_run.counters[name]
+        if b <= 0:
+            continue
+        delta = (a / b - 1.0) * 100.0
+        if abs(delta) >= threshold_pct:
+            moves.append(CounterMove(name, b, a, delta))
+    moves.sort(key=lambda m: (-abs(m.delta_pct), m.name))
+    return moves[:top]
+
+
+def analyze_history(
+    history: History,
+    pattern: Optional[str] = None,
+    *,
+    min_runs: int = 4,
+    min_segment: int = 2,
+    penalty_scale: float = 2.0,
+    min_rel_pct: float = 3.0,
+    counter_threshold_pct: float = 5.0,
+) -> List[BenchmarkTrend]:
+    """Per-benchmark trend summaries over a loaded history.
+
+    ``pattern`` is an ``fnmatch`` glob over benchmark names (``None``
+    keeps all); benchmarks with fewer than ``min_runs`` measured runs
+    are skipped — two points are a comparison, not a trajectory.  Each
+    detected change point comes annotated with the counters that moved
+    at the same run (:func:`attribute_counters`).
+    """
+    trends: List[BenchmarkTrend] = []
+    for name in history.benchmarks():
+        if pattern and not fnmatch.fnmatch(name, pattern):
+            continue
+        seqs, values = history.series(name)
+        if seqs.size < min_runs:
+            continue
+        positions = detect_change_points(
+            values,
+            min_segment=min_segment,
+            penalty_scale=penalty_scale,
+            min_rel_pct=min_rel_pct,
+        )
+        change_points: List[ChangePoint] = []
+        for pos in positions:
+            before_mean = float(values[:pos].mean())
+            after_mean = float(values[pos:].mean())
+            delta = (
+                (after_mean / before_mean - 1.0) * 100.0
+                if before_mean > 0
+                else float("nan")
+            )
+            counters = attribute_counters(
+                history,
+                int(seqs[pos]),
+                int(seqs[pos - 1]),
+                threshold_pct=counter_threshold_pct,
+            )
+            change_points.append(
+                ChangePoint(
+                    position=pos,
+                    index=int(seqs[pos]),
+                    before_mean=before_mean,
+                    after_mean=after_mean,
+                    delta_pct=delta,
+                    counters=counters,
+                )
+            )
+        trends.append(
+            BenchmarkTrend(
+                name=name,
+                seqs=seqs,
+                values=values,
+                stats=percentile_stats(values),
+                change_points=change_points,
+            )
+        )
+    return trends

@@ -34,6 +34,7 @@ from .metrics import (
     STUDY_CACHE_MISSES,
     counter_value,
     enable_metrics,
+    export_snapshot,
     inc,
     metrics_enabled,
     observe,
@@ -98,6 +99,7 @@ __all__ = [
     "observe",
     "counter_value",
     "snapshot",
+    "export_snapshot",
     "reset_metrics",
     "PACKETS_INGESTED",
     "MATRIX_NNZ",

@@ -28,6 +28,7 @@ it without cycles.
 
 from __future__ import annotations
 
+import json
 import threading
 from typing import Any, Dict, Union
 
@@ -48,6 +49,8 @@ __all__ = [
     "observe",
     "counter_value",
     "snapshot",
+    "export_snapshot",
+    "METRICS_EXPORT_SCHEMA",
     "reset_metrics",
     "PACKETS_INGESTED",
     "MATRIX_NNZ",
@@ -251,6 +254,40 @@ def snapshot() -> Dict[str, Any]:
             "gauges": {n: g.value for n, g in sorted(_gauges.items())},
             "histograms": {n: h.summary() for n, h in sorted(_histograms.items())},
         }
+
+
+#: Envelope version of :func:`export_snapshot` files (``metrics.json``).
+METRICS_EXPORT_SCHEMA = 1
+
+
+def export_snapshot(path, *, extra=None) -> Dict[str, Any]:
+    """Write the metric snapshot as a JSON file; return the payload.
+
+    The canonical ``metrics.json`` envelope — schema version, ISO
+    timestamp, and the :func:`snapshot` counters/gauges/histograms —
+    consumed by dashboards, CI artifacts, and the benchmark history
+    store (:mod:`repro.bench.history`).  ``extra`` entries are merged
+    last (session durations, RSS, exit status ...), so a caller holding
+    an earlier snapshot may also substitute its own metric maps — the
+    benchmark session does, because test-isolation fixtures can reset
+    the live registry before session finish.
+    """
+    from pathlib import Path
+
+    from .sinks import wall_timestamp
+
+    payload: Dict[str, Any] = {
+        "schema": METRICS_EXPORT_SCHEMA,
+        "written": wall_timestamp(),
+        **snapshot(),
+        **(extra or {}),
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload
 
 
 def reset_metrics() -> None:

@@ -7,6 +7,6 @@ No plotting library is available offline, so the CLI renders every figure
 as a character raster (``repro <figure> --plot``).
 """
 
-from .ascii_plot import AsciiPlot, render_bars, render_series
+from .ascii_plot import AsciiPlot, render_bars, render_series, render_sparkline
 
-__all__ = ["AsciiPlot", "render_bars", "render_series"]
+__all__ = ["AsciiPlot", "render_bars", "render_series", "render_sparkline"]

@@ -13,10 +13,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["AsciiPlot", "render_series", "render_bars"]
+__all__ = ["AsciiPlot", "render_series", "render_bars", "render_sparkline"]
 
 #: Glyphs assigned to successive series.
 _GLYPHS = "*o+x#@%&"
+
+#: Eight-level block ramp used by :func:`render_sparkline`.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 @dataclass
@@ -169,6 +172,48 @@ def render_bars(
         val = f"{float(v):.4g}{unit}"
         lines.append(f"{str(lb):<{label_w}}  {bar:<{width}}  {val}")
     return "\n".join(lines)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    *,
+    width: Optional[int] = None,
+    marks: Sequence[int] = (),
+) -> str:
+    """One-line block-glyph sparkline of a value series.
+
+    Values map linearly onto an eight-level block ramp between the
+    series min and max (a constant series renders at the lowest level).
+    ``width`` caps the line by keeping the *last* ``width`` points — a
+    trend view cares most about the recent trajectory.  Positions listed
+    in ``marks`` (indices into ``values``) are rendered as ``|`` to flag
+    change points.  Non-finite values render as spaces.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    offset = 0
+    if width is not None and vals.size > width:
+        offset = vals.size - width
+        vals = vals[offset:]
+    if vals.size == 0:
+        return ""
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        return " " * vals.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    marked = {m - offset for m in marks}
+    chars: List[str] = []
+    for i, v in enumerate(vals):
+        if i in marked:
+            chars.append("|")
+        elif v != v or v in (float("inf"), float("-inf")):
+            chars.append(" ")
+        else:
+            level = (
+                int((v - lo) / span * (len(_SPARK_LEVELS) - 1)) if span > 0 else 0
+            )
+            chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
 
 
 def render_series(

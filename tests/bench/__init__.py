@@ -1,0 +1,1 @@
+"""Perf-intelligence subsystem tests (:mod:`repro.bench`)."""

@@ -1,0 +1,158 @@
+"""End-to-end ``repro bench record | trend | report | compare`` flows."""
+
+import json
+
+from repro.bench import BENCH_SCHEMA, compare_results, format_comparison, load_results
+from repro.cli import main
+
+
+def write_results(path, medians, counters=None, schema=BENCH_SCHEMA):
+    payload = {
+        "schema": schema,
+        "machine": {"cpu_count": 4},
+        "benchmarks": {
+            name: {"wall_median_s": median} for name, median in medians.items()
+        },
+        "counters": counters or {},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def record_stepped_history(tmp_path, hist, n=10, step_at=6):
+    """Ten synthetic runs with a wall-time step and a counter shift."""
+    for i in range(n):
+        slow = i >= step_at
+        results = write_results(
+            tmp_path / "r.json",
+            {"bench_x::test_a": 0.15 if slow else 0.1},
+            counters={"merge_fastpath_hits": 630.0 if slow else 1000.0},
+        )
+        rc = main(
+            ["bench", "record", "--results", str(results), "--metrics",
+             str(tmp_path / "absent.json"), "--history", str(hist),
+             "--sha", f"cafe{i:04d}"]
+        )
+        assert rc == 0
+    return hist
+
+
+class TestRecord:
+    def test_record_appends_and_reports(self, tmp_path, capsys):
+        results = write_results(tmp_path / "r.json", {"a": 0.1})
+        hist = tmp_path / "history"
+        assert main(["bench", "record", "--results", str(results),
+                     "--history", str(hist), "--sha", "abc"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded run 1" in out and "sha abc" in out
+        assert (hist / "index.json").exists()
+
+    def test_record_joins_metrics_counters(self, tmp_path):
+        results = write_results(tmp_path / "r.json", {"a": 0.1})
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({"schema": 1, "counters": {"x": 3.0}}))
+        hist = tmp_path / "history"
+        assert main(["bench", "record", "--results", str(results), "--metrics",
+                     str(metrics), "--history", str(hist), "--sha", "abc"]) == 0
+        record = json.loads(next(iter(hist.glob("run-*.json"))).read_text())
+        assert record["counters"]["x"] == 3.0
+
+    def test_missing_results_exits_two(self, tmp_path, capsys):
+        assert main(["bench", "record", "--results", str(tmp_path / "no.json"),
+                     "--history", str(tmp_path / "h")]) == 2
+        assert "repro bench" in capsys.readouterr().err
+
+
+class TestTrend:
+    def test_detects_injected_step_and_names_counter(self, tmp_path, capsys):
+        hist = record_stepped_history(tmp_path, tmp_path / "history")
+        capsys.readouterr()
+        assert main(["bench", "trend", "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        # the acceptance bar: right run, at least one moved counter named
+        assert "first seen at run 7" in out
+        assert "merge_fastpath_hits" in out
+
+    def test_benchmark_glob_filters(self, tmp_path, capsys):
+        hist = record_stepped_history(tmp_path, tmp_path / "history")
+        capsys.readouterr()
+        assert main(["bench", "trend", "--history", str(hist),
+                     "--benchmark", "nomatch*"]) == 0
+        assert "no benchmark has enough" in capsys.readouterr().out
+
+    def test_empty_history_is_not_an_error(self, tmp_path, capsys):
+        assert main(["bench", "trend", "--history", str(tmp_path / "none")]) == 0
+        assert "0 run(s)" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_html_and_markdown_written(self, tmp_path, capsys):
+        hist = record_stepped_history(tmp_path, tmp_path / "history")
+        html = tmp_path / "out.html"
+        md = tmp_path / "out.md"
+        assert main(["bench", "report", "--history", str(hist),
+                     "--html", str(html), "--markdown", str(md)]) == 0
+        text = html.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>") and "merge_fastpath_hits" in text
+        assert "first seen at run **7**" in md.read_text(encoding="utf-8")
+
+    def test_no_output_flag_exits_two(self, tmp_path, capsys):
+        assert main(["bench", "report", "--history", str(tmp_path / "h")]) == 2
+        assert "--html" in capsys.readouterr().err
+
+
+class TestCompareWithHistory:
+    def test_no_history_output_byte_identical_to_plain(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.4, "b": 2.0})
+        assert main(["bench", "compare", str(base), str(curr),
+                     "--history", str(tmp_path / "nohist")]) == 1
+        out = capsys.readouterr().out
+        rows = compare_results(load_results(base), load_results(curr), 10.0)
+        assert out == format_comparison(rows, 10.0) + "\n"
+
+    def test_history_adds_trend_note_to_regressed_row(self, tmp_path, capsys):
+        hist = record_stepped_history(tmp_path, tmp_path / "history")
+        base = write_results(tmp_path / "base.json", {"bench_x::test_a": 0.1})
+        curr = write_results(tmp_path / "curr.json", {"bench_x::test_a": 0.15})
+        capsys.readouterr()
+        assert main(["bench", "compare", str(base), str(curr),
+                     "--history", str(hist)]) == 1
+        out = capsys.readouterr().out
+        assert "trend: step change first seen at run 7" in out
+        assert "merge_fastpath_hits -37.0%" in out
+
+
+class TestCompareJson:
+    def test_json_document_stable_and_parseable(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"b": 2.0, "a": 1.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.4, "c": 3.0})
+        assert main(["bench", "compare", str(base), str(curr), "--json",
+                     "--history", str(tmp_path / "nohist")]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["regressions"] == 1
+        # stable row ordering: sorted by name regardless of input order
+        assert [r["name"] for r in doc["rows"]] == ["a", "b", "c"]
+        by_name = {r["name"]: r for r in doc["rows"]}
+        assert by_name["a"]["status"] == "regressed"
+        assert by_name["b"]["status"] == "baseline-only"
+        assert by_name["b"]["current_s"] is None  # nan serializes as null
+        assert by_name["c"]["status"] == "new"
+
+    def test_json_exit_zero_when_clean(self, tmp_path, capsys):
+        base = write_results(tmp_path / "base.json", {"a": 1.0})
+        curr = write_results(tmp_path / "curr.json", {"a": 1.01})
+        assert main(["bench", "compare", str(base), str(curr), "--json",
+                     "--history", str(tmp_path / "nohist")]) == 0
+        assert json.loads(capsys.readouterr().out)["regressions"] == 0
+
+    def test_json_carries_trend_note(self, tmp_path, capsys):
+        hist = record_stepped_history(tmp_path, tmp_path / "history")
+        base = write_results(tmp_path / "base.json", {"bench_x::test_a": 0.1})
+        curr = write_results(tmp_path / "curr.json", {"bench_x::test_a": 0.15})
+        capsys.readouterr()
+        assert main(["bench", "compare", str(base), str(curr), "--json",
+                     "--history", str(hist)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert "step change first seen at run 7" in doc["rows"][0]["trend"]

@@ -1,0 +1,162 @@
+"""History store: append -> index -> load round trips, corruption, compaction."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    HISTORY_SCHEMA,
+    load_history,
+    machine_id,
+    rebuild_index,
+    record_run,
+)
+
+
+def results_payload(median=0.1, counters=None, machine=None):
+    return {
+        "schema": 2,
+        "machine": machine or {"python": "3.12", "cpu_count": 4},
+        "benchmarks": {"bench_x::test_a": {"wall_median_s": median}},
+        "counters": counters or {"merge_fastpath_hits": 100.0},
+    }
+
+
+class TestRecordRun:
+    def test_append_creates_record_and_index(self, tmp_path):
+        hist = tmp_path / "history"
+        path = record_run(hist, results_payload(), sha="abc123", written="2026-01-01")
+        assert path.exists()
+        assert path.name.startswith("run-000001-abc123")
+        index = json.loads((hist / "index.json").read_text())
+        assert index["schema"] == HISTORY_SCHEMA
+        assert [e["seq"] for e in index["runs"]] == [1]
+        assert index["runs"][0]["file"] == path.name
+
+    def test_sequence_numbers_monotonic(self, tmp_path):
+        hist = tmp_path / "history"
+        for i in range(3):
+            record_run(hist, results_payload(0.1 + i), sha=f"s{i}")
+        h = load_history(hist)
+        assert [r.seq for r in h.runs] == [1, 2, 3]
+
+    def test_metrics_counters_join_and_win(self, tmp_path):
+        hist = tmp_path / "history"
+        metrics = {
+            "schema": 1,
+            "counters": {"merge_fastpath_hits": 250.0, "invariant_checks": 7.0},
+            "max_rss_kb": 12345,
+        }
+        path = record_run(hist, results_payload(), metrics, sha="abc")
+        record = json.loads(path.read_text())
+        assert record["counters"]["merge_fastpath_hits"] == 250.0
+        assert record["counters"]["invariant_checks"] == 7.0
+        assert record["max_rss_kb"] == 12345
+
+    def test_span_histograms_join_as_derived_counters(self, tmp_path):
+        hist = tmp_path / "history"
+        metrics = {
+            "schema": 1,
+            "counters": {},
+            "histograms": {
+                "hier_sum_level_s": {"count": 8, "total": 0.4, "mean": 0.05,
+                                     "min": 0.01, "max": 0.09},
+                "empty": {"count": 0, "total": 0.0, "mean": 0.0,
+                          "min": 0.0, "max": 0.0},
+            },
+        }
+        path = record_run(hist, results_payload(), metrics, sha="abc")
+        record = json.loads(path.read_text())
+        assert record["counters"]["hist.hier_sum_level_s.mean"] == 0.05
+        assert record["counters"]["hist.hier_sum_level_s.count"] == 8.0
+        assert "hist.empty.mean" not in record["counters"]
+
+    def test_record_keyed_by_sha_and_machine(self, tmp_path):
+        hist = tmp_path / "history"
+        fingerprint = {"python": "3.12", "cpu_count": 4}
+        path = record_run(
+            hist, results_payload(machine=fingerprint), sha="feedface0123456789"
+        )
+        mid = machine_id(fingerprint)
+        assert "feedface0123" in path.name and mid in path.name
+
+
+class TestLoadHistory:
+    def test_missing_directory_is_empty(self, tmp_path):
+        h = load_history(tmp_path / "nope")
+        assert len(h) == 0 and h.benchmarks() == []
+
+    def test_round_trip_series(self, tmp_path):
+        hist = tmp_path / "history"
+        for i, m in enumerate([0.1, 0.2, 0.3]):
+            record_run(hist, results_payload(m), sha=f"s{i}")
+        h = load_history(hist)
+        seqs, vals = h.series("bench_x::test_a")
+        assert list(seqs) == [1, 2, 3]
+        assert list(vals) == [0.1, 0.2, 0.3]
+        assert h.counter_series("merge_fastpath_hits").tolist() == [100.0] * 3
+
+    def test_corrupt_record_skipped_with_warning(self, tmp_path):
+        hist = tmp_path / "history"
+        record_run(hist, results_payload(0.1), sha="good1")
+        record_run(hist, results_payload(0.2), sha="good2")
+        real = next(iter(hist.glob("run-000002-*.json")))
+        real.write_text("{truncated", encoding="utf-8")
+        with pytest.warns(UserWarning, match="corrupt record"):
+            h = load_history(hist)
+        assert [r.seq for r in h.runs] == [1]
+
+    def test_survives_missing_index(self, tmp_path):
+        hist = tmp_path / "history"
+        for i in range(2):
+            record_run(hist, results_payload(0.1 + i), sha=f"s{i}")
+        (hist / "index.json").unlink()
+        h = load_history(hist)
+        assert [r.seq for r in h.runs] == [1, 2]
+
+    def test_unreadable_index_falls_back_to_scan(self, tmp_path):
+        hist = tmp_path / "history"
+        record_run(hist, results_payload(), sha="s0")
+        (hist / "index.json").write_text("[not json", encoding="utf-8")
+        with pytest.warns(UserWarning, match="unreadable index"):
+            h = load_history(hist)
+        assert len(h) == 1
+
+    def test_newer_history_schema_skipped(self, tmp_path):
+        hist = tmp_path / "history"
+        record_run(hist, results_payload(), sha="s0")
+        record = {
+            "schema": HISTORY_SCHEMA + 1,
+            "seq": 2,
+            "sha": "s1",
+            "machine_id": "m",
+            "written": "",
+            "benchmarks": {},
+            "counters": {},
+        }
+        (hist / "run-000002-s1-m.json").write_text(json.dumps(record))
+        with pytest.warns(UserWarning, match="newer"):
+            h = load_history(hist)
+        assert [r.seq for r in h.runs] == [1]
+
+
+class TestRebuildIndex:
+    def test_compaction_after_pruning(self, tmp_path):
+        hist = tmp_path / "history"
+        paths = [
+            record_run(hist, results_payload(0.1 + i), sha=f"s{i}") for i in range(3)
+        ]
+        paths[1].unlink()
+        n = rebuild_index(hist)
+        assert n == 2
+        index = json.loads((hist / "index.json").read_text())
+        assert [e["seq"] for e in index["runs"]] == [1, 3]
+        h = load_history(hist)
+        assert [r.seq for r in h.runs] == [1, 3]
+
+    def test_rebuild_warns_on_corrupt_record(self, tmp_path):
+        hist = tmp_path / "history"
+        record_run(hist, results_payload(), sha="s0")
+        (hist / "run-000009-bad-x.json").write_text("nope", encoding="utf-8")
+        with pytest.warns(UserWarning, match="corrupt record"):
+            assert rebuild_index(hist) == 1

@@ -1,0 +1,102 @@
+"""Trend renderings: terminal, markdown, self-contained HTML, sparklines."""
+
+from repro.bench import (
+    analyze_history,
+    format_trends,
+    load_history,
+    record_run,
+    render_html_report,
+    render_markdown_report,
+)
+from repro.report import render_sparkline
+
+
+def stepped_history(tmp_path):
+    hist = tmp_path / "history"
+    for i in range(10):
+        record_run(
+            hist,
+            {
+                "schema": 2,
+                "machine": {"cpu_count": 4},
+                "benchmarks": {
+                    "bench_x::test_a": {"wall_median_s": 0.1 if i < 6 else 0.15}
+                },
+                "counters": {"merge_fastpath_hits": 1000.0 if i < 6 else 630.0},
+            },
+            sha=f"sha{i}",
+            written=f"2026-01-{i + 1:02d}",
+        )
+    return load_history(hist)
+
+
+class TestRenderSparkline:
+    def test_levels_follow_values(self):
+        line = render_sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█" and len(line) == 4
+
+    def test_constant_series_renders_low(self):
+        assert render_sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_width_keeps_the_tail(self):
+        line = render_sparkline([0.0] * 10 + [9.0], width=4)
+        assert len(line) == 4 and line[-1] == "█"
+
+    def test_marks_and_nonfinite(self):
+        line = render_sparkline([1.0, float("nan"), 2.0, 3.0], marks=[3])
+        assert line[1] == " " and line[3] == "|"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+
+class TestFormatTrends:
+    def test_terminal_view_names_step_and_counter(self, tmp_path):
+        h = stepped_history(tmp_path)
+        text = format_trends(analyze_history(h), h)
+        assert "10 run(s)" in text
+        assert "bench_x::test_a" in text
+        assert "first seen at run 7" in text
+        assert "merge_fastpath_hits -37.0%" in text
+        assert "|" in text  # change-point mark inside the sparkline
+
+    def test_empty_history_renders_placeholder(self, tmp_path):
+        h = load_history(tmp_path / "none")
+        text = format_trends([], h)
+        assert "no benchmark has enough recorded runs" in text
+
+
+class TestMarkdownReport:
+    def test_contains_table_and_change_points(self, tmp_path):
+        h = stepped_history(tmp_path)
+        md = render_markdown_report(analyze_history(h), h)
+        assert md.startswith("# ")
+        assert "| `bench_x::test_a` |" in md
+        assert "first seen at run **7**" in md
+        assert "merge_fastpath_hits -37.0%" in md
+
+
+class TestHtmlReport:
+    def test_self_contained_document(self, tmp_path):
+        h = stepped_history(tmp_path)
+        html = render_html_report(analyze_history(h), h)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "<svg" in html
+        # self-contained: no external fetches of any kind
+        assert "http://" not in html and "https://" not in html
+        assert "src=" not in html and "@import" not in html
+        assert "bench_x::test_a" in html
+        assert "merge_fastpath_hits" in html
+        # run catalogue keyed by sha
+        assert "sha3" in html
+
+    def test_change_point_marked_in_svg(self, tmp_path):
+        h = stepped_history(tmp_path)
+        html = render_html_report(analyze_history(h), h)
+        assert 'class="cp"' in html
+
+    def test_empty_history_document(self, tmp_path):
+        h = load_history(tmp_path / "none")
+        html = render_html_report([], h)
+        assert "No benchmark has enough recorded runs" in html
+        assert "None detected" in html

@@ -45,6 +45,21 @@ class TestLoadResults:
         with pytest.raises(ValueError, match="schema"):
             load_results(p)
 
+    def test_schema_1_still_accepted(self, tmp_path):
+        # Committed baselines predate the counter-joined schema 2.
+        p = write_results(tmp_path / "r.json", {"a": 1.0}, schema=1)
+        assert load_results(p)["benchmarks"]["a"]["wall_median_s"] == 1.0
+
+    def test_future_schema_rejected_with_upgrade_message(self, tmp_path):
+        p = write_results(tmp_path / "r.json", {"a": 1.0}, schema=BENCH_SCHEMA + 1)
+        with pytest.raises(ValueError, match="newer than this reader"):
+            load_results(p)
+
+    def test_non_integer_schema_rejected(self, tmp_path):
+        p = write_results(tmp_path / "r.json", {"a": 1.0}, schema="2")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_results(p)
+
     def test_missing_median_raises(self, tmp_path):
         p = tmp_path / "r.json"
         p.write_text(
