@@ -159,12 +159,24 @@ class EscapeAnalysisRule(ProjectRule):
 
 @dataclass(frozen=True)
 class _SegState:
-    """Abstract lifecycle state of one local ``SharedMemory`` binding."""
+    """Abstract lifecycle state of one tracked resource binding.
 
-    origin: str  #: ``"created"`` or ``"attached"``
+    Covers ``SharedMemory`` segments (origins ``"created"`` /
+    ``"attached"``) and columnar run writers
+    (:class:`repro.hypersparse.spill.ColumnarWriter`, origin
+    ``"opened"`` — discharged by ``close()`` or ``abort()``; the
+    ``with`` form manages itself and is deliberately untracked).
+    """
+
+    origin: str  #: ``"created"``, ``"attached"`` or ``"opened"``
     line: int  #: binding site (for messages)
     closed: bool = False
     unlinked: bool = False
+
+    @property
+    def noun(self) -> str:
+        """What to call this resource in findings."""
+        return "writer" if self.origin == "opened" else "segment"
 
 
 #: One abstract path: local variable name -> lifecycle state.
@@ -199,11 +211,13 @@ class _FunctionChecker:
         self.findings[(line, message)] = None
 
     def _classify_ctor(self, call: ast.Call) -> Optional[str]:
-        """``"created"``/``"attached"`` for a ``SharedMemory(...)`` call."""
+        """Lifecycle origin of a tracked-resource constructor call."""
         callee = call.func
         name = callee.attr if isinstance(callee, ast.Attribute) else (
             callee.id if isinstance(callee, ast.Name) else None
         )
+        if name == "ColumnarWriter":
+            return "opened"
         if name != "SharedMemory":
             return None
         for kw in call.keywords:
@@ -237,7 +251,7 @@ class _FunctionChecker:
                 if state.closed or state.unlinked:
                     self._report(
                         sub.lineno,
-                        f"segment {sub.id!r} ({state.origin} at line "
+                        f"{state.noun} {sub.id!r} ({state.origin} at line "
                         f"{state.line}) referenced after close/unlink "
                         "(use after free)",
                     )
@@ -262,18 +276,25 @@ class _FunctionChecker:
                     f"segment {var!r} attached at line {state.line} is not "
                     "closed on every path; every attach needs a close",
                 )
+            elif state.origin == "opened" and not state.closed:
+                self._report(
+                    state.line,
+                    f"writer {var!r} opened at line {state.line} is not "
+                    "closed or aborted on every path (leaked temporaries); "
+                    "use the context-manager form or add close()/abort()",
+                )
 
     # -- statement execution ---------------------------------------------
 
     def _lifecycle_call(self, stmt: ast.stmt) -> Optional[Tuple[str, str, int]]:
-        """``(var, method, line)`` for a bare ``x.close()``/``x.unlink()``."""
+        """``(var, method, line)`` for a bare lifecycle-method statement."""
         if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
             return None
         call = stmt.value
         if (
             isinstance(call.func, ast.Attribute)
             and isinstance(call.func.value, ast.Name)
-            and call.func.attr in ("close", "unlink")
+            and call.func.attr in ("close", "unlink", "abort")
         ):
             return call.func.value.id, call.func.attr, stmt.lineno
         return None
@@ -282,9 +303,11 @@ class _FunctionChecker:
         state = env.get(var)
         if state is None:
             return
-        if method == "close":
+        if method in ("close", "abort"):
             env[var] = replace(state, closed=True)
             return
+        if state.origin == "opened":
+            return  # unlink is not part of the writer protocol; ignore
         if state.origin == "attached":
             self._report(
                 line,
@@ -451,7 +474,7 @@ class ShmLifecycleRule(ProjectRule):
     def _mentions_shm(self, info) -> bool:
         for summary in info.functions.values():
             for site in summary.calls:
-                if site.raw.rsplit(".", 1)[-1] == "SharedMemory":
+                if site.raw.rsplit(".", 1)[-1] in ("SharedMemory", "ColumnarWriter"):
                     return True
         return False
 

@@ -107,6 +107,13 @@ _RESOURCE_KINDS = {
     "SharedMemory": "shm",
     "export_matrix": "shm",
     "import_matrix": "shm",
+    # Out-of-core columnar runs (repro.hypersparse.spill): writers hold
+    # open descriptors, stores own spill directories, and memory maps
+    # pin file pages — none may be inherited silently across fork, and
+    # writer lifecycles are typestate-checked by RL016.
+    "ColumnarWriter": "handle",
+    "SpillStore": "handle",
+    "memmap": "handle",
 }
 
 #: Decorators marking a method as a property (field-like attribute).

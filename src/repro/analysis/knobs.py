@@ -122,6 +122,13 @@ KNOBS: Tuple[Knob, ...] = (
         "repro/parallel/shm.py",
     ),
     Knob(
+        "REPRO_MEM_BUDGET",
+        "str",
+        "(unset)",
+        "accumulator memory ceiling (e.g. 512M, 4G); ladders spill to disk above it",
+        "repro/hypersparse/spill.py",
+    ),
+    Knob(
         "REPRO_SAN",
         "list",
         "(empty)",

@@ -66,6 +66,35 @@ def _parser() -> argparse.ArgumentParser:
         "REPRO_LOG2_NV or 18; the paper used 30)",
     )
     p.add_argument(
+        "--nv",
+        default=None,
+        metavar="N",
+        help="window size N_V as a power of two — '2**30' or '1073741824' — "
+        "an alternative spelling of --log2-nv for paper-scale runs",
+    )
+    p.add_argument(
+        "--mem-budget",
+        default=None,
+        metavar="BYTES",
+        help="accumulator memory ceiling (e.g. 512M, 4G) for the "
+        "out-of-core scaling path; implies --out-of-core "
+        "(default: env REPRO_MEM_BUDGET)",
+    )
+    p.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="run 'scaling' via sharded out-of-core window assembly "
+        "(spill-to-disk accumulation; see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="out-of-core scaling: sweep only the largest N window sizes "
+        "(the paper's five-sample 2^30 runs)",
+    )
+    p.add_argument(
         "--sources",
         type=int,
         default=None,
@@ -97,10 +126,21 @@ def _parser() -> argparse.ArgumentParser:
     return p
 
 
-def _run_one(name: str, study, show_checks: bool, show_plot: bool) -> bool:
+def _parse_nv(text: str) -> int:
+    """``--nv`` values: ``2**30`` or a plain power-of-two integer -> log2."""
+    raw = text.strip().replace(" ", "")
+    if raw.startswith("2**"):
+        return int(raw[3:])
+    nv = int(raw)
+    if nv <= 0 or nv & (nv - 1):
+        raise ValueError(f"--nv must be a power of two, got {text!r}")
+    return nv.bit_length() - 1
+
+
+def _run_one(name: str, study, show_checks: bool, show_plot: bool, runner=None) -> bool:
     module = EXPERIMENTS[name]
     with span("experiment", fig=name):
-        result = module.run(study)
+        result = module.run(study) if runner is None else runner(study)
     print(f"=== {name} ===")
     print(result.format())
     if show_plot and hasattr(module, "plot"):
@@ -462,14 +502,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}, all, list", file=sys.stderr)
         return 2
 
+    log2_nv = args.log2_nv
+    if args.nv is not None:
+        try:
+            log2_nv = _parse_nv(args.nv)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+
+    ooc_runner = None
+    if args.mem_budget or args.out_of_core or args.samples is not None:
+        if names != ["scaling"]:
+            print(
+                "repro: --mem-budget/--out-of-core/--samples apply only to "
+                "the 'scaling' experiment",
+                file=sys.stderr,
+            )
+            return 2
+        from functools import partial
+
+        from .experiments import scaling as _scaling
+        from .hypersparse.spill import parse_mem_budget
+
+        budget = None
+        if args.mem_budget:
+            try:
+                budget = parse_mem_budget(args.mem_budget)
+            except ValueError as exc:
+                print(f"repro: {exc}", file=sys.stderr)
+                return 2
+        ooc_runner = partial(
+            _scaling.run_out_of_core, mem_budget=budget, samples=args.samples
+        )
+
     config = default_config(
-        log2_nv=args.log2_nv, n_sources=args.sources, seed=args.seed
+        log2_nv=log2_nv, n_sources=args.sources, seed=args.seed
     )
     study = build_study(config)
     ok = True
     for name in names:
         ok &= _run_one(
-            name, study, show_checks=not args.no_checks, show_plot=args.plot
+            name,
+            study,
+            show_checks=not args.no_checks,
+            show_plot=args.plot,
+            runner=ooc_runner,
         )
     if trace_out is not None:
         _finish_trace(trace_out, argv)

@@ -22,7 +22,9 @@ measurements cluster between 0.5 and 0.7; the check asserts that band.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from functools import partial
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +34,7 @@ from ..core import CorrelationStudy
 from ..synth import SourcePopulation, TelescopeSimulator
 from .common import Check, ascii_table
 
-__all__ = ["run", "ScalingResult"]
+__all__ = ["run", "run_out_of_core", "assemble_window", "ScalingResult"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,223 @@ def run(study: CorrelationStudy) -> ScalingResult:
     for lg in sizes:
         sample = telescope.sample(4.55, n_valid=1 << lg)
         rows.append((lg, 1 << lg, sample.unique_sources))
+    x = np.log2([nv for _, nv, _ in rows])
+    y = np.log2([u for _, _, u in rows])
+    slope, intercept = np.polyfit(x, y, 1)
+    return ScalingResult(rows=rows, slope=float(slope), intercept=float(intercept))
+
+
+# -- out-of-core paper-scale path -------------------------------------------
+#
+# The in-memory `run` materializes every window's N_V packets at once, so
+# it tops out near N_V = 2^20 on a laptop.  The out-of-core path draws the
+# window's multinomial source counts once (bit-identical to `sample`'s
+# draw — same RNG prefix), writes the per-source spec to memory-mappable
+# .npy files, and expands 2^17-packet *chunks* of the conceptual packet
+# stream in pool workers, each building one sub-matrix.  The sub-matrices
+# fold through a budgeted sharded accumulator that spills ladder levels to
+# disk above REPRO_MEM_BUDGET.  Unique-source counts (the experiment's
+# measurand) are identical to `run`'s because they depend only on the
+# shared multinomial draw, never on per-chunk destination streams.
+
+#: Salt of the per-chunk destination RNG streams (distinct from the
+#: window RNG's 0x7E1E5C0 so chunked windows never collide with samples).
+_CHUNK_SALT = 0x0C4C0DE
+
+#: The month sampled by the sweep (must match `run`).
+_SWEEP_MONTH = 4.55
+
+
+def _chunk_matrix(
+    chunk_index: int,
+    *,
+    spec_dir: str,
+    chunk_size: int,
+    total: int,
+    seed: int,
+    month_key: int,
+    nv: int,
+    darkspace: Tuple[int, int],
+    shape: Tuple[int, int],
+):
+    """Worker: build the traffic sub-matrix of packets [lo, hi) of a window.
+
+    The window spec (emitting addresses, cumulative counts, focus data)
+    is memory-mapped from disk, so workers share pages instead of
+    receiving per-chunk copies.  Nothing module-global is written
+    (fork-safety rule RL009); destinations come from a chunk-indexed RNG
+    stream, deterministic regardless of pool width.
+    """
+    from ..hypersparse import HyperSparseMatrix
+
+    root = Path(spec_dir)
+    addresses = np.load(root / "addresses.npy", mmap_mode="r")
+    cum = np.load(root / "cum.npy", mmap_mode="r")
+    focused = np.load(root / "focused.npy", mmap_mode="r")
+    focus_dst = np.load(root / "focus_dst.npy", mmap_mode="r")
+
+    lo = chunk_index * chunk_size
+    hi = min(lo + chunk_size, total)
+    s0 = int(np.searchsorted(cum, lo, side="right")) - 1
+    s1 = int(np.searchsorted(cum, hi, side="left"))
+    seg_cum = np.clip(np.asarray(cum[s0 : s1 + 1]), lo, hi)
+    cnt = np.diff(seg_cum)
+    src = np.repeat(np.asarray(addresses[s0:s1]), cnt)
+    rng = np.random.default_rng((seed, _CHUNK_SALT, month_key, nv, chunk_index))
+    dst = rng.integers(darkspace[0], darkspace[1], src.size, dtype=np.uint64)
+    fmask = np.repeat(np.asarray(focused[s0:s1]), cnt)
+    if np.any(fmask):
+        dst[fmask] = np.repeat(np.asarray(focus_dst[s0:s1]), cnt)[fmask]
+    return HyperSparseMatrix(src, dst, shape=shape)
+
+
+def assemble_window(
+    telescope: TelescopeSimulator,
+    month_time: float,
+    *,
+    n_valid: int,
+    log2_chunk: int = 17,
+    cutoff: int = 1 << 16,
+    processes: Optional[int] = None,
+    mem_budget: Optional[int] = None,
+    spill_dir=None,
+):
+    """Assemble one window's traffic matrix chunk-by-chunk under a budget.
+
+    Returns the budgeted :class:`~repro.hypersparse.hierarchical
+    .HierarchicalMatrix` accumulator holding the window — call
+    ``total()`` for an in-RAM matrix or ``collapse_to_disk()`` at scales
+    where it would not fit.  Given identical chunking, the result is
+    bit-identical for every ``mem_budget`` (including ``None``): the
+    budget moves ladder levels to disk but never reorders the merge tree.
+    The caller owns the accumulator and must ``close()`` it.
+    """
+    import shutil
+    import tempfile
+
+    from ..hypersparse.spill import SpillStore
+    from ..parallel.shard import sharded_accumulate
+
+    pop = telescope.population
+    cfg = telescope.config
+    spec = telescope.window_source_counts(month_time, n_valid=n_valid)
+    # Drop sources the validity filter would discard, so the assembled
+    # matrix's source marginal matches the filtered sample exactly.
+    keep = ~np.isin(spec.addresses, pop.legit_addresses)
+    counts = spec.counts[keep]
+    cum = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+    )
+    total = int(cum[-1])
+
+    spec_root = Path(tempfile.mkdtemp(prefix="repro-window-spec-"))
+    np.save(spec_root / "addresses.npy", spec.addresses[keep])
+    np.save(spec_root / "cum.npy", cum)
+    np.save(spec_root / "focused.npy", spec.focused[keep])
+    np.save(spec_root / "focus_dst.npy", spec.focus_dst[keep])
+    # With no explicit spill_dir the accumulator creates (and owns, and
+    # removes on close()) a private store; a caller directory is the
+    # caller's to keep.
+    store = SpillStore(spill_dir) if spill_dir is not None else None
+    try:
+        chunk_size = 1 << log2_chunk
+        n_chunks = max(1, -(-total // chunk_size))
+        worker = partial(
+            _chunk_matrix,
+            spec_dir=str(spec_root),
+            chunk_size=chunk_size,
+            total=total,
+            seed=cfg.seed,
+            month_key=int(round(month_time * 1000)),
+            nv=n_valid,
+            darkspace=telescope.darkspace,
+            shape=(2**32, 2**32),
+        )
+        return sharded_accumulate(
+            worker,
+            range(n_chunks),
+            shape=(2**32, 2**32),
+            cutoff=cutoff,
+            processes=processes,
+            mem_budget=mem_budget,
+            spill=store,
+        )
+    finally:
+        shutil.rmtree(spec_root, ignore_errors=True)
+
+
+def _unique_rows(keys: np.ndarray) -> int:
+    """Distinct rows of canonical packed keys (sorted, so rows nondecrease)."""
+    if keys.size == 0:
+        return 0
+    rows = np.asarray(keys) >> np.uint64(32)
+    return int(np.count_nonzero(rows[1:] != rows[:-1])) + 1
+
+
+def run_out_of_core(
+    study: CorrelationStudy,
+    *,
+    mem_budget: Optional[int] = None,
+    samples: Optional[int] = None,
+    log2_chunk: int = 17,
+    cutoff: int = 1 << 16,
+    processes: Optional[int] = None,
+    spill_dir=None,
+) -> ScalingResult:
+    """The scaling sweep via out-of-core sharded window assembly.
+
+    Produces rows and slope **identical** to :func:`run` — unique-source
+    counts depend only on the multinomial draw both paths share — while
+    holding peak RSS near ``mem_budget``: windows assemble chunk-by-chunk
+    in pool workers, partial sums spill to ``spill_dir`` when the ladder
+    exceeds the budget, and each window's final matrix is collapsed on
+    disk and row-counted by streaming, never materialized in RAM.
+
+    ``samples`` limits the sweep to its largest N octaves (the paper's
+    five-sample 2^30 runs); ``None`` sweeps all seven.
+    """
+    from ..hypersparse.spill import unique_rows_of_run
+    from ..parallel.shard import update_peak_rss
+
+    base = study.model.config
+    config = replace(
+        base,
+        zm_alpha=1.5,
+        n_sources=4 * base.n_sources,
+        seed=base.seed ^ 0x5CA1E,
+    )
+    telescope = TelescopeSimulator(SourcePopulation(config))
+    top = config.log2_nv
+    sizes = list(range(max(8, top - 8), top - 1))
+    if samples is not None:
+        sizes = sizes[-samples:]
+    rows: List[Tuple[int, int, int]] = []
+    for lg in sizes:
+        acc = assemble_window(
+            telescope,
+            _SWEEP_MONTH,
+            n_valid=1 << lg,
+            log2_chunk=log2_chunk,
+            cutoff=cutoff,
+            processes=processes,
+            mem_budget=mem_budget,
+            spill_dir=spill_dir,
+        )
+        try:
+            if mem_budget is not None:
+                run_file = acc.collapse_to_disk()
+                uniq = unique_rows_of_run(run_file)
+                # The collapsed run was only ever a counting substrate;
+                # drop it now so a five-window sweep never holds more
+                # than one window's collapse on disk (close() removes
+                # the ladder's own spill files).
+                run_file.path.unlink(missing_ok=True)
+            else:
+                uniq = _unique_rows(acc.total().keys)
+        finally:
+            acc.close()
+        update_peak_rss()
+        rows.append((lg, 1 << lg, uniq))
     x = np.log2([nv for _, nv, _ in rows])
     y = np.log2([u for _, _, u in rows])
     slope, intercept = np.polyfit(x, y, 1)

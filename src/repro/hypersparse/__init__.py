@@ -52,6 +52,16 @@ from .io import (
     to_triples_text,
     from_triples_text,
 )
+from .spill import (
+    ColumnarWriter,
+    SpilledRun,
+    SpillStore,
+    configured_mem_budget,
+    fold_runs_to_disk,
+    load_run,
+    parse_mem_budget,
+    write_run,
+)
 
 __all__ = [
     "HyperSparseMatrix",
@@ -81,4 +91,12 @@ __all__ = [
     "load_triples_npz",
     "to_triples_text",
     "from_triples_text",
+    "ColumnarWriter",
+    "SpilledRun",
+    "SpillStore",
+    "configured_mem_budget",
+    "fold_runs_to_disk",
+    "load_run",
+    "parse_mem_budget",
+    "write_run",
 ]

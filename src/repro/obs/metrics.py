@@ -61,6 +61,10 @@ __all__ = [
     "INVARIANT_CHECKS",
     "MERGE_FASTPATH_HITS",
     "MERGE_FASTPATH_MISSES",
+    "SHARD_SPILLS",
+    "SHARD_SPILL_BYTES",
+    "SHARD_BYTES_MAPPED",
+    "PEAK_RSS_BYTES",
 ]
 
 _ENV_FLAG = "REPRO_METRICS"
@@ -89,6 +93,16 @@ MERGE_FASTPATH_HITS = "merge_fastpath_hits"
 #: Full argsort canonicalizations (construction from arbitrary triples,
 #: ``mxm`` product combining) where the merge fast path cannot apply.
 MERGE_FASTPATH_MISSES = "merge_fastpath_misses"
+#: Canonical runs spilled to disk by budgeted accumulators
+#: (:mod:`repro.hypersparse.spill`).
+SHARD_SPILLS = "shard_spills"
+#: Bytes written into spill files (keys + values + headers).
+SHARD_SPILL_BYTES = "shard_spill_bytes"
+#: Bytes memory-mapped back from columnar run files (spills, archives).
+SHARD_BYTES_MAPPED = "shard_bytes_mapped"
+#: Gauge: peak resident set size observed at the last out-of-core
+#: checkpoint (``resource.getrusage``; bytes).
+PEAK_RSS_BYTES = "peak_rss_bytes"
 
 
 class Counter:

@@ -8,6 +8,7 @@ matrices from packet shards in parallel.
 """
 
 from .pool import configured_processes, cpu_count, get_pool, parallel_map, shutdown_pools
+from .shard import sharded_accumulate, sum_archive, update_peak_rss
 from .shm import ShmHandle, export_matrix, import_matrix, release, release_all, shm_enabled
 from .streaming import parallel_accumulate, shard_packets
 
@@ -19,6 +20,9 @@ __all__ = [
     "shutdown_pools",
     "parallel_accumulate",
     "shard_packets",
+    "sharded_accumulate",
+    "sum_archive",
+    "update_peak_rss",
     "ShmHandle",
     "export_matrix",
     "import_matrix",

@@ -34,7 +34,7 @@ from .calibration import (
     month_labels,
 )
 from .population import ModelConfig, SourcePopulation
-from .telescope import TelescopeSimulator, TelescopeSample
+from .telescope import TelescopeSimulator, TelescopeSample, WindowSourceCounts
 from .honeyfarm import HoneyfarmSimulator, HoneyfarmMonth
 from .internet import InternetModel, StudyScenario
 
@@ -51,6 +51,7 @@ __all__ = [
     "SourcePopulation",
     "TelescopeSimulator",
     "TelescopeSample",
+    "WindowSourceCounts",
     "HoneyfarmSimulator",
     "HoneyfarmMonth",
     "InternetModel",

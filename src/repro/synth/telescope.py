@@ -25,7 +25,7 @@ from ..traffic.matrix import TrafficMatrixView
 from ..traffic.packet import Packets
 from .population import SourcePopulation
 
-__all__ = ["TelescopeSimulator", "TelescopeSample"]
+__all__ = ["TelescopeSimulator", "TelescopeSample", "WindowSourceCounts"]
 
 #: Seconds per (average) month, used to anchor packet timestamps.
 SECONDS_PER_MONTH = 30.44 * 86400.0
@@ -103,6 +103,31 @@ class TelescopeSample:
         return self.source_packets.keys
 
 
+@dataclass(frozen=True)
+class WindowSourceCounts:
+    """The multinomial source draw of one window, without its packets.
+
+    The per-source packet counts fully determine a window's source
+    marginal; materializing them alone costs ``O(active sources)`` where
+    the packets cost ``O(N_V)`` — the out-of-core scaling path
+    (:func:`repro.experiments.scaling.run_out_of_core`) draws these once
+    per window and expands packet chunks lazily in pool workers.
+    Produced by the *same* RNG draw as :meth:`TelescopeSimulator.sample`,
+    so the counts are bit-identical to the full sample's.
+    """
+
+    month_index: int
+    addresses: np.ndarray  # emitting source addresses (uint64)
+    counts: np.ndarray  # packets per emitting source (>= 1 each)
+    focused: np.ndarray  # bool: source hits a fixed target
+    focus_dst: np.ndarray  # that target (meaningful where focused)
+
+    @property
+    def n_packets(self) -> int:
+        """Total darkspace packets of the window (the ``N_V`` drawn)."""
+        return int(self.counts.sum())
+
+
 class TelescopeSimulator:
     """Constant-packet darkspace sampling of a source population."""
 
@@ -112,18 +137,15 @@ class TelescopeSimulator:
         lo, hi = population.darkspace
         self.darkspace = (lo, hi)
 
-    @traced(name="telescope_sample")
-    def sample(
-        self, month_time: float, *, n_valid: int | None = None
-    ) -> TelescopeSample:
-        """Observe one window of ``n_valid`` packets at the given time.
+    def _window_draw(self, month_time: float, nv: int):
+        """The window's RNG and multinomial source draw (the stream prefix).
 
-        Deterministic given (population seed, month_time, n_valid): repeat
-        calls reproduce the identical window.
+        Shared by :meth:`sample` and :meth:`window_source_counts`: the
+        multinomial is the first draw on the window RNG, so both paths
+        see bit-identical counts.
         """
         pop = self.population
         cfg = self.config
-        nv = int(n_valid) if n_valid is not None else cfg.n_valid
         if nv <= 0:
             raise ValueError("n_valid must be positive")
         m = pop.month_of_time(month_time)
@@ -139,8 +161,41 @@ class TelescopeSimulator:
         probs = weights / weights.sum()
         counts = rng.multinomial(nv, probs)
         emitting = counts > 0
-        idx = idx[emitting]
-        counts = counts[emitting]
+        return rng, m, idx[emitting], counts[emitting]
+
+    def window_source_counts(
+        self, month_time: float, *, n_valid: int | None = None
+    ) -> WindowSourceCounts:
+        """The window's source draw alone — no packets materialized.
+
+        Bit-identical to the counts :meth:`sample` would draw for the
+        same ``(month_time, n_valid)``; costs ``O(active sources)``
+        regardless of ``N_V``.
+        """
+        nv = int(n_valid) if n_valid is not None else self.config.n_valid
+        pop = self.population
+        _, m, idx, counts = self._window_draw(month_time, nv)
+        return WindowSourceCounts(
+            month_index=m,
+            addresses=pop.addresses[idx],
+            counts=counts.astype(np.int64),
+            focused=pop.focused[idx],
+            focus_dst=pop.focus_dst[idx],
+        )
+
+    @traced(name="telescope_sample")
+    def sample(
+        self, month_time: float, *, n_valid: int | None = None
+    ) -> TelescopeSample:
+        """Observe one window of ``n_valid`` packets at the given time.
+
+        Deterministic given (population seed, month_time, n_valid): repeat
+        calls reproduce the identical window.
+        """
+        pop = self.population
+        cfg = self.config
+        nv = int(n_valid) if n_valid is not None else cfg.n_valid
+        rng, m, idx, counts = self._window_draw(month_time, nv)
 
         src = np.repeat(pop.addresses[idx], counts)
         dst = self._destinations(rng, idx, counts)

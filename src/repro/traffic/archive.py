@@ -7,22 +7,45 @@ packets.  The ``N_V = 2^30`` traffic matrices used in this study are
 constructed by hierarchically summing ``2^13`` of these smaller matrices."
 
 :class:`WindowArchive` is that storage layer at laptop scale: a directory
-holding one compressed-triple file per constant-packet window plus a JSON
-manifest (window times, durations, packet counts, anonymization flag).
-Windows can be appended as packets arrive, loaded lazily by index or time
-range, and hierarchically summed into larger analysis matrices.
+holding one matrix file per constant-packet window plus a JSON manifest
+(window times, durations, packet counts, anonymization flag, storage
+format).  Windows can be appended as packets arrive, loaded lazily by
+index or time range, and hierarchically summed into larger analysis
+matrices.
+
+Two window storage formats coexist:
+
+* ``"npz"`` — the original compressed-triple files
+  (:mod:`repro.hypersparse.io`); loading decompresses and re-sorts.
+* ``"columnar"`` — the v2 default: one columnar run file per window
+  (:mod:`repro.hypersparse.spill`), the window's canonical packed
+  keys/values written verbatim.  Loads can **memory-map** the columns
+  (``load(i, mapped=True)``), so summing thousands of windows streams
+  pages off disk instead of materializing every window in RAM — the
+  substrate of the paper-scale out-of-core path
+  (:mod:`repro.parallel.shard`).
+
+The v2 manifest still loads v1 archives (their records default to
+``"npz"`` storage), and formats may mix inside one archive — each record
+carries its own storage tag.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
 from ..anonymize import CryptoPan
-from ..hypersparse import HierarchicalMatrix, HyperSparseMatrix
+from ..hypersparse import HyperSparseMatrix
 from ..hypersparse.io import load_triples_npz, save_triples_npz
+from ..hypersparse.merge import kway_merge
+from ..hypersparse.spill import load_run, write_run
+from ..obs.metrics import MATRIX_NNZ, inc
+from ..obs.spans import span
 from .matrix import build_traffic_matrix
 from .packet import Packets
 from .window import Window, constant_packet_windows
@@ -32,6 +55,14 @@ __all__ = ["WindowArchive", "WindowRecord"]
 PathLike = Union[str, Path]
 
 _MANIFEST = "manifest.json"
+
+#: Manifest format strings this reader understands, oldest first.
+_FORMATS = ("repro-window-archive-v1", "repro-window-archive-v2")
+
+#: Exceptions marking one window file as unreadable (missing, truncated,
+#: not the promised format) — `sum_windows` skips such windows with a
+#: warning; `load` raises them.
+_WINDOW_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile)
 
 
 @dataclass(frozen=True)
@@ -44,6 +75,7 @@ class WindowRecord:
     end_time: float
     n_packets: int
     anonymized: bool
+    storage: str = "npz"  # v1 manifests predate the field
 
     @property
     def duration(self) -> float:
@@ -65,6 +97,10 @@ class WindowArchive:
         Optional :class:`~repro.anonymize.CryptoPan` applied to both axes
         of every matrix before it is written — archives never hold real
         addresses, matching the paper's data handling.
+    storage:
+        Format for windows written by this handle: ``"columnar"``
+        (default; memory-mappable) or ``"npz"``.  Existing windows keep
+        whatever format they were written with.
     """
 
     def __init__(
@@ -73,13 +109,17 @@ class WindowArchive:
         *,
         n_valid: int = 1 << 17,
         anonymizer: Optional[CryptoPan] = None,
+        storage: str = "columnar",
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.n_valid = int(n_valid)
         if self.n_valid <= 0:
             raise ValueError("n_valid must be positive")
+        if storage not in ("columnar", "npz"):
+            raise ValueError(f"unknown window storage format {storage!r}")
         self.anonymizer = anonymizer
+        self.storage = storage
         self._records: List[WindowRecord] = []
         self._residual = Packets.empty()
         manifest = self.root / _MANIFEST
@@ -90,6 +130,12 @@ class WindowArchive:
 
     def _load_manifest(self) -> None:
         data = json.loads((self.root / _MANIFEST).read_text(encoding="utf-8"))
+        fmt = data.get("format", _FORMATS[0])
+        if fmt not in _FORMATS:
+            raise ValueError(
+                f"archive manifest format {fmt!r} is newer than this reader "
+                f"(understands {', '.join(_FORMATS)}); upgrade the package"
+            )
         if data.get("n_valid") != self.n_valid:
             raise ValueError(
                 f"archive window size {data.get('n_valid')} differs from "
@@ -99,7 +145,7 @@ class WindowArchive:
 
     def _save_manifest(self) -> None:
         data = {
-            "format": "repro-window-archive-v1",
+            "format": _FORMATS[-1],
             "n_valid": self.n_valid,
             "anonymized": self.anonymizer is not None,
             "windows": [vars(r) for r in self._records],
@@ -145,8 +191,14 @@ class WindowArchive:
         matrix = build_traffic_matrix(window.packets)
         if self.anonymizer is not None:
             matrix = matrix.permute(self.anonymizer.anonymize)
-        filename = f"window_{index:06d}.npz"
-        save_triples_npz(matrix, self.root / filename)
+        if self.storage == "columnar":
+            filename = f"window_{index:06d}.col"
+            # write_run appends chunked and renames into place atomically,
+            # so a crash mid-write cannot leave a loadable half window.
+            write_run(self.root / filename, matrix.keys, matrix.vals, matrix.shape)
+        else:
+            filename = f"window_{index:06d}.npz"
+            save_triples_npz(matrix, self.root / filename)
         self._records.append(
             WindowRecord(
                 index=index,
@@ -155,6 +207,7 @@ class WindowArchive:
                 end_time=window.end_time,
                 n_packets=window.n_packets,
                 anonymized=self.anonymizer is not None,
+                storage=self.storage,
             )
         )
 
@@ -168,9 +221,18 @@ class WindowArchive:
         """Manifest entries in archive order."""
         return list(self._records)
 
-    def load(self, index: int) -> HyperSparseMatrix:
-        """Load one archived window's matrix."""
+    def load(self, index: int, *, mapped: bool = False) -> HyperSparseMatrix:
+        """Load one archived window's matrix.
+
+        For columnar windows ``mapped=True`` backs the matrix with
+        read-only memory maps of the on-disk columns — bit-identical to
+        an eager load (the file holds the canonical arrays verbatim) but
+        paged in on demand.  ``npz`` windows always load eagerly.
+        """
         rec = self._records[index]
+        if rec.storage == "columnar":
+            keys, vals, shape = load_run(self.root / rec.filename, mapped=mapped)
+            return HyperSparseMatrix._from_keys(keys, vals, shape)
         return load_triples_npz(self.root / rec.filename)
 
     def iter_matrices(self) -> Iterator[Tuple[WindowRecord, HyperSparseMatrix]]:
@@ -185,21 +247,51 @@ class WindowArchive:
         ]
 
     def sum_windows(
-        self, indices: Optional[List[int]] = None, *, cutoff: int = 1 << 16
+        self,
+        indices: Optional[List[int]] = None,
+        *,
+        cutoff: int = 1 << 16,  # kept for API compatibility; unused
+        strict: bool = False,
     ) -> HyperSparseMatrix:
-        """Hierarchically sum archived windows into one analysis matrix.
+        """Sum archived windows into one analysis matrix, smallest first.
 
         The paper's ``2^17 -> 2^30`` construction: pass 2^13 window indices
         (or ``None`` for all) and get the combined constant-packet matrix.
+
+        Windows are memory-mapped where possible and folded directly with
+        :func:`~repro.hypersparse.merge.kway_merge` — the smallest-first
+        Huffman order, one sorted-merge kernel per pair (counted on
+        ``merge_fastpath_hits``), instead of pushing every window through
+        a ladder whose level merges re-touch large partial sums.
+
+        Unreadable windows (missing or truncated files) are skipped with
+        a warning so one bad file cannot sink a 2^13-window sum; pass
+        ``strict=True`` to raise instead.
         """
         if indices is None:
             indices = list(range(len(self._records)))
-        if not indices:
-            return HyperSparseMatrix.empty((2**32, 2**32))
-        acc = HierarchicalMatrix(shape=(2**32, 2**32), cutoff=cutoff)
-        for i in indices:
-            acc.insert_matrix(self.load(i))
-        return acc.total()
+        with span("sum_windows", windows=len(indices)):
+            runs = []
+            for i in indices:
+                try:
+                    m = self.load(i, mapped=True)
+                except _WINDOW_ERRORS as exc:
+                    if strict:
+                        raise
+                    warnings.warn(
+                        f"skipping unreadable archive window {i} "
+                        f"({self._records[i].filename}): {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                runs.append((m.keys, m.vals))
+            if not runs:
+                return HyperSparseMatrix.empty((2**32, 2**32))
+            keys, vals = kway_merge(runs)
+            result = HyperSparseMatrix._from_keys(keys, vals, (2**32, 2**32))
+            inc(MATRIX_NNZ, result.nnz)
+            return result
 
     def total_packets(self) -> int:
         """Packets across all archived windows."""

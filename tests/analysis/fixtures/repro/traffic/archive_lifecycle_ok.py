@@ -1,0 +1,34 @@
+"""RL016 fixtures: lifecycle-clean columnar-writer usage patterns."""
+
+from repro.hypersparse.spill import ColumnarWriter
+
+__all__ = ["sealed", "aborted_on_error", "handed_off"]
+
+
+def sealed(path, chunks):
+    """Writer discipline: sealed on the happy path, torn down on error."""
+    w = ColumnarWriter(path, (4, 4))
+    try:
+        for keys, vals in chunks:
+            w.append(keys, vals)
+    except ValueError:
+        w.abort()
+        raise
+    w.close()
+
+
+def aborted_on_error(path, keys, vals, dry_run):
+    """Both exits discharge the obligation: abort or close."""
+    w = ColumnarWriter(path, (4, 4))
+    if dry_run:
+        w.abort()
+        return None
+    w.append(keys, vals)
+    w.close()
+    return path
+
+
+def handed_off(path):
+    """Ownership transfer: the caller owns the close obligation."""
+    w = ColumnarWriter(path, (4, 4))
+    return w

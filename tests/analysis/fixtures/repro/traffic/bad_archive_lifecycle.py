@@ -1,0 +1,33 @@
+"""RL016 fixtures: columnar-writer lifecycle violation shapes.
+
+The spill writer (``repro.hypersparse.spill.ColumnarWriter``) stages its
+output in ``.tmp`` sidecars that only ``close()`` renames into place and
+only ``abort()`` deletes — a leaked writer leaves stray temporaries next
+to the archive.
+"""
+
+from repro.hypersparse.spill import ColumnarWriter
+
+__all__ = ["leaky_writer", "append_after_close", "leaky_on_retry"]
+
+
+def leaky_writer(path, keys, vals):
+    """Opens a writer but never closes or aborts it: temporaries leak."""
+    w = ColumnarWriter(path, (4, 4))
+    w.append(keys, vals)
+
+
+def append_after_close(path, keys, vals):
+    """Appends after the file has been sealed."""
+    w = ColumnarWriter(path, (4, 4))
+    w.close()
+    w.append(keys, vals)
+
+
+def leaky_on_retry(path, keys, vals, flaky):
+    """Closed on the happy path only: the retry branch leaks."""
+    w = ColumnarWriter(path, (4, 4))
+    if flaky:
+        return None
+    w.append(keys, vals)
+    return w.close()

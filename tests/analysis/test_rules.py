@@ -553,6 +553,41 @@ class TestShmLifecycle:
         assert result.findings == []
 
 
+class TestWriterLifecycle:
+    """RL016 also typestates columnar spill writers (staged .tmp output)."""
+
+    def findings(self):
+        return run_rule("RL016", "repro/traffic/bad_archive_lifecycle.py")
+
+    def test_leaked_writer_flagged(self):
+        assert any(
+            "leaky_writer" in f.message and "not closed or aborted" in f.message
+            for f in self.findings()
+        )
+
+    def test_append_after_close_flagged(self):
+        assert any(
+            "append_after_close" in f.message
+            and "writer" in f.message
+            and "use after free" in f.message
+            for f in self.findings()
+        )
+
+    def test_happy_path_only_close_flagged(self):
+        # The leak exists only on the retry branch: path-sensitive, like
+        # the shm double-unlink case.
+        assert any("leaky_on_retry" in f.message for f in self.findings())
+
+    def test_exactly_the_three_hazards(self):
+        assert len(self.findings()) == 3
+
+    def test_clean_writers_silent(self):
+        # Bare close()/abort() on every path, and ownership transfer via
+        # return, all discharge the obligation; the context-manager form
+        # is the sanctioned idiom and is never tracked.
+        assert run_rule("RL016", "repro/traffic/archive_lifecycle_ok.py") == []
+
+
 class TestSharedGuard:
     FILES = ("repro/parallel/shm.py", "repro/parallel/bad_guard.py")
 

@@ -24,7 +24,7 @@ def populated(tmp_path, rng):
 
 
 def test_missing_window_file(populated):
-    (populated / "window_000001.npz").unlink()
+    (populated / "window_000001.col").unlink()
     arch = WindowArchive(populated, n_valid=128)
     arch.load(0)  # intact windows still load
     with pytest.raises(FileNotFoundError):
@@ -32,7 +32,7 @@ def test_missing_window_file(populated):
 
 
 def test_truncated_window_file(populated):
-    path = populated / "window_000002.npz"
+    path = populated / "window_000002.col"
     data = path.read_bytes()
     path.write_bytes(data[: len(data) // 2])
     arch = WindowArchive(populated, n_valid=128)
@@ -63,11 +63,11 @@ def test_manifest_missing_field(populated):
 
 def test_swapped_window_payload_detected_by_counts(populated, rng):
     """A swapped payload is detectable: stored packets != manifest count."""
-    a = (populated / "window_000000.npz").read_bytes()
-    (populated / "window_000000.npz").write_bytes(
-        (populated / "window_000003.npz").read_bytes()
+    a = (populated / "window_000000.col").read_bytes()
+    (populated / "window_000000.col").write_bytes(
+        (populated / "window_000003.col").read_bytes()
     )
-    (populated / "window_000003.npz").write_bytes(a)
+    (populated / "window_000003.col").write_bytes(a)
     arch = WindowArchive(populated, n_valid=128)
     # Totals still match (constant-packet windows) but contents moved;
     # the matrices must now disagree with a freshly rebuilt archive.
