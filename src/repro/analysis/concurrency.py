@@ -168,7 +168,10 @@ class _SegState:
     ``with`` form manages itself and is deliberately untracked).
     """
 
-    origin: str  #: ``"created"``, ``"attached"`` or ``"opened"``
+    origin: str  #: ``"created"``, ``"attached"``, ``"opened"``, or an
+    #: extension origin registered in :data:`_ORIGIN_NOUNS` (the engine
+    #: checker in :mod:`repro.analysis.service` adds ``"engine"`` and
+    #: ``"acquired"``)
     line: int  #: binding site (for messages)
     closed: bool = False
     unlinked: bool = False
@@ -176,7 +179,15 @@ class _SegState:
     @property
     def noun(self) -> str:
         """What to call this resource in findings."""
-        return "writer" if self.origin == "opened" else "segment"
+        return _ORIGIN_NOUNS.get(self.origin, "segment")
+
+
+#: Finding noun per lifecycle origin (default: "segment").
+_ORIGIN_NOUNS = {
+    "opened": "writer",
+    "engine": "engine",
+    "acquired": "snapshot lease",
+}
 
 
 #: One abstract path: local variable name -> lifecycle state.

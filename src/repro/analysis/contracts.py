@@ -40,6 +40,7 @@ __all__ = [
     "InvariantViolation",
     "add_construct_hook",
     "remove_construct_hook",
+    "notify_construct",
     "invariants_enabled",
     "enable_invariants",
     "debug_invariants",
@@ -83,6 +84,18 @@ def remove_construct_hook(hook: Callable[[str, Any], None]) -> None:
         _construct_hooks.remove(hook)
     except ValueError:
         pass
+
+
+def notify_construct(kind: str, obj: Any) -> None:
+    """Fire the construction observers for a non-kernel publication site.
+
+    The snapshot boundary (:mod:`repro.serve.snapshot`) calls this when a
+    snapshot is frozen for publication, so sanitizer hooks observe
+    published objects exactly as they observe kernel constructions.
+    """
+    if _construct_hooks:
+        for hook in _construct_hooks:
+            hook(kind, obj)
 
 
 class InvariantViolation(AssertionError):

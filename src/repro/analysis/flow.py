@@ -213,6 +213,8 @@ class FunctionSummary:
     names_read: Set[str] = field(default_factory=set)
     #: parameters plus locally-bound names (shadow module globals)
     local_names: Set[str] = field(default_factory=set)
+    #: defined with ``async def`` (runs on an event loop; RL018 scope)
+    is_async: bool = False
 
     @property
     def key(self) -> str:
@@ -463,7 +465,12 @@ def _summarize_function(
     node: ast.FunctionDef, module: str, qual: str, cls: Optional[str]
 ) -> FunctionSummary:
     summary = FunctionSummary(
-        module=module, qual=qual, name=node.name, lineno=node.lineno, cls=cls
+        module=module,
+        qual=qual,
+        name=node.name,
+        lineno=node.lineno,
+        cls=cls,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
     )
     visitor = _Summarizer(summary)
     for arg in _all_args(node.args):

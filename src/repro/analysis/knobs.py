@@ -132,7 +132,7 @@ KNOBS: Tuple[Knob, ...] = (
         "REPRO_SAN",
         "list",
         "(empty)",
-        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float,shm)",
+        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float,shm,snapshot)",
         "repro/analysis/sanitize/runtime.py",
     ),
     Knob(

@@ -1,4 +1,4 @@
-"""The repro-lint rule catalogue (RL001–RL017).
+"""The repro-lint rule catalogue (RL001–RL020).
 
 Each rule encodes one of the domain invariants the reproduction's
 correctness rests on; ``docs/STATIC_ANALYSIS.md`` is the user-facing
@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .concurrency import EscapeAnalysisRule, SharedGuardRule, ShmLifecycleRule
 from .config import LintConfig
+from .service import AsyncDisciplineRule, EngineLifecycleRule, SnapshotEscapeRule
 from .engine import FileContext, Finding, ProjectRule, Rule, parse_contexts
 from .intervals import (
     PYINT,
@@ -53,6 +54,9 @@ __all__ = [
     "EscapeAnalysisRule",
     "ShmLifecycleRule",
     "SharedGuardRule",
+    "AsyncDisciplineRule",
+    "SnapshotEscapeRule",
+    "EngineLifecycleRule",
     "ALL_RULES",
     "rule_by_id",
 ]
@@ -1496,6 +1500,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     EscapeAnalysisRule(),
     ShmLifecycleRule(),
     SharedGuardRule(),
+    AsyncDisciplineRule(),
+    SnapshotEscapeRule(),
+    EngineLifecycleRule(),
 )
 
 

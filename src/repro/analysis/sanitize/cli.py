@@ -22,7 +22,7 @@ import json
 import sys
 from typing import List, Optional
 
-from . import mutate, runtime, shm
+from . import mutate, runtime, shm, snapshot
 from .fixtures import PROBES
 
 __all__ = ["main"]
@@ -75,6 +75,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> Optional[str]:
             probe()
         mutate.verify_frozen()
         shm.verify_released()
+        snapshot.verify_released()
         return None
     from ...experiments import EXPERIMENTS, build_study, default_config
 
@@ -93,6 +94,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> Optional[str]:
         print(result.format())
     mutate.verify_frozen()
     shm.verify_released()
+    snapshot.verify_released()
     return None
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "probe_fork_mutation",
     "probe_nan_fit",
     "probe_shm",
+    "probe_snapshot",
     "PROBES",
 ]
 
@@ -103,10 +104,34 @@ def probe_shm() -> None:
     shm.release(handle)  # lint: allow-shm-lifecycle -- seeded double release
 
 
+def probe_snapshot() -> None:
+    """Mutate a published snapshot, then over-release its lease (RS006).
+
+    The scribble models a reader (or a buggy writer) writing through a
+    published buffer between publish and release — the writeable flag is
+    flipped back first, exactly the defeat RS006's fingerprints exist to
+    catch.  The second release is a lease lifecycle fault the engine
+    normally shrugs off.  Disarmed, both are silent and the engine closes
+    cleanly — the probe leaks nothing either way.
+    """
+    from ...serve.cli import synthetic_batch
+    from ...serve.engine import CorrelationEngine
+
+    with CorrelationEngine(64, cutoff=1 << 8) as engine:
+        engine.fold_batch(synthetic_batch(2024, 0, 128, 300))
+        snap = engine.acquire()
+        start = snap.window_start
+        start.flags.writeable = True  # defeat the publish-time freeze
+        start[0] += 1.0
+        engine.release(snap)
+        engine.release(snap)  # lint: allow-engine-lifecycle -- seeded over-release
+
+
 #: Probe registry, keyed by the sanitizer each one seeds a fault for.
 PROBES = {
     "overflow": probe_overflow,
     "fork": probe_fork_mutation,
     "float": probe_nan_fit,
     "shm": probe_shm,
+    "snapshot": probe_snapshot,
 }

@@ -44,7 +44,14 @@ __all__ = [
 
 #: The sanitizers ``REPRO_SAN`` accepts, in arming order (``overflow``
 #: must patch the pristine kernels before ``fork`` wraps the pool).
-SANITIZER_NAMES: Tuple[str, ...] = ("overflow", "mutate", "fork", "float", "shm")
+SANITIZER_NAMES: Tuple[str, ...] = (
+    "overflow",
+    "mutate",
+    "fork",
+    "float",
+    "shm",
+    "snapshot",
+)
 
 #: SARIF rule ids, one per sanitizer (the dynamic counterpart of RLxxx).
 RULE_IDS: Dict[str, str] = {
@@ -53,6 +60,7 @@ RULE_IDS: Dict[str, str] = {
     "fork": "RS003",
     "float": "RS004",
     "shm": "RS005",
+    "snapshot": "RS006",
 }
 
 #: Distinct trap sites retained before further recording is dropped (a
@@ -171,7 +179,7 @@ def _registry() -> Dict[str, Callable[[], Callable[[], None]]]:
     Lazy so ``import repro`` never pays for sanitizer wiring; each arm
     function performs its patches and returns the matching undo.
     """
-    from . import floats, fork, mutate, overflow, shm
+    from . import floats, fork, mutate, overflow, shm, snapshot
 
     return {
         "overflow": overflow.arm,
@@ -179,6 +187,7 @@ def _registry() -> Dict[str, Callable[[], Callable[[], None]]]:
         "fork": fork.arm,
         "float": floats.arm,
         "shm": shm.arm,
+        "snapshot": snapshot.arm,
     }
 
 

@@ -9,6 +9,7 @@
     repro lint                      # static analysis (see repro.analysis)
     repro fig5 --trace-out t.jsonl  # run traced, write JSON-lines trace
     repro trace summarize t.jsonl   # span table / flame view of a trace
+    repro serve smoke               # streaming service under concurrent readers
     repro bench compare OLD NEW     # gate on benchmark regressions
     repro bench record              # append current results to the history
     repro bench trend               # sparkline + change-point trend view
@@ -457,6 +458,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.sanitize.cli import main as san_main
 
         return san_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The streaming-service driver owns its own argument surface.
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "bench":

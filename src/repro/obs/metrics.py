@@ -65,6 +65,11 @@ __all__ = [
     "SHARD_SPILL_BYTES",
     "SHARD_BYTES_MAPPED",
     "PEAK_RSS_BYTES",
+    "SERVE_BATCHES_FOLDED",
+    "SERVE_WINDOWS_CLOSED",
+    "SNAPSHOTS_PUBLISHED",
+    "SNAPSHOT_READERS",
+    "SNAPSHOT_EPOCH",
 ]
 
 _ENV_FLAG = "REPRO_METRICS"
@@ -103,6 +108,17 @@ SHARD_BYTES_MAPPED = "shard_bytes_mapped"
 #: Gauge: peak resident set size observed at the last out-of-core
 #: checkpoint (``resource.getrusage``; bytes).
 PEAK_RSS_BYTES = "peak_rss_bytes"
+#: Packet batches folded into the streaming correlation engine
+#: (:mod:`repro.serve`).
+SERVE_BATCHES_FOLDED = "serve_batches_folded"
+#: Constant-packet windows closed by the streaming engine.
+SERVE_WINDOWS_CLOSED = "serve_windows_closed"
+#: Immutable engine snapshots published (one per epoch).
+SNAPSHOTS_PUBLISHED = "snapshots_published"
+#: Reader leases taken on published snapshots (``acquire`` calls).
+SNAPSHOT_READERS = "snapshot_readers"
+#: Gauge: epoch of the most recently published snapshot.
+SNAPSHOT_EPOCH = "snapshot_epoch"
 
 
 class Counter:

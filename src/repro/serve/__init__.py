@@ -1,0 +1,45 @@
+"""Long-running streaming correlation service.
+
+The batch pipeline turned into a server: packet batches and honeyfarm
+months fold continuously into hierarchical accumulators, the paper's
+derived state (Table II aggregates, Fig 3 degree distributions, Fig 4
+coeval overlap, modified-Cauchy fits) stays live and queryable, and
+readers share epoch-numbered **immutable snapshots** with save/restore.
+
+Layers:
+
+* :mod:`repro.serve.engine` — the synchronous, internally-locked core;
+* :mod:`repro.serve.snapshot` — frozen snapshots, publish-time freezing,
+  on-disk archives;
+* :mod:`repro.serve.aio` — the asyncio façade (single writer, many
+  readers);
+* :mod:`repro.serve.shims` — the only sanctioned routes for blocking
+  work off the event loop (enforced by RL018).
+
+The concurrency discipline is gated statically by RL018-RL020 and
+re-proved at runtime by the RS006 ``snapshot`` sanitizer; see
+``docs/STREAMING.md``.
+"""
+
+from .aio import AsyncCorrelationService
+from .engine import CorrelationEngine
+from .shims import to_pool, to_thread
+from .snapshot import (
+    EngineSnapshot,
+    freeze_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_buffers,
+)
+
+__all__ = [
+    "AsyncCorrelationService",
+    "CorrelationEngine",
+    "EngineSnapshot",
+    "freeze_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_buffers",
+    "to_pool",
+    "to_thread",
+]

@@ -1,0 +1,104 @@
+"""Asyncio façade over :class:`~repro.serve.engine.CorrelationEngine`.
+
+One writer coroutine folds and publishes under an ``asyncio.Lock``;
+arbitrarily many reader coroutines lease snapshots concurrently.  Every
+blocking engine call crosses the loop boundary through the sanctioned
+shims (:mod:`repro.serve.shims`) — the discipline RL018 enforces — so
+the event loop itself only ever schedules, awaits, and hands out frozen
+snapshots.
+"""
+
+from __future__ import annotations
+
+from asyncio import Lock
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Union
+
+import numpy as np
+
+from ..traffic.packet import Packets
+from .engine import CorrelationEngine
+from .snapshot import EngineSnapshot
+from .shims import to_pool, to_thread
+
+__all__ = ["AsyncCorrelationService"]
+
+
+class AsyncCorrelationService:
+    """Event-loop front end of one :class:`CorrelationEngine`.
+
+    Writer methods (:meth:`fold_batch`, :meth:`fold_month`,
+    :meth:`publish`, :meth:`save`, :meth:`close`) serialize on an
+    internal asyncio lock; reader methods never block each other.
+    """
+
+    def __init__(self, engine: CorrelationEngine):
+        self._engine = engine
+        self._write_lock = Lock()
+
+    @property
+    def engine(self) -> CorrelationEngine:
+        """The wrapped synchronous engine."""
+        return self._engine
+
+    # -- writer side -------------------------------------------------------
+
+    async def fold_batch(self, packets: Packets) -> int:
+        """Fold one packet batch off-loop; return windows closed."""
+        async with self._write_lock:
+            return await to_thread(self._engine.fold_batch, packets)
+
+    async def fold_month(self, time: float, sources: np.ndarray) -> None:
+        """Fold one honeyfarm month off-loop."""
+        async with self._write_lock:
+            await to_thread(self._engine.fold_month, time, sources)
+
+    async def publish(self) -> EngineSnapshot:
+        """Publish the next epoch's frozen snapshot."""
+        async with self._write_lock:
+            return await to_thread(self._engine.publish)
+
+    async def save(self, path: Union[str, Path]) -> Path:
+        """Publish and serialize the current state."""
+        async with self._write_lock:
+            return await to_thread(self._engine.save, path)
+
+    async def close(self) -> None:
+        """Close the engine (readers may still release leases)."""
+        async with self._write_lock:
+            await to_thread(self._engine.close)
+
+    # -- reader side -------------------------------------------------------
+
+    async def snapshot(self) -> EngineSnapshot:
+        """Lease the current snapshot; pair with :meth:`release`."""
+        return await to_thread(self._engine.acquire)
+
+    async def release(self, snap: EngineSnapshot) -> None:
+        """Return a snapshot lease."""
+        await to_thread(self._engine.release, snap)
+
+    async def query(self, fn: Callable[[EngineSnapshot], Any]) -> Any:
+        """Run ``fn`` over a leased snapshot off-loop; auto-release."""
+        snap = await to_thread(self._engine.acquire)
+        try:
+            return await to_thread(fn, snap)
+        finally:
+            await to_thread(self._engine.release, snap)
+
+    async def map_windows(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        processes: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every published window's aggregates via the pool.
+
+        ``fn`` must be a picklable module-level callable (RL009's fork
+        discipline applies — the work fans out across pool workers).
+        """
+        snap = await to_thread(self._engine.acquire)
+        try:
+            return await to_pool(fn, list(snap.quantities), processes=processes)
+        finally:
+            await to_thread(self._engine.release, snap)

@@ -1,0 +1,45 @@
+"""Sanctioned event-loop escape hatches for blocking work (RL018).
+
+Coroutines in this package never run kernel, IO, or pool-submission work
+inline — the event loop must stay responsive while a fold chews through
+a window.  These two shims are the *only* approved routes off the loop,
+and RL018 (async-discipline) flags any blocking call reachable from an
+``async def`` body that does not go through them.  This module itself is
+exempt from the rule by construction: it is where the discipline is
+implemented, exactly as ``repro/obs`` is exempt from the timer rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..parallel.pool import parallel_map
+
+__all__ = ["to_thread", "to_pool"]
+
+
+async def to_thread(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Run blocking ``fn(*args, **kwargs)`` on the loop's default executor.
+
+    The asyncio equivalent of a direct call: same return value, same
+    exceptions, but the event loop keeps scheduling while it runs.
+    """
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, functools.partial(fn, *args, **kwargs))
+
+
+async def to_pool(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any] | Iterable[Any],
+    *,
+    processes: Optional[int] = None,
+) -> list:
+    """Dispatch a data-parallel map to the persistent worker pool.
+
+    Submission itself (pickling items, collecting results) blocks, so it
+    is pushed onto the executor first; the CPU-bound work then fans out
+    across the PR 3/6 fork pool via :func:`repro.parallel.pool.parallel_map`.
+    """
+    return await to_thread(parallel_map, fn, items, processes=processes)

@@ -28,14 +28,20 @@ __all__ = ["StreamingWindowAnalyzer", "WindowStats"]
 
 @dataclass(frozen=True)
 class WindowStats:
-    """Analysis record for one completed constant-packet window."""
+    """Analysis record for one completed constant-packet window.
+
+    ``matrix`` is ``None`` when the analyzer was built with
+    ``keep_matrices=False``: the traffic matrix is dropped the moment the
+    derived aggregates are computed, so long runs hold O(1) windows of
+    buffer memory instead of O(windows).
+    """
 
     index: int
     start_time: float
     end_time: float
     quantities: NetworkQuantities
     degree_distribution: BinnedDistribution
-    matrix: HyperSparseMatrix
+    matrix: Optional[HyperSparseMatrix]
 
     @property
     def duration(self) -> float:
@@ -59,6 +65,16 @@ class StreamingWindowAnalyzer:
         Traffic-matrix extent.
     cutoff:
         Level-0 capacity of the per-window hierarchical accumulator.
+    keep_matrices:
+        When ``True`` (default) each :class:`WindowStats` carries the
+        window's full traffic matrix.  Long-running consumers that only
+        need the derived aggregates should pass ``False``: stats are
+        published with ``matrix=None`` and the buffer is dropped, keeping
+        resident memory flat over arbitrarily many windows.
+    mem_budget:
+        Optional byte budget for the accumulator's spill ladder
+        (``HierarchicalMatrix(budget=...)``); ``None`` defers to the
+        ``REPRO_MEM_BUDGET`` knob.
 
     Feed batches with :meth:`process`; completed windows come back
     immediately.  Batches need not align with window boundaries and may be
@@ -72,18 +88,27 @@ class StreamingWindowAnalyzer:
         *,
         shape: Tuple[int, int] = (2**32, 2**32),
         cutoff: int = 1 << 14,
+        keep_matrices: bool = True,
+        mem_budget: Optional[int] = None,
     ):
         if n_valid <= 0:
             raise ValueError("n_valid must be positive")
         self.n_valid = int(n_valid)
         self.shape = shape
         self.cutoff = int(cutoff)
-        self._acc = HierarchicalMatrix(shape=shape, cutoff=cutoff)
+        self.keep_matrices = bool(keep_matrices)
+        self.mem_budget = mem_budget
+        self._acc = self._new_accumulator()
         self._in_window = 0
         self._window_index = 0
         self._start_time: Optional[float] = None
         self._last_time: float = 0.0
         self._windows_emitted = 0
+
+    def _new_accumulator(self) -> HierarchicalMatrix:
+        return HierarchicalMatrix(
+            shape=self.shape, cutoff=self.cutoff, budget=self.mem_budget
+        )
 
     @property
     def windows_emitted(self) -> int:
@@ -127,9 +152,10 @@ class StreamingWindowAnalyzer:
             end_time=self._last_time,
             quantities=quantities,
             degree_distribution=differential_cumulative(degrees),
-            matrix=matrix,
+            matrix=matrix if self.keep_matrices else None,
         )
-        self._acc = HierarchicalMatrix(shape=self.shape, cutoff=self.cutoff)
+        del matrix
+        self._acc = self._new_accumulator()
         self._in_window = 0
         self._window_index += 1
         self._start_time = None

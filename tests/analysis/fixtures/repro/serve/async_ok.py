@@ -1,0 +1,32 @@
+"""RL018-clean coroutines: blocking work routed through the shims."""
+
+import asyncio
+
+from repro.serve.shims import to_pool, to_thread
+
+__all__ = ["dispatched", "threaded", "cooperative", "calls_coroutine"]
+
+
+def work(x):
+    """A worker payload."""
+    return x
+
+
+async def dispatched(items):
+    """Pool submission through the sanctioned shim."""
+    return await to_pool(work, items)
+
+
+async def threaded(fn, arg):
+    """Blocking callable dispatched to a worker thread."""
+    return await to_thread(fn, arg)
+
+
+async def cooperative():
+    """Awaited asyncio.sleep yields the loop; nothing blocks."""
+    await asyncio.sleep(0)
+
+
+async def calls_coroutine(items):
+    """Awaiting another coroutine is not blocking work."""
+    return await dispatched(items)

@@ -1,0 +1,43 @@
+"""RL018 violations: blocking work on the event loop."""
+
+import time
+
+from repro.parallel.pool import parallel_map
+
+__all__ = ["submits_on_loop", "sleeps_on_loop", "reads_on_loop", "kernel_on_loop"]
+
+
+def work(x):
+    """A worker payload."""
+    return x
+
+
+async def submits_on_loop(items):
+    """Pool submission directly on the loop."""
+    return parallel_map(work, items)
+
+
+async def sleeps_on_loop():
+    """Blocking sleep instead of ``await asyncio.sleep``."""
+    time.sleep(0.1)
+
+
+async def reads_on_loop(path):
+    """Blocking file IO on the loop."""
+    handle = open(path)
+    return handle.read()
+
+
+async def kernel_on_loop(acc, block):
+    """Kernel verb called without a thread dispatch."""
+    acc.insert_matrix(block)
+
+
+def _helper(items):
+    """Sync helper that blocks — calling it from a coroutine still blocks."""
+    return parallel_map(work, items)
+
+
+async def indirect(items):
+    """Reaches blocking work through a sync project call."""
+    return _helper(items)

@@ -1,0 +1,50 @@
+"""RL020 violations: engine/lease lifecycle broken on some path."""
+
+from repro.serve.engine import CorrelationEngine
+
+__all__ = ["leaky_engine", "leaky_lease", "use_after_close", "Rewinder"]
+
+
+def leaky_engine(n, batch):
+    """Bare-bound engine never closed."""
+    engine = CorrelationEngine(n)
+    engine.fold_batch(batch)
+
+
+def leaky_lease(n):
+    """Lease acquired but never released."""
+    engine = CorrelationEngine(n)
+    snap = engine.acquire()
+    count = snap.window_count
+    engine.close()
+    return count
+
+
+def use_after_close(n, batch):
+    """Fold lands on a closed engine."""
+    engine = CorrelationEngine(n)
+    engine.close()
+    engine.fold_batch(batch)
+
+
+def leaky_on_error(n, batch):
+    """Close only happens on the happy path."""
+    engine = CorrelationEngine(n)
+    if batch is not None:
+        engine.fold_batch(batch)
+        engine.close()
+
+
+class Rewinder:
+    """Epoch discipline violations outside ``__init__``."""
+
+    def __init__(self):
+        self._epoch = 0  # seeding the counter here is sanctioned
+
+    def rewind(self):
+        """Epoch assigned backwards."""
+        self._epoch = 0
+
+    def skip(self, n):
+        """Epoch advanced by a non-constant stride."""
+        self._epoch += n

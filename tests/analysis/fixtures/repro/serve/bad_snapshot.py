@@ -1,0 +1,32 @@
+"""RL019 violations: unfrozen snapshots crossing the publication boundary."""
+
+from repro.serve.snapshot import EngineSnapshot, freeze_snapshot
+
+__all__ = ["returns_raw", "returns_raw_local", "stores_raw", "stores_raw_subscript"]
+
+
+def returns_raw(state):
+    """Direct construction returned without a freeze."""
+    return EngineSnapshot(**state)
+
+
+def returns_raw_local(state):
+    """Raw local escapes through the return."""
+    snap = EngineSnapshot(**state)
+    return snap
+
+
+def stores_raw(registry, state):
+    """Raw snapshot published into an attribute."""
+    registry.latest = EngineSnapshot(**state)
+
+
+def stores_raw_subscript(registry, state):
+    """Raw local published into a container."""
+    snap = EngineSnapshot(**state)
+    registry["latest"] = snap
+
+
+def frozen_is_fine(state):
+    """The sanctioned form: freeze at the construction site."""
+    return freeze_snapshot(EngineSnapshot(**state))

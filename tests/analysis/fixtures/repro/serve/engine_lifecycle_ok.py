@@ -1,0 +1,50 @@
+"""RL020-clean lifecycles: every obligation discharged on every path."""
+
+from repro.serve.engine import CorrelationEngine
+
+__all__ = ["with_form", "close_on_all_paths", "paired_lease", "transfer", "Publisher"]
+
+
+def with_form(n, batch):
+    """The context-manager form is the sanctioned idiom."""
+    with CorrelationEngine(n) as engine:
+        engine.fold_batch(batch)
+
+
+def close_on_all_paths(n, batch):
+    """try/finally closes on the error path too."""
+    engine = CorrelationEngine(n)
+    try:
+        engine.fold_batch(batch)
+    finally:
+        engine.close()
+
+
+def paired_lease(n):
+    """Every acquire released, even when the read raises."""
+    engine = CorrelationEngine(n)
+    snap = engine.acquire()
+    try:
+        count = snap.window_count
+    finally:
+        engine.release(snap)
+    engine.close()
+    return count
+
+
+def transfer(n, registry):
+    """Ownership handed to a registry; the obligation moves with it."""
+    engine = CorrelationEngine(n)
+    registry.append(engine)
+
+
+class Publisher:
+    """Monotonic epoch discipline."""
+
+    def __init__(self):
+        self._epoch = 0
+
+    def publish(self):
+        """The one sanctioned epoch movement."""
+        self._epoch += 1
+        return self._epoch

@@ -1,0 +1,22 @@
+"""RL019-clean builders: every snapshot is frozen before it escapes."""
+
+from repro.serve.snapshot import EngineSnapshot, freeze_snapshot
+
+__all__ = ["build", "build_named", "publish"]
+
+
+def build(state):
+    """Freeze wraps the construction directly."""
+    return freeze_snapshot(EngineSnapshot(**state))
+
+
+def build_named(state):
+    """Freeze discharges the local before it is returned."""
+    snap = EngineSnapshot(**state)
+    snap = freeze_snapshot(snap)
+    return snap
+
+
+def publish(registry, state):
+    """Stores are fine once the snapshot went through the freeze."""
+    registry.latest = freeze_snapshot(EngineSnapshot(**state))

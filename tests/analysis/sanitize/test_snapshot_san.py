@@ -1,0 +1,120 @@
+"""RS006: published-snapshot integrity and lease lifecycle traps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import fixtures as probes
+from repro.analysis.sanitize import snapshot as san_snapshot
+from repro.analysis.sanitize.runtime import disarm, sanitizers, take_traps
+from repro.serve import CorrelationEngine
+from repro.serve import engine as serve_engine
+from repro.serve.cli import synthetic_batch
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    disarm()
+    take_traps()
+    yield
+    disarm()
+    take_traps()
+
+
+def rs006_traps():
+    return [t for t in take_traps() if t.rule_id == "RS006"]
+
+
+class TestFingerprint:
+    def test_scribble_traps_at_release(self):
+        with sanitizers(["snapshot"]):
+            with CorrelationEngine(64, cutoff=1 << 8) as engine:
+                engine.fold_batch(synthetic_batch(1, 0, 128, 300))
+                snap = engine.acquire()
+                snap.window_start.flags.writeable = True
+                snap.window_start[0] += 1.0
+                engine.release(snap)
+        traps = rs006_traps()
+        assert any("changed between publish" in t.message for t in traps)
+
+    def test_clean_readers_silent(self):
+        with sanitizers(["snapshot"]):
+            with CorrelationEngine(64, cutoff=1 << 8) as engine:
+                engine.fold_batch(synthetic_batch(1, 0, 128, 300))
+                for _ in range(3):
+                    snap = engine.acquire()
+                    assert snap.window_count == 2
+                    engine.release(snap)
+            assert san_snapshot.verify_released() == 0
+        assert rs006_traps() == []
+
+    def test_one_scribble_one_trap(self):
+        # Re-fingerprinting after the first trap keeps N readers of one
+        # corrupted snapshot from producing N identical traps.
+        with sanitizers(["snapshot"]):
+            with CorrelationEngine(64, cutoff=1 << 8) as engine:
+                engine.fold_batch(synthetic_batch(1, 0, 64, 300))
+                a = engine.acquire()
+                b = engine.acquire()
+                a.window_start.flags.writeable = True
+                a.window_start[0] += 1.0
+                engine.release(a)
+                engine.release(b)
+        changed = [
+            t for t in rs006_traps() if "changed between publish" in t.message
+        ]
+        assert len(changed) == 1
+
+
+class TestLifecycleFaults:
+    def test_over_release_traps(self):
+        with sanitizers(["snapshot"]):
+            with CorrelationEngine(64) as engine:
+                snap = engine.acquire()
+                engine.release(snap)
+                engine.release(snap)
+        assert any("lifecycle fault" in t.message for t in rs006_traps())
+
+    def test_leaked_lease_traps_at_verify(self):
+        with sanitizers(["snapshot"]):
+            engine = CorrelationEngine(64)
+            engine.acquire()  # never released
+            assert san_snapshot.verify_released() == 1
+            engine.release(engine._snapshot)
+            engine.close()
+        assert any("never released" in t.message for t in rs006_traps())
+
+    def test_close_with_outstanding_lease_traps(self):
+        with sanitizers(["snapshot"]):
+            engine = CorrelationEngine(64)
+            snap = engine.acquire()
+            engine.close()
+            engine.release(snap)
+        assert any(
+            "outstanding at engine close" in t.message for t in rs006_traps()
+        )
+
+
+class TestArming:
+    def test_disarm_restores_bindings(self):
+        orig_publish = CorrelationEngine.publish
+        orig_fault = serve_engine._lifecycle_fault
+        with sanitizers(["snapshot"]):
+            assert CorrelationEngine.publish is not orig_publish
+            assert serve_engine._lifecycle_fault is not orig_fault
+        assert CorrelationEngine.publish is orig_publish
+        assert serve_engine._lifecycle_fault is orig_fault
+
+    def test_disarmed_probe_is_silent(self):
+        probes.probe_snapshot()
+        assert take_traps() == []
+
+    def test_probe_traps_both_faults_when_armed(self):
+        with sanitizers(["snapshot"]):
+            probes.probe_snapshot()
+        traps = rs006_traps()
+        assert any("changed between publish" in t.message for t in traps)
+        assert any("lifecycle fault" in t.message for t in traps)
+
+    def test_verify_silent_when_disarmed(self):
+        assert san_snapshot.verify_released() == 0
+        assert take_traps() == []

@@ -617,6 +617,143 @@ class TestSharedGuard:
         assert result.findings == []
 
 
+class TestAsyncDiscipline:
+    def findings(self):
+        return run_rule(
+            "RL018", "repro/serve/bad_async.py", "repro/parallel/pool.py"
+        )
+
+    def test_pool_submission_flagged(self):
+        assert any(
+            "submits_on_loop" in f.message and "pool submission" in f.message
+            for f in self.findings()
+        )
+
+    def test_blocking_sleep_flagged(self):
+        assert any(
+            "sleeps_on_loop" in f.message and "asyncio.sleep" in f.message
+            for f in self.findings()
+        )
+
+    def test_blocking_io_flagged(self):
+        assert any(
+            "reads_on_loop" in f.message and "blocking IO 'open'" in f.message
+            for f in self.findings()
+        )
+
+    def test_kernel_verb_flagged(self):
+        assert any(
+            "kernel_on_loop" in f.message and "insert_matrix" in f.message
+            for f in self.findings()
+        )
+
+    def test_transitive_blocking_flagged(self):
+        # Calling a sync project helper that submits to the pool blocks
+        # the loop just the same; the flow graph carries the reach.
+        assert any(
+            "indirect" in f.message and "reaches blocking work" in f.message
+            for f in self.findings()
+        )
+
+    def test_exactly_the_five_hazards(self):
+        assert len(self.findings()) == 5
+
+    def test_shim_dispatch_silent(self):
+        assert run_rule("RL018", "repro/serve/async_ok.py") == []
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL018")])
+        assert result.findings == []
+
+
+class TestSnapshotEscape:
+    def findings(self):
+        return run_rule("RL019", "repro/serve/bad_snapshot.py")
+
+    def test_raw_return_flagged(self):
+        assert any(
+            "returns_raw" in f.message and "returns an unfrozen" in f.message
+            for f in self.findings()
+        )
+
+    def test_raw_local_return_flagged(self):
+        assert any("returns_raw_local" in f.message for f in self.findings())
+
+    def test_raw_attribute_store_flagged(self):
+        assert any(
+            "stores_raw" in f.message and "stores an unfrozen" in f.message
+            for f in self.findings()
+        )
+
+    def test_raw_subscript_store_flagged(self):
+        assert any("stores_raw_subscript" in f.message for f in self.findings())
+
+    def test_exactly_the_four_escapes(self):
+        # frozen_is_fine in the same file must stay silent.
+        assert len(self.findings()) == 4
+
+    def test_frozen_builders_silent(self):
+        assert run_rule("RL019", "repro/serve/snapshot_ok.py") == []
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL019")])
+        assert result.findings == []
+
+
+class TestEngineLifecycle:
+    def findings(self):
+        return run_rule("RL020", "repro/serve/bad_engine_lifecycle.py")
+
+    def test_unclosed_engine_flagged(self):
+        assert any(
+            "leaky_engine" in f.message and "not closed on every path" in f.message
+            for f in self.findings()
+        )
+
+    def test_unreleased_lease_flagged(self):
+        assert any(
+            "leaky_lease" in f.message
+            and "not released on every path" in f.message
+            for f in self.findings()
+        )
+
+    def test_use_after_close_flagged(self):
+        assert any(
+            "use_after_close" in f.message and "use after free" in f.message
+            for f in self.findings()
+        )
+
+    def test_close_on_happy_path_only_flagged(self):
+        # The leak exists only on the `batch is None` branch: the
+        # checker enumerates paths, like RL016's double-unlink case.
+        assert any("leaky_on_error" in f.message for f in self.findings())
+
+    def test_epoch_rewind_flagged(self):
+        assert any(
+            "rewind" in f.message and "writer epoch assigned" in f.message
+            for f in self.findings()
+        )
+
+    def test_epoch_nonconstant_stride_flagged(self):
+        assert any(
+            "in skip" in f.message and "positive constant" in f.message
+            for f in self.findings()
+        )
+
+    def test_exactly_the_six_hazards(self):
+        # __init__'s epoch seed in the same class must stay silent.
+        assert len(self.findings()) == 6
+
+    def test_clean_lifecycles_silent(self):
+        # Context-manager form, try/finally close, paired acquire/release,
+        # ownership transfer, and `epoch += 1` all discharge cleanly.
+        assert run_rule("RL020", "repro/serve/engine_lifecycle_ok.py") == []
+
+    def test_real_tree_clean(self):
+        result = lint_paths([SRC_REPRO], [rule_by_id("RL020")])
+        assert result.findings == []
+
+
 class TestEngine:
     def test_every_rule_has_fixture_coverage(self):
         # Run everything over the whole fixture tree: each shipped rule

@@ -1,0 +1,116 @@
+"""AsyncCorrelationService: writer/reader concurrency off the loop."""
+
+import asyncio
+
+import numpy as np
+
+from repro.analysis.sanitize import snapshot as san_snapshot
+from repro.analysis.sanitize.runtime import sanitizers, take_traps
+from repro.serve import AsyncCorrelationService, CorrelationEngine
+from repro.serve.cli import synthetic_batch
+from repro.serve.shims import to_thread
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _valid_packets(q):
+    """Module-level so the pool can pickle it."""
+    return q.valid_packets
+
+
+class TestService:
+    def test_fold_and_query(self):
+        async def drive():
+            engine = CorrelationEngine(128, cutoff=1 << 8)
+            service = AsyncCorrelationService(engine)
+            batch = await to_thread(synthetic_batch, 3, 0, 300, 800)
+            closed = await service.fold_batch(batch)
+            assert closed == 2
+            quantities = await service.query(lambda s: s.quantities[-1])
+            assert quantities.valid_packets == 128
+            await service.close()
+            return engine
+
+        engine = run(drive())
+        assert engine.closed
+        assert engine.outstanding_leases() == 0
+
+    def test_snapshot_release_pairing(self):
+        async def drive():
+            engine = CorrelationEngine(64, cutoff=1 << 8)
+            service = AsyncCorrelationService(engine)
+            snap = await service.snapshot()
+            held = engine.outstanding_leases()
+            await service.release(snap)
+            await service.close()
+            return held, engine.outstanding_leases()
+
+        held, after = run(drive())
+        assert held == 1 and after == 0
+
+    def test_map_windows_runs_off_loop(self):
+        async def drive():
+            engine = CorrelationEngine(100, cutoff=1 << 8)
+            service = AsyncCorrelationService(engine)
+            batch = await to_thread(synthetic_batch, 11, 0, 400, 900)
+            await service.fold_batch(batch)
+            packets = await service.map_windows(_valid_packets)
+            await service.close()
+            return packets
+
+        assert run(drive()) == [100, 100, 100, 100]
+
+    def test_concurrent_readers_zero_traps(self):
+        async def drive():
+            engine = CorrelationEngine(128, cutoff=1 << 8)
+            service = AsyncCorrelationService(engine)
+            stop = asyncio.Event()
+
+            async def writer():
+                for b in range(8):
+                    batch = await to_thread(synthetic_batch, 21, b, 256, 1000)
+                    closed = await service.fold_batch(batch)
+                    if closed:
+                        await service.publish()
+                stop.set()
+
+            async def reader():
+                reads = 0
+                while not stop.is_set():
+                    snap = await service.snapshot()
+                    try:
+                        if snap.window_count:
+                            assert snap.quantities[-1].valid_packets == 128
+                    finally:
+                        await service.release(snap)
+                    reads += 1
+                    await asyncio.sleep(0)
+                return reads
+
+            results = await asyncio.gather(writer(), *(reader() for _ in range(4)))
+            await service.close()
+            return sum(r for r in results[1:])
+
+        with sanitizers(["snapshot"]):
+            reads = run(drive())
+            assert san_snapshot.verify_released() == 0
+        assert reads > 0
+        assert take_traps() == []
+
+    def test_save_through_service(self, tmp_path):
+        from repro.serve import load_snapshot
+
+        async def drive():
+            engine = CorrelationEngine(64, cutoff=1 << 8)
+            service = AsyncCorrelationService(engine)
+            batch = await to_thread(synthetic_batch, 4, 0, 128, 500)
+            await service.fold_batch(batch)
+            await service.save(tmp_path / "s.npz")
+            await service.close()
+
+        run(drive())
+        loaded = load_snapshot(tmp_path / "s.npz")
+        assert loaded.window_count == 2
+        assert not loaded.window_start.flags.writeable

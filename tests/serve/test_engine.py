@@ -1,0 +1,189 @@
+"""CorrelationEngine: lifecycle, queries, save/restore round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.serve import CorrelationEngine, load_snapshot
+from repro.serve.cli import synthetic_batch, synthetic_month
+from repro.serve.engine import _MIN_FIT_MONTHS
+
+
+def folded_engine(n_windows=4, n_valid=256, seed=7):
+    """An engine with ``n_windows`` closed windows and as many months."""
+    engine = CorrelationEngine(n_valid, cutoff=1 << 8)
+    months = 0
+    for b in range(n_windows):
+        closed = engine.fold_batch(synthetic_batch(seed, b, n_valid, 1024))
+        for _ in range(closed):
+            engine.fold_month(float(months), synthetic_month(seed, months, 1024))
+            months += 1
+    return engine
+
+
+class TestFolding:
+    def test_fold_batch_counts_closed_windows(self):
+        with CorrelationEngine(100, cutoff=1 << 8) as engine:
+            assert engine.fold_batch(synthetic_batch(1, 0, 250, 500)) == 2
+            assert engine.window_count == 2
+            assert engine.fold_batch(synthetic_batch(1, 1, 50, 500)) == 1
+
+    def test_fold_month_sorted_unique(self):
+        with CorrelationEngine(64) as engine:
+            engine.fold_month(2.0, np.array([5, 1, 5], dtype=np.uint64))
+            engine.fold_month(1.0, np.array([9], dtype=np.uint64))
+            assert engine.months_folded == 2
+
+    def test_window_indices_survive_restart_offset(self):
+        engine = folded_engine(3)
+        snap = engine.acquire()
+        try:
+            assert list(snap.window_index) == [0, 1, 2]
+        finally:
+            engine.release(snap)
+        engine.close()
+
+
+class TestLifecycle:
+    def test_epoch_advances_per_publish(self):
+        with CorrelationEngine(64) as engine:
+            first = engine.publish()
+            second = engine.publish()
+            assert second.epoch == first.epoch + 1
+
+    def test_acquire_publishes_lazily(self):
+        with CorrelationEngine(64) as engine:
+            snap = engine.acquire()
+            engine.release(snap)
+            assert snap.epoch == 1
+
+    def test_close_idempotent_and_fold_after_close_raises(self):
+        engine = CorrelationEngine(64)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.fold_batch(synthetic_batch(1, 0, 64, 100))
+        with pytest.raises(RuntimeError):
+            engine.publish()
+
+    def test_outstanding_leases_tracks_readers(self):
+        with CorrelationEngine(64) as engine:
+            a = engine.acquire()
+            b = engine.acquire()
+            assert engine.outstanding_leases() == 2
+            engine.release(a)
+            engine.release(b)
+            assert engine.outstanding_leases() == 0
+
+    def test_lease_faults_reach_the_hook(self, monkeypatch):
+        from repro.serve import engine as serve_engine
+
+        faults = []
+        monkeypatch.setattr(serve_engine, "_lifecycle_fault", faults.append)
+        engine = CorrelationEngine(64)
+        snap = engine.acquire()
+        engine.release(snap)
+        engine.release(snap)  # no lease held any more
+        assert any("no lease" in f for f in faults)
+        leaked = engine.acquire()
+        engine.close()  # lease outstanding at close
+        assert any("outstanding at engine close" in f for f in faults)
+        assert leaked.epoch == 1
+
+    def test_release_allowed_after_close(self):
+        engine = CorrelationEngine(64)
+        snap = engine.acquire()
+        engine.close()
+        engine.release(snap)
+        assert engine.outstanding_leases() == 0
+
+
+class TestQueries:
+    def test_query_helpers_match_snapshot(self):
+        engine = folded_engine(3)
+        try:
+            snap = engine.acquire()
+            try:
+                assert engine.query_quantities() == snap.quantities[-1]
+                assert (
+                    engine.query_degree_distribution().n_total
+                    == snap.degree_distributions[-1].n_total
+                )
+            finally:
+                engine.release(snap)
+        finally:
+            engine.close()
+
+    def test_fit_appears_after_enough_months(self):
+        engine = folded_engine(_MIN_FIT_MONTHS + 1)
+        try:
+            snap = engine.acquire()
+            try:
+                assert snap.fit is not None
+                assert snap.correlation is not None
+                assert len(snap.month_times) == engine.months_folded
+            finally:
+                engine.release(snap)
+        finally:
+            engine.close()
+
+
+class TestSaveRestore:
+    def test_round_trip_bit_identical(self, tmp_path):
+        engine = folded_engine(4)
+        path = tmp_path / "snap.npz"
+        engine.save(path)
+        snap = engine.acquire()
+        loaded = load_snapshot(path)
+        try:
+            assert loaded.epoch == snap.epoch
+            assert loaded.n_valid == snap.n_valid
+            np.testing.assert_array_equal(loaded.window_index, snap.window_index)
+            np.testing.assert_array_equal(loaded.window_start, snap.window_start)
+            np.testing.assert_array_equal(loaded.window_end, snap.window_end)
+            np.testing.assert_array_equal(loaded.month_times, snap.month_times)
+            np.testing.assert_array_equal(
+                loaded.overlap_fractions, snap.overlap_fractions
+            )
+            assert loaded.quantities == snap.quantities
+            for got, want in zip(
+                loaded.degree_distributions, snap.degree_distributions
+            ):
+                np.testing.assert_array_equal(got.edges, want.edges)
+                np.testing.assert_array_equal(got.counts, want.counts)
+                assert got.n_total == want.n_total
+            assert loaded.fit == snap.fit
+            assert loaded.correlation == snap.correlation
+        finally:
+            engine.release(snap)
+            engine.close()
+
+    def test_restored_engine_resumes_folding(self, tmp_path):
+        engine = folded_engine(2)
+        path = tmp_path / "snap.npz"
+        engine.save(path)
+        engine.close()
+
+        resumed = CorrelationEngine.restore(path, cutoff=1 << 8)
+        try:
+            assert resumed.window_count == 2
+            assert resumed.epoch >= 1
+            resumed.fold_batch(synthetic_batch(7, 2, 256, 1024))
+            resumed.publish()  # readers see archived state until republish
+            snap = resumed.acquire()
+            try:
+                # Indices continue past the archived windows.
+                assert list(snap.window_index) == [0, 1, 2]
+                assert snap.epoch > resumed.epoch - 1
+            finally:
+                resumed.release(snap)
+        finally:
+            resumed.close()
+
+    def test_loaded_buffers_are_frozen(self, tmp_path):
+        engine = folded_engine(2)
+        path = tmp_path / "snap.npz"
+        engine.save(path)
+        engine.close()
+        loaded = load_snapshot(path)
+        with pytest.raises(ValueError):
+            loaded.window_start[0] = 0.0

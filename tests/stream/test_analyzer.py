@@ -87,3 +87,45 @@ class TestLifecycle:
     def test_invalid_nv(self):
         with pytest.raises(ValueError):
             StreamingWindowAnalyzer(0)
+
+
+class TestKeepMatrices:
+    """``keep_matrices=False``: long-running folds stay memory-flat."""
+
+    def test_matrices_dropped_but_stats_kept(self, rng):
+        analyzer = StreamingWindowAnalyzer(100, keep_matrices=False)
+        windows = analyzer.process(stream(350, rng))
+        assert len(windows) == 3
+        for w in windows:
+            assert w.matrix is None
+            assert w.quantities.valid_packets == 100
+            assert w.degree_distribution.n_total > 0
+
+    def test_flush_also_drops_the_matrix(self, rng):
+        analyzer = StreamingWindowAnalyzer(100, keep_matrices=False)
+        analyzer.process(stream(42, rng))
+        last = analyzer.flush()
+        assert last is not None and last.matrix is None
+
+    def test_hundred_window_run_memory_flat(self):
+        # Retained memory after 100 windows must not scale with the
+        # window count once matrices are dropped; compare against the
+        # keep_matrices=True run, which retains one matrix per window.
+        import tracemalloc
+
+        def retained(keep):
+            rng = np.random.default_rng(7)
+            batches = [stream(500, rng) for _ in range(20)]  # 100 windows
+            tracemalloc.start()
+            analyzer = StreamingWindowAnalyzer(100, keep_matrices=keep)
+            windows = []
+            for batch in batches:
+                windows += analyzer.process(batch)
+            assert len(windows) == 100
+            current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return current
+
+        kept = retained(True)
+        dropped = retained(False)
+        assert dropped < kept / 4, (dropped, kept)
