@@ -1,0 +1,116 @@
+"""Kernel backend: numpy reference vs the optional numba compiled path.
+
+Each pair runs the same kernel on the same seeded inputs, so the delta
+is purely the backend.  The numba rows are skipped (not failed) when
+numba is absent — ``repro bench compare`` treats first-seen compiled
+rows as "new", so a container without numba never regresses the gate.
+Bit-identity is asserted before speed is measured: a compiled kernel
+that drifts from the reference has no business being fast.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import backend as kb
+from repro.hypersparse.backend import reference
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+
+NNZ = 1 << 18
+NCOLS = 2**32
+
+
+@pytest.fixture(scope="module")
+def numba_handle():
+    if not HAVE_NUMBA:  # pragma: no cover - gated by needs_numba
+        pytest.skip("numba not installed")
+    from repro.hypersparse.backend import numba_backend
+
+    if "numba" not in kb.registered_backends():
+        kb.register_backend("numba", numba_backend)
+    handle = kb.resolve("numba")
+    # Trigger every JIT compile outside the timed region.
+    rows = np.arange(4, dtype=np.uint64)
+    keys = handle.pack_keys(rows, rows, NCOLS)
+    handle.merge_add(keys, rows.astype(np.float64), keys, rows.astype(np.float64))
+    return handle
+
+
+@pytest.fixture(scope="module")
+def pack_inputs():
+    rng = np.random.default_rng(13)
+    rows = rng.integers(0, 2**32, NNZ, dtype=np.uint64)
+    cols = rng.integers(0, 2**32, NNZ, dtype=np.uint64)
+    return rows, cols
+
+
+@pytest.fixture(scope="module")
+def merge_inputs():
+    rng = np.random.default_rng(29)
+    keys_a = np.unique(rng.integers(0, 2**48, NNZ, dtype=np.uint64))
+    keys_b = np.unique(rng.integers(0, 2**48, NNZ, dtype=np.uint64))
+    vals_a = rng.standard_normal(keys_a.size)
+    vals_b = rng.standard_normal(keys_b.size)
+    return keys_a, vals_a, keys_b, vals_b
+
+
+@pytest.fixture(scope="module")
+def sort_inputs(pack_inputs):
+    rows, cols = pack_inputs
+    keys = reference.pack_keys(rows, cols, NCOLS)
+    rng = np.random.default_rng(31)
+    return keys, rng.standard_normal(keys.size)
+
+
+def test_pack_numpy(benchmark, pack_inputs):
+    """Reference pack: widening multiply-add on the uint64 plane."""
+    rows, cols = pack_inputs
+    keys = benchmark(reference.pack_keys, rows, cols, NCOLS)
+    assert keys.dtype == np.uint64
+
+
+@needs_numba
+def test_pack_numba(benchmark, pack_inputs, numba_handle):
+    """Compiled pack over the identical seeded coordinates."""
+    rows, cols = pack_inputs
+    keys = benchmark(numba_handle.pack_keys, rows, cols, NCOLS)
+    assert keys.tobytes() == reference.pack_keys(rows, cols, NCOLS).tobytes()
+
+
+def test_sort_combine_numpy(benchmark, sort_inputs):
+    """Reference duplicate-combine: sort + run-boundary reduce."""
+    keys, vals = sort_inputs
+    out_keys, _ = benchmark(reference.combine_add, keys, vals)
+    assert out_keys.size <= keys.size
+
+
+@needs_numba
+def test_sort_combine_numba(benchmark, sort_inputs, numba_handle):
+    """Compiled duplicate-combine over the identical packed keys."""
+    keys, vals = sort_inputs
+    out_keys, out_vals = benchmark(numba_handle.combine_add, keys, vals)
+    ref_keys, ref_vals = reference.combine_add(keys, vals)
+    assert out_keys.tobytes() == ref_keys.tobytes()
+    assert out_vals.tobytes() == ref_vals.tobytes()
+
+
+def test_merge_numpy(benchmark, merge_inputs):
+    """Reference sorted-run additive merge."""
+    keys_a, vals_a, keys_b, vals_b = merge_inputs
+    out_keys, _ = benchmark(reference.merge_add, keys_a, vals_a, keys_b, vals_b)
+    assert out_keys.size >= max(keys_a.size, keys_b.size)
+
+
+@needs_numba
+def test_merge_numba(benchmark, merge_inputs, numba_handle):
+    """Compiled merge over the identical sorted runs."""
+    keys_a, vals_a, keys_b, vals_b = merge_inputs
+    out_keys, out_vals = benchmark(
+        numba_handle.merge_add, keys_a, vals_a, keys_b, vals_b
+    )
+    ref_keys, ref_vals = reference.merge_add(keys_a, vals_a, keys_b, vals_b)
+    assert out_keys.tobytes() == ref_keys.tobytes()
+    assert out_vals.tobytes() == ref_vals.tobytes()

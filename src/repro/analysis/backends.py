@@ -1,0 +1,536 @@
+"""Kernel-backend discipline rules (RL021–RL023).
+
+The pluggable kernel layer (:mod:`repro.hypersparse.backend`) rests on
+three promises that are easy to break silently: every backend exports
+the *complete* declared kernel table, hot modules dispatch only through
+the once-resolved registry handle, and compiled re-implementations of
+the packed-key arithmetic stay inside uint64 over the paper's
+``2^32 x 2^32`` domain.  Each promise gets a rule:
+
+* **RL021 backend conformance** — in any directory carrying a backend
+  ``contract.py``, every sibling backend module must export each
+  declared kernel as a top-level ``def`` whose parameter names and
+  annotation text match the :data:`KERNEL_TABLE` entry verbatim.  The
+  table is a pure literal, so the rule const-evaluates it straight off
+  the contract's AST — the static twin of ``register_backend``'s
+  runtime validation.
+* **RL022 dispatch discipline** — hot hypersparse modules bind the
+  resolved handle once (``from .backend import KERNELS as _K``) and
+  call ``_K.<kernel>``; importing a backend's private kernel modules,
+  calling ``resolve``/``select_backend``/``register_backend`` per use,
+  rebinding or mutating the handle alias, and bare-name kernel calls
+  are all flagged.  No per-call backend branching, no mutable
+  backend-global state.
+* **RL023 per-backend overflow proofs** — the RL013 interval analysis
+  re-runs over every backend implementation's ``+ - * <<`` arithmetic,
+  seeded from the contract's per-kernel ``domain`` entries plus the
+  shared :data:`HELPER_DOMAIN`, so the 2^32×2^32 packed-key in-width
+  proof holds for compiled paths too (RL013 itself stands down inside
+  the backend package to avoid double-judging with weaker seeds).
+
+The runtime twin of all three is the RS007 ``backend`` sanitizer
+(:mod:`repro.analysis.sanitize.backend`), which replays dispatched
+calls on the numpy reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import FileContext, Finding, ProjectRule, Rule
+
+__all__ = [
+    "BackendConformanceRule",
+    "DispatchDisciplineRule",
+    "BackendOverflowRule",
+    "parse_contract",
+]
+
+#: The backend package every real tree keeps its contract in; fixture
+#: trees reproduce the same layout under their own root.
+_BACKEND_PACKAGE = "repro/hypersparse/backend/"
+
+#: The registry entry points hot modules must not call per-use.
+_REGISTRY_CALLS = ("register_backend", "resolve", "select_backend")
+
+#: Backend modules whose kernels are private to the registry.
+_PRIVATE_BACKENDS = ("reference", "numba_backend")
+
+
+def _const_eval(node: ast.AST) -> Any:
+    """Evaluate a pure-literal expression off the AST.
+
+    Supports exactly what a declarative kernel table needs — constants,
+    tuples, dicts, ``2**32``-style arithmetic, and ``KernelSpec(...)``
+    keyword calls (returned as plain dicts) — and raises ``ValueError``
+    on anything computed, which RL021 reports as a malformed contract.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Tuple):
+        return tuple(_const_eval(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return {
+            _const_eval(k): _const_eval(v)
+            for k, v in zip(node.keys, node.values)
+            if k is not None
+        }
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_const_eval(node.operand)
+    if isinstance(node, ast.BinOp):
+        left, right = _const_eval(node.left), _const_eval(node.right)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Pow):
+            return left**right
+        raise ValueError(f"unsupported operator {type(node.op).__name__}")
+    if isinstance(node, ast.Call):
+        head = node.func
+        name = head.id if isinstance(head, ast.Name) else getattr(head, "attr", None)
+        if name == "KernelSpec" and not node.args:
+            spec: Dict[str, Any] = {"annotations": {}, "domain": {}, "doc": ""}
+            for kw in node.keywords:
+                if kw.arg is None:
+                    raise ValueError("KernelSpec(**...) is not a pure literal")
+                spec[kw.arg] = _const_eval(kw.value)
+            if "name" not in spec or "params" not in spec:
+                raise ValueError("KernelSpec without name/params")
+            return spec
+    raise ValueError(f"not a pure literal: {type(node).__name__}")
+
+
+def parse_contract(
+    tree: ast.Module,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Tuple[int, int, str]]]:
+    """Const-evaluate ``KERNEL_TABLE`` and ``HELPER_DOMAIN`` off an AST.
+
+    Returns ``(specs, helper_domain)`` where each spec is a plain dict
+    with ``name``, ``params``, ``annotations``, ``domain`` and ``doc``
+    keys.  Raises ``ValueError`` when either table is missing or not a
+    pure literal — a contract the static rules cannot read is itself a
+    finding.
+    """
+    table: Optional[Any] = None
+    helpers: Dict[str, Tuple[int, int, str]] = {}
+    for stmt in tree.body:
+        target: Optional[str] = None
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            target, value = stmt.target.id, stmt.value
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            if isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0].id, stmt.value
+        if value is None:
+            continue
+        if target == "KERNEL_TABLE":
+            table = _const_eval(value)
+        elif target == "HELPER_DOMAIN":
+            helpers = _const_eval(value)
+    if table is None:
+        raise ValueError("no KERNEL_TABLE assignment found")
+    specs = [s for s in table if isinstance(s, dict)]
+    if len(specs) != len(table):
+        raise ValueError("KERNEL_TABLE entries must all be KernelSpec literals")
+    return specs, helpers
+
+
+def _ann_text(node: Optional[ast.AST]) -> Optional[str]:
+    """The verbatim annotation text of an AST annotation node."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return ast.unparse(node)
+
+
+def _def_params(fn: ast.FunctionDef) -> Tuple[str, ...]:
+    """Positional parameter names of a ``def``, in declaration order."""
+    args = fn.args
+    return tuple(
+        a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    )
+
+
+def _def_annotations(fn: ast.FunctionDef) -> Dict[str, str]:
+    """Annotation text per parameter (plus ``"return"``) of a ``def``."""
+    args = fn.args
+    out: Dict[str, str] = {}
+    for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        text = _ann_text(a.annotation)
+        if text is not None:
+            out[a.arg] = text
+    text = _ann_text(fn.returns)
+    if text is not None:
+        out["return"] = text
+    return out
+
+
+def _parse_file(file: str) -> Optional[ast.Module]:
+    """Re-parse a graph module's source; None when unreadable."""
+    try:
+        return ast.parse(Path(file).read_text())
+    except (OSError, SyntaxError):
+        return None
+
+
+def _contract_groups(graph: Any) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+    """Yield ``(contract_info, {filename: info})`` per backend directory.
+
+    Modules are grouped by their real parent directory, so fixture
+    trees reproducing the backend layout are checked exactly like the
+    shipped package.
+    """
+    groups: Dict[str, Dict[str, Any]] = {}
+    for info in graph.modules.values():
+        real = Path(info.file)
+        groups.setdefault(real.parent.as_posix(), {})[real.name] = info
+    for directory in sorted(groups):
+        members = groups[directory]
+        contract = members.get("contract.py")
+        if contract is not None:
+            yield contract, members
+
+
+class BackendConformanceRule(ProjectRule):
+    """RL021 — every backend exports the complete declared kernel table.
+
+    For each directory containing a backend ``contract.py``, every
+    sibling module (the backends; ``__init__.py`` is the registry and
+    exempt) must define a top-level function per declared kernel whose
+    parameter names match ``params`` and whose annotation text matches
+    ``annotations`` verbatim.  A missing kernel, a drifted parameter
+    list, or a drifted annotation is a finding — the same deviations
+    ``register_backend`` rejects at runtime, caught without importing
+    (or compiling) anything.
+    """
+
+    id = "RL021"
+    tag = "backend-table"
+    description = "backend module missing or drifting from the declared kernel table"
+    scope = "any directory carrying a backend `contract.py`"
+    doc = (
+        "Backend conformance: the kernel table in `contract.py` is a pure "
+        "literal (name, parameter names, annotation text per kernel) and "
+        "every sibling backend module must export each declared kernel as "
+        "a top-level `def` matching it verbatim — the static twin of "
+        "`register_backend`'s all-or-nothing runtime validation, so a "
+        "partial or drifted backend fails review before it fails import.  "
+        "A contract whose table is not const-evaluable is itself flagged."
+    )
+
+    def check_project(self, graph: Any) -> Iterator[Finding]:
+        """Validate every backend directory found in the graph."""
+        for contract, members in _contract_groups(graph):
+            tree = _parse_file(contract.file)
+            if tree is None:
+                continue  # unreadable/unparseable files are engine errors
+            try:
+                specs, _ = parse_contract(tree)
+            except ValueError as exc:
+                yield Finding(
+                    path=contract.file,
+                    line=1,
+                    col=1,
+                    rule_id=self.id,
+                    message=f"kernel table is not a readable pure literal: {exc}",
+                )
+                continue
+            for fname in sorted(members):
+                if fname in ("contract.py", "__init__.py"):
+                    continue
+                yield from self._check_backend(members[fname], specs)
+
+    def _check_backend(
+        self, info: Any, specs: Sequence[Dict[str, Any]]
+    ) -> Iterator[Finding]:
+        tree = _parse_file(info.file)
+        if tree is None:
+            return
+        defs = {
+            stmt.name: stmt
+            for stmt in tree.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        for spec in specs:
+            fn = defs.get(spec["name"])
+            if fn is None:
+                yield Finding(
+                    path=info.file,
+                    line=1,
+                    col=1,
+                    rule_id=self.id,
+                    message=(
+                        f"backend module does not export kernel "
+                        f"'{spec['name']}' declared in contract.py; backends "
+                        "register all-or-nothing"
+                    ),
+                )
+                continue
+            params = _def_params(fn)
+            declared = tuple(spec["params"])
+            if params != declared:
+                yield Finding(
+                    path=info.file,
+                    line=fn.lineno,
+                    col=fn.col_offset + 1,
+                    rule_id=self.id,
+                    message=(
+                        f"kernel '{spec['name']}' parameters {params} do not "
+                        f"match the declared {declared}"
+                    ),
+                )
+            anns = _def_annotations(fn)
+            declared_anns = dict(spec["annotations"])
+            if anns != declared_anns:
+                drift = sorted(
+                    set(anns.items()) ^ set(declared_anns.items())
+                )
+                yield Finding(
+                    path=info.file,
+                    line=fn.lineno,
+                    col=fn.col_offset + 1,
+                    rule_id=self.id,
+                    message=(
+                        f"kernel '{spec['name']}' annotations drift from the "
+                        f"declared dtype contract: {drift}"
+                    ),
+                )
+
+
+class DispatchDisciplineRule(ProjectRule):
+    """RL022 — hot modules dispatch kernels through the resolved handle.
+
+    Within ``repro/hypersparse/`` (the backend package itself excluded),
+    the only sanctioned kernel access is an attribute call on a handle
+    bound once at import from the registry (``from .backend import
+    KERNELS as _K`` then ``_K.pack_keys(...)``).  Flagged shapes:
+
+    * imports of a backend's private kernel modules
+      (``backend.reference``, ``backend.numba_backend``) — the contract
+      module is allowed, it only carries annotations;
+    * calls to ``resolve``/``select_backend``/``register_backend`` —
+      per-call backend selection reintroduces the branching the
+      once-at-import design removed;
+    * rebinding or mutating the imported handle alias — the handle is
+      immutable state; sanitizers swap checked *copies* in via patching,
+      nothing else may write it;
+    * bare-name calls to any declared kernel — those only resolve by
+      importing some backend's function directly.
+    """
+
+    id = "RL022"
+    tag = "backend-dispatch"
+    description = "kernel access bypassing the resolved registry handle"
+    scope = "`repro/hypersparse/` outside `backend/`"
+    doc = (
+        "Dispatch discipline: hot modules bind the resolved kernel handle "
+        "once at import (`from .backend import KERNELS as _K`) and call "
+        "`_K.<kernel>`.  Flags direct imports of another backend's private "
+        "kernels (`backend.reference`, `backend.numba_backend`), per-call "
+        "registry lookups (`resolve`/`select_backend`/`register_backend` "
+        "inside kernels), rebinding or mutating the handle alias, and "
+        "bare-name calls to declared kernel names — each a way per-call "
+        "branching or mutable backend-global state sneaks back in."
+    )
+
+    def check_project(self, graph: Any) -> Iterator[Finding]:
+        """Check every in-scope hypersparse module against the contract."""
+        kernel_names: Set[str] = set()
+        for contract, _members in _contract_groups(graph):
+            tree = _parse_file(contract.file)
+            if tree is None:
+                continue
+            try:
+                specs, _ = parse_contract(tree)
+            except ValueError:
+                continue  # RL021 reports malformed contracts
+            kernel_names.update(spec["name"] for spec in specs)
+        for info in sorted(graph.modules.values(), key=lambda m: m.name):
+            if not info.path.startswith("repro/hypersparse/"):
+                continue
+            if info.path.startswith(_BACKEND_PACKAGE):
+                continue
+            yield from self._check_module(info, kernel_names)
+
+    def _check_module(self, info: Any, kernel_names: Set[str]) -> Iterator[Finding]:
+        tree = _parse_file(info.file)
+        if tree is None:
+            return
+        handle_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if module.endswith("backend") and alias.name == "KERNELS":
+                        handle_aliases.add(alias.asname or alias.name)
+                    if self._private_backend(module, alias.name):
+                        yield Finding(
+                            path=info.file,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            rule_id=self.id,
+                            message=(
+                                f"imports backend-private kernels "
+                                f"({module or '.'}.{alias.name}); dispatch "
+                                "through the resolved registry handle instead"
+                            ),
+                        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                head = node.func
+                name = (
+                    head.id
+                    if isinstance(head, ast.Name)
+                    else head.attr
+                    if isinstance(head, ast.Attribute)
+                    else None
+                )
+                if name in _REGISTRY_CALLS:
+                    yield Finding(
+                        path=info.file,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule_id=self.id,
+                        message=(
+                            f"per-call registry lookup '{name}' in a hot "
+                            "module; resolve the handle once at import "
+                            "(`from .backend import KERNELS as _K`)"
+                        ),
+                    )
+                elif (
+                    isinstance(head, ast.Name)
+                    and head.id in kernel_names
+                ):
+                    yield Finding(
+                        path=info.file,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule_id=self.id,
+                        message=(
+                            f"bare-name call to kernel '{head.id}'; only the "
+                            "handle attribute form (`_K."
+                            f"{head.id}(...)`) keeps dispatch backend-agnostic"
+                        ),
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in handle_aliases
+                    ):
+                        yield Finding(
+                            path=info.file,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            rule_id=self.id,
+                            message=(
+                                f"rebinds the dispatch handle '{target.id}'; "
+                                "the handle is bound once at import and only "
+                                "sanitizers may swap it (via patching)"
+                            ),
+                        )
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in handle_aliases
+                    ):
+                        yield Finding(
+                            path=info.file,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            rule_id=self.id,
+                            message=(
+                                f"mutates the dispatch handle "
+                                f"('{target.value.id}.{target.attr} = ...'); "
+                                "handles are immutable — derive a new one "
+                                "with .replace()"
+                            ),
+                        )
+
+    @staticmethod
+    def _private_backend(module: str, name: str) -> bool:
+        """True when an import reaches into a backend's private kernels."""
+        if any(
+            module.endswith(f"backend.{private}")
+            for private in _PRIVATE_BACKENDS
+        ):
+            return True
+        return module.endswith("backend") and name in _PRIVATE_BACKENDS
+
+
+class BackendOverflowRule(Rule):
+    """RL023 — the packed-key overflow proof holds per backend.
+
+    Runs the RL013 interval analysis over every module in a backend
+    package, with the environment seeded from the contract: each
+    kernel's declared ``domain`` ranges plus the shared
+    ``HELPER_DOMAIN`` (compiled backends split table kernels into
+    private ``@njit`` helpers whose parameters — ``shift``,
+    ``ncols_u`` — carry the same contract).  Every ``+ - * <<`` at a
+    concrete integer width must stay provably in-width over the
+    ``2^32 x 2^32`` operating space, so the uint64 packed-key proof
+    RL013 gives the numpy path holds for compiled paths too.
+    """
+
+    id = "RL023"
+    tag = "backend-overflow"
+    description = "backend kernel arithmetic not provably in-width over the contract domain"
+    scope = "`repro/hypersparse/backend/`"
+    doc = (
+        "Per-backend overflow proofs: RL013's interval abstract "
+        "interpretation re-runs over each backend implementation's "
+        "`+ - * <<` arithmetic, seeded from the contract's per-kernel "
+        "`domain` ranges plus `HELPER_DOMAIN` for the private compiled "
+        "helpers — so the 2^32×2^32 packed-key in-width proof is "
+        "re-established for every backend (numba loops included) rather "
+        "than assumed from the numpy reference.  RL013 stands down inside "
+        "the backend package; this rule is the proof regime there."
+    )
+
+    _PACKAGES = (_BACKEND_PACKAGE,)
+
+    @classmethod
+    def scoped(cls, ctx: FileContext) -> bool:
+        """True when ``ctx`` is a backend-package module."""
+        return ctx.in_package(*cls._PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Prove or flag every widening arithmetic node per backend."""
+        from .intervals import PYINT, AbstractValue, Interval
+        from .rules import OverflowProofRule
+
+        if not self.scoped(ctx):
+            return
+        domain = dict(OverflowProofRule.domain)
+        contract = Path(str(ctx.path)).parent / "contract.py"
+        tree = _parse_file(str(contract))
+        if tree is not None:
+            try:
+                specs, helpers = parse_contract(tree)
+            except ValueError:
+                specs, helpers = [], {}  # RL021 reports malformed contracts
+            for spec in specs:
+                for pname, (lo, hi, width) in spec["domain"].items():
+                    domain[pname] = AbstractValue(
+                        Interval(lo, hi), PYINT if width == "int" else width
+                    )
+            for pname, (lo, hi, width) in helpers.items():
+                domain[pname] = AbstractValue(
+                    Interval(lo, hi), PYINT if width == "int" else width
+                )
+        proof = OverflowProofRule()
+        proof.id = self.id
+        proof.tag = self.tag
+        proof.domain = domain
+        yield from proof._check_scope(ctx, ctx.tree.body, dict(domain))

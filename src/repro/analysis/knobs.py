@@ -129,10 +129,17 @@ KNOBS: Tuple[Knob, ...] = (
         "repro/hypersparse/spill.py",
     ),
     Knob(
+        "REPRO_BACKEND",
+        "str",
+        "numpy",
+        "kernel backend: numpy, numba, or auto (numba when importable, else numpy)",
+        "repro/hypersparse/backend/__init__.py",
+    ),
+    Knob(
         "REPRO_SAN",
         "list",
         "(empty)",
-        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float,shm,snapshot)",
+        "comma-separated sanitizers to arm at import (overflow,mutate,fork,float,shm,snapshot,backend)",
         "repro/analysis/sanitize/runtime.py",
     ),
     Knob(

@@ -1,0 +1,119 @@
+"""The ``backend`` sanitizer (RS007): cross-backend divergence replay.
+
+The kernel-backend registry promises that every non-reference backend
+is *bit-identical* to the numpy reference — the equivalence suite pins
+it at test time and RL023 re-proves the width bounds statically, but
+neither sees the kernels a deployed process actually dispatches.  This
+sanitizer closes that gap: when armed, every call through the resolved
+:class:`~repro.hypersparse.backend.KernelHandle` is re-executed on the
+raw numpy reference kernels and the two results compared bit-for-bit
+(dtype, shape, and bytes, recursively over tuple returns).  Any
+divergence — a miscompiled loop, a drifted accumulation order, a
+tampered registration — is recorded as an RS007 trap at the dispatch
+site.
+
+Arming derives a *checked* handle and swaps it into every module-level
+binding (the handle is immutable, matching RL022's no-mutable-state
+discipline); :func:`~repro.hypersparse.backend.resolve` is wrapped the
+same way so handles resolved *after* arming — including the seeded
+selftest probe's deliberately tampered backend — are checked too.  In
+canonical arming order ``backend`` arms last, so its replay wraps any
+kernels other sanitizers already checked while the replay side stays on
+the pristine reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+import numpy as np
+
+from .runtime import caller_site, patch_everywhere, record_trap
+
+__all__ = ["arm"]
+
+
+def _bit_identical(a: Any, b: Any) -> bool:
+    """True when two kernel results match bit-for-bit.
+
+    Tuples compare element-wise; arrays compare dtype, shape, and raw
+    bytes — ``==`` would call NaN-distinct and -0.0-sloppy, and the
+    backend contract is *bit* identity, not numeric closeness.
+    """
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return (
+            isinstance(a, tuple)
+            and isinstance(b, tuple)
+            and len(a) == len(b)
+            and all(_bit_identical(x, y) for x, y in zip(a, b))
+        )
+    arr_a = np.asarray(a)
+    arr_b = np.asarray(b)
+    return (
+        arr_a.dtype == arr_b.dtype
+        and arr_a.shape == arr_b.shape
+        and arr_a.tobytes() == arr_b.tobytes()
+    )
+
+
+def _checked_kernel(
+    backend_name: str,
+    kernel_name: str,
+    fn: Callable[..., Any],
+    ref: Callable[..., Any],
+) -> Callable[..., Any]:
+    """Wrap ``fn`` to replay every call on ``ref`` and compare results.
+
+    Kernels are total pure functions over immutable inputs, so the
+    replay is side-effect free; the dispatched result is always the one
+    returned, the reference result exists only to compare against.
+    """
+
+    def kernel(*args: Any, **kwargs: Any) -> Any:
+        got = fn(*args, **kwargs)
+        want = ref(*args, **kwargs)
+        if not _bit_identical(got, want):
+            record_trap(
+                "backend",
+                f"backend {backend_name!r} kernel {kernel_name!r} diverged "
+                f"bit-for-bit from the numpy reference",
+                site=caller_site(),
+            )
+        return got
+
+    return kernel
+
+
+def _checked_handle(kb: Any, handle: Any, reference: Any) -> Any:
+    """A handle replaying every kernel against the reference backend."""
+    overrides = {
+        name: _checked_kernel(
+            handle.backend_name, name, getattr(handle, name), getattr(reference, name)
+        )
+        for name in kb.kernel_names()
+    }
+    return handle.replace(**overrides)
+
+
+def arm() -> Callable[[], None]:
+    """Arm the backend sanitizer; returns the undo closure."""
+    from ...hypersparse import backend as kb
+    from ...hypersparse.backend import reference
+
+    undos: List[Callable[[], None]] = []
+
+    handle = kb.KERNELS
+    undos.append(patch_everywhere(handle, _checked_handle(kb, handle, reference)))
+
+    orig_resolve = kb.resolve
+
+    def resolve(name: str) -> Any:
+        return _checked_handle(kb, orig_resolve(name), reference)
+
+    undos.append(patch_everywhere(orig_resolve, resolve))
+
+    def undo() -> None:
+        for u in reversed(undos):
+            u()
+
+    return undo

@@ -1,0 +1,215 @@
+"""Declarative kernel-backend registry and dispatch handle.
+
+The hypersparse algebra calls its hot kernels (packed-key pack/unpack,
+sorted-merge union/intersect, reduceat-style combine) through a single
+immutable :class:`KernelHandle` resolved **once at import** — not
+through per-call backend branching.  Backends register a complete
+implementation of the kernel table declared in :mod:`.contract`;
+registration validates every kernel's parameter names and dtype
+annotations against the table, so a partial or drifted backend fails
+at registration (and, before that, statically under lint rule RL021).
+
+Selection is driven by the ``REPRO_BACKEND`` knob:
+
+* ``numpy`` (default) — the reference backend in :mod:`.reference`;
+* ``numba`` — the compiled backend, an explicit error if numba is
+  not importable;
+* ``auto`` — numba when importable, otherwise a logged fallback to
+  numpy.
+
+Bit-identity of every non-reference backend is pinned three ways: the
+randomized equivalence suite runs under ``REPRO_BACKEND=numba`` in CI,
+the RL023 rule re-proves the packed-key width bounds over each
+backend's arithmetic, and the RS007 ``backend`` sanitizer replays every
+dispatched call on the reference and compares bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple, Union
+
+from ...analysis.knobs import env_str
+from . import reference
+from .contract import HELPER_DOMAIN, KERNEL_TABLE, KernelSpec
+
+__all__ = [
+    "KernelHandle",
+    "KernelSpec",
+    "KERNEL_TABLE",
+    "HELPER_DOMAIN",
+    "KERNELS",
+    "kernel_names",
+    "register_backend",
+    "registered_backends",
+    "resolve",
+    "select_backend",
+]
+
+_LOG = logging.getLogger("repro.hypersparse.backend")
+
+#: Valid values of the ``REPRO_BACKEND`` knob.
+_CHOICES = ("numpy", "numba", "auto")
+
+Kernel = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class KernelHandle:
+    """The resolved, immutable dispatch handle — one field per kernel.
+
+    Hot modules bind a handle once at import (``from .backend import
+    KERNELS as _K``) and call ``_K.pack_keys(...)`` etc.; rule RL022
+    rejects any other dispatch shape.  Sanitizers derive *checked*
+    handles with :meth:`replace` and swap them in via
+    ``patch_everywhere`` rather than mutating this one — there is no
+    mutable backend-global state to corrupt.
+    """
+
+    backend_name: str
+    pack_keys: Kernel
+    unpack_keys: Kernel
+    combine_add: Kernel
+    combine_general: Kernel
+    count_duplicates: Kernel
+    merge_add: Kernel
+    merge_sub: Kernel
+    merge_general: Kernel
+    intersect_sorted: Kernel
+    in_sorted: Kernel
+
+    def replace(self, **overrides: Kernel) -> "KernelHandle":
+        """A new handle with some kernels swapped (for checked wrappers)."""
+        return dataclasses.replace(self, **overrides)
+
+    def kernel(self, name: str) -> Kernel:
+        """The kernel registered under ``name`` (KeyError if not a kernel)."""
+        if name not in kernel_names():
+            raise KeyError(f"{name!r} is not a declared kernel")
+        return getattr(self, name)
+
+
+_REGISTRY: Dict[str, KernelHandle] = {}
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """The declared kernel names, in table order."""
+    return tuple(spec.name for spec in KERNEL_TABLE)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _conformance_errors(name: str, fn: Kernel, spec: KernelSpec) -> list:
+    """Human-readable deviations of ``fn`` from its declared spec."""
+    errors = []
+    try:
+        params = tuple(inspect.signature(fn).parameters)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return [f"{name}.{spec.name}: signature is not introspectable"]
+    if params != spec.params:
+        errors.append(
+            f"{name}.{spec.name}: parameters {params} != declared {spec.params}"
+        )
+    anns = dict(getattr(fn, "__annotations__", {}))
+    if anns != dict(spec.annotations):
+        errors.append(
+            f"{name}.{spec.name}: annotations {anns} != declared {dict(spec.annotations)}"
+        )
+    return errors
+
+
+def register_backend(
+    name: str,
+    kernels: Union[Mapping[str, Kernel], Any],
+    *,
+    allow_replace: bool = False,
+) -> KernelHandle:
+    """Validate ``kernels`` against the table and register a handle.
+
+    ``kernels`` is a module or mapping exporting one callable per
+    declared kernel.  Registration is all-or-nothing: a missing kernel,
+    a parameter-name drift or an annotation drift raises ``TypeError``
+    listing every deviation — the runtime twin of lint rule RL021.
+    """
+    if name in _REGISTRY and not allow_replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    getter = kernels.get if isinstance(kernels, Mapping) else (
+        lambda k, d=None: getattr(kernels, k, d)
+    )
+    table: Dict[str, Kernel] = {}
+    errors = []
+    for spec in KERNEL_TABLE:
+        fn = getter(spec.name)
+        if fn is None or not callable(fn):
+            errors.append(f"{name}.{spec.name}: kernel missing")
+            continue
+        errors.extend(_conformance_errors(name, fn, spec))
+        table[spec.name] = fn
+    if errors:
+        raise TypeError(
+            f"backend {name!r} does not conform to the kernel table:\n  "
+            + "\n  ".join(errors)
+        )
+    handle = KernelHandle(backend_name=name, **table)
+    _REGISTRY[name] = handle
+    return handle
+
+
+def resolve(name: str) -> KernelHandle:
+    """The registered handle for ``name``; KeyError lists what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"no backend registered under {name!r}; registered: {known}"
+        ) from None
+
+
+def _load_numba() -> KernelHandle:
+    """Import, register (once) and resolve the numba backend."""
+    from . import numba_backend
+
+    if "numba" not in _REGISTRY:
+        register_backend("numba", numba_backend)
+    return resolve("numba")
+
+
+def select_backend() -> KernelHandle:
+    """Resolve the handle the ``REPRO_BACKEND`` knob asks for.
+
+    Called once at import to bind :data:`KERNELS`.  An undeclared value
+    is a loud error (matching ``REPRO_PROCESSES``); ``numba`` without
+    numba importable is a loud error; ``auto`` falls back to numpy with
+    a logged note.
+    """
+    choice = env_str("REPRO_BACKEND", "numpy").lower()
+    if choice not in _CHOICES:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {', '.join(_CHOICES)}; got {choice!r}"
+        )
+    if choice == "numpy":
+        return resolve("numpy")
+    try:
+        return _load_numba()
+    except ImportError as exc:
+        if choice == "numba":
+            raise RuntimeError(
+                f"REPRO_BACKEND=numba but the numba backend cannot load: {exc}"
+            ) from exc
+        _LOG.info(
+            "REPRO_BACKEND=auto: numba backend unavailable (%s); using numpy", exc
+        )
+        return resolve("numpy")
+
+
+register_backend("numpy", reference)
+
+#: The handle every hot module dispatches through, resolved once here.
+KERNELS: KernelHandle = select_backend()

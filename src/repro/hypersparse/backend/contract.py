@@ -1,0 +1,231 @@
+"""The declarative kernel contract shared by every backend.
+
+:data:`KERNEL_TABLE` is the single source of truth for the pluggable
+kernel layer: one :class:`KernelSpec` per kernel with its name,
+parameter list, dtype annotations, and the value-range domain each
+integer parameter is contracted to (the paper's ``2^32 x 2^32``
+operating space).  The registry (:mod:`repro.hypersparse.backend`)
+validates every registered backend against this table at runtime, and
+the static rules re-prove it without running anything: RL021 checks
+each backend module exports the complete table with matching
+signatures, and RL023 runs the RL013 interval analysis over each
+implementation's arithmetic seeded from the ``domain`` entries below —
+so the in-width packed-key proof holds for compiled code paths too.
+
+The table is a *pure literal*: no computed values, so the analysis
+rules can read it straight off the AST of this file without importing
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "U64",
+    "F64",
+    "IDX",
+    "MASK",
+    "Run",
+    "ValueOp",
+    "KernelSpec",
+    "KERNEL_TABLE",
+    "HELPER_DOMAIN",
+]
+
+#: Array-type aliases carrying the dtype contract in annotations:
+#: every backend implementation annotates its kernels with these names
+#: and RL021 matches the annotation text against the table below.
+U64 = np.ndarray  #: uint64 coordinates / packed keys
+F64 = np.ndarray  #: float64 values
+IDX = np.ndarray  #: intp index arrays (searchsorted/flatnonzero outputs)
+MASK = np.ndarray  #: bool membership masks
+
+#: A canonical run: strictly increasing uint64 keys, aligned float64 values.
+Run = Tuple[U64, F64]
+
+#: Element-wise value transform (``right_op`` of the subtract merge).
+ValueOp = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel's declared contract.
+
+    Attributes
+    ----------
+    name:
+        Kernel name; every backend module exports a callable under it.
+    params:
+        Positional parameter names, in order.
+    annotations:
+        Annotation text per parameter plus ``"return"`` — matched
+        verbatim (RL021 statically, the registry at runtime) against
+        each implementation's annotations.
+    domain:
+        ``param -> (lo, hi, width)`` value-range contract for integer
+        parameters; array entries bound the *elements*.  RL023 seeds
+        its interval environment from these, which is what makes the
+        overflow proof hold per backend.
+    doc:
+        One-line description for the registry listing.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    annotations: Dict[str, str] = field(default_factory=dict)
+    domain: Dict[str, Tuple[int, int, str]] = field(default_factory=dict)
+    doc: str = ""
+
+
+#: The kernel table.  Pure literal — parsed off the AST by RL021/RL023.
+KERNEL_TABLE: Tuple[KernelSpec, ...] = (
+    KernelSpec(
+        name="pack_keys",
+        params=("rows", "cols", "ncols"),
+        annotations={
+            "rows": "U64",
+            "cols": "U64",
+            "ncols": "int",
+            "return": "U64",
+        },
+        domain={
+            "rows": (0, 2**32 - 1, "uint64"),
+            "cols": (0, 2**32 - 1, "uint64"),
+            "ncols": (1, 2**32, "int"),
+        },
+        doc="pack (row, col) into lexicographic uint64 keys",
+    ),
+    KernelSpec(
+        name="unpack_keys",
+        params=("keys", "ncols"),
+        annotations={
+            "keys": "U64",
+            "ncols": "int",
+            "return": "Tuple[U64, U64]",
+        },
+        domain={
+            "keys": (0, 2**64 - 1, "uint64"),
+            "ncols": (1, 2**32, "int"),
+        },
+        doc="invert pack_keys back to (rows, cols)",
+    ),
+    KernelSpec(
+        name="combine_add",
+        params=("keys", "vals"),
+        annotations={"keys": "U64", "vals": "F64", "return": "Run"},
+        domain={"keys": (0, 2**64 - 1, "uint64")},
+        doc="stable-sort arbitrary keys and sum duplicate coordinates",
+    ),
+    KernelSpec(
+        name="combine_general",
+        params=("keys", "vals", "add"),
+        annotations={
+            "keys": "U64",
+            "vals": "F64",
+            "add": "np.ufunc",
+            "return": "Run",
+        },
+        domain={"keys": (0, 2**64 - 1, "uint64")},
+        doc="stable-sort arbitrary keys and combine duplicates with a ufunc",
+    ),
+    KernelSpec(
+        name="count_duplicates",
+        params=("keys",),
+        annotations={"keys": "U64", "return": "Run"},
+        domain={"keys": (0, 2**64 - 1, "uint64")},
+        doc="sort arbitrary keys and count multiplicities (implicit ones)",
+    ),
+    KernelSpec(
+        name="merge_add",
+        params=("keys_a", "vals_a", "keys_b", "vals_b"),
+        annotations={
+            "keys_a": "U64",
+            "vals_a": "F64",
+            "keys_b": "U64",
+            "vals_b": "F64",
+            "return": "Run",
+        },
+        domain={
+            "keys_a": (0, 2**64 - 1, "uint64"),
+            "keys_b": (0, 2**64 - 1, "uint64"),
+        },
+        doc="union-combine two canonical runs with '+'",
+    ),
+    KernelSpec(
+        name="merge_sub",
+        params=("keys_a", "vals_a", "keys_b", "vals_b"),
+        annotations={
+            "keys_a": "U64",
+            "vals_a": "F64",
+            "keys_b": "U64",
+            "vals_b": "F64",
+            "return": "Run",
+        },
+        domain={
+            "keys_a": (0, 2**64 - 1, "uint64"),
+            "keys_b": (0, 2**64 - 1, "uint64"),
+        },
+        doc="union-combine two canonical runs as a - b (b-only negated)",
+    ),
+    KernelSpec(
+        name="merge_general",
+        params=("keys_a", "vals_a", "keys_b", "vals_b", "op", "right_op"),
+        annotations={
+            "keys_a": "U64",
+            "vals_a": "F64",
+            "keys_b": "U64",
+            "vals_b": "F64",
+            "op": "np.ufunc",
+            "right_op": "Optional[ValueOp]",
+            "return": "Run",
+        },
+        domain={
+            "keys_a": (0, 2**64 - 1, "uint64"),
+            "keys_b": (0, 2**64 - 1, "uint64"),
+        },
+        doc="union-combine two canonical runs with an arbitrary ufunc",
+    ),
+    KernelSpec(
+        name="intersect_sorted",
+        params=("keys_a", "keys_b"),
+        annotations={
+            "keys_a": "U64",
+            "keys_b": "U64",
+            "return": "Tuple[U64, IDX, IDX]",
+        },
+        domain={
+            "keys_a": (0, 2**64 - 1, "uint64"),
+            "keys_b": (0, 2**64 - 1, "uint64"),
+        },
+        doc="sorted-run intersection with operand indices",
+    ),
+    KernelSpec(
+        name="in_sorted",
+        params=("sorted_keys", "queries"),
+        annotations={
+            "sorted_keys": "U64",
+            "queries": "U64",
+            "return": "MASK",
+        },
+        domain={
+            "sorted_keys": (0, 2**64 - 1, "uint64"),
+            "queries": (0, 2**64 - 1, "uint64"),
+        },
+        doc="membership of queries in a canonical run",
+    ),
+)
+
+#: Value-range contract for *helper-function* parameters backends share
+#: (private ``_pack_pow2``-style loops compiled backends split out of
+#: the table kernels).  RL023 seeds these names alongside each kernel's
+#: declared domain, so the same proof covers the helpers: pack shifts
+#: are ``log2(ncols) <= 32`` and multiplicative column extents stay on
+#: one IPv4 axis.
+HELPER_DOMAIN: Dict[str, Tuple[int, int, str]] = {
+    "shift": (0, 32, "int"),
+    "ncols_u": (1, 2**32, "uint64"),
+}

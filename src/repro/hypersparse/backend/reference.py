@@ -1,0 +1,234 @@
+"""The numpy reference backend.
+
+These are the vectorized kernels that previously lived inline in
+:mod:`repro.hypersparse.coo` and :mod:`repro.hypersparse.merge`, now
+registered behind the kernel table in :mod:`.contract`.  This backend
+is the semantic ground truth: every other backend must be bit-identical
+to it (pinned by the randomized equivalence suite and, at runtime, by
+the RS007 ``backend`` sanitizer replaying each dispatched call here).
+
+The kernels are *total* pure functions over canonical-form inputs: no
+counters, no fast-path shortcuts, no aliasing games — those belong to
+the orchestrators in ``coo``/``merge`` that sit in front of the
+dispatch handle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .contract import F64, IDX, MASK, U64, Run, ValueOp
+
+__all__ = [
+    "pack_keys",
+    "unpack_keys",
+    "combine_add",
+    "combine_general",
+    "count_duplicates",
+    "merge_add",
+    "merge_sub",
+    "merge_general",
+    "intersect_sorted",
+    "in_sorted",
+]
+
+
+def _run_starts(sorted_arr: np.ndarray) -> np.ndarray:
+    """Indices where each run of equal values begins (input pre-sorted)."""
+    first = np.empty(sorted_arr.size, dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_arr[1:], sorted_arr[:-1], out=first[1:])
+    return np.flatnonzero(first)
+
+
+def pack_keys(rows: U64, cols: U64, ncols: int) -> U64:
+    """Map (row, col) to a single uint64 key preserving lexicographic order.
+
+    For power-of-two column extents (the ``2^32``-wide IPv4 plane — every
+    matrix the paper builds) the multiply/add collapses to a shift/or,
+    which also lets :func:`unpack_keys` undo it with a shift/mask
+    instead of 64-bit division.
+    """
+    if ncols & (ncols - 1) == 0:
+        return (rows << np.uint64(ncols.bit_length() - 1)) | cols
+    return rows * np.uint64(ncols) + cols
+
+
+def unpack_keys(keys: U64, ncols: int) -> Tuple[U64, U64]:
+    """Invert :func:`pack_keys`."""
+    if ncols & (ncols - 1) == 0:
+        shift = np.uint64(ncols.bit_length() - 1)
+        return keys >> shift, keys & np.uint64(ncols - 1)
+    ncols_u = np.uint64(ncols)
+    return keys // ncols_u, keys % ncols_u
+
+
+def combine_general(keys: U64, vals: F64, add: np.ufunc) -> Run:
+    """Sort ``keys`` and combine values of equal keys with ``add``.
+
+    Returns (unique sorted keys, combined values).  The canonicalization
+    workhorse: the one sanctioned full sort, paid only where the input
+    really is arbitrary (construction from raw triples, ``mxm`` product
+    streams).
+    """
+    if keys.size == 0:
+        return keys, vals
+    order = np.argsort(keys, kind="stable")  # lint: allow-resort — canonicalization site
+    keys = keys[order]
+    vals = vals[order]
+    starts = _run_starts(keys)
+    return keys[starts], add.reduceat(vals, starts)
+
+
+def combine_add(keys: U64, vals: F64) -> Run:
+    """:func:`combine_general` specialized to the ``+`` monoid.
+
+    The hot instantiation — duplicate packets between the same address
+    pair sum — split out so compiled backends can fuse the stable sort,
+    gather and run-reduction without crossing a ufunc boundary.
+    """
+    return combine_general(keys, vals, np.add)
+
+
+def count_duplicates(keys: U64) -> Run:
+    """Sort ``keys`` and count multiplicities (the implicit-ones case).
+
+    When every triple carries the default value 1 and duplicates combine
+    with ``+`` — a batch of packets — the combined value of a coordinate
+    is just its multiplicity.  That needs only the sorted *keys*: a plain
+    ``np.sort`` beats the stable argsort of :func:`combine_add` because
+    no permutation is materialized and no value array is gathered or
+    reduced.  Counts are exact in float64 (integers far below 2^53).
+    """
+    if keys.size == 0:
+        return keys, np.zeros(0, dtype=np.float64)
+    keys = np.sort(keys)
+    starts = _run_starts(keys)
+    counts = np.diff(np.append(starts, keys.size)).astype(np.float64)
+    return keys[starts], counts
+
+
+def _merge_into(
+    keys_s: np.ndarray,
+    vals_s: np.ndarray,
+    keys_n: np.ndarray,
+    vals_n: np.ndarray,
+    op: np.ufunc,
+    right_op: Optional[ValueOp],
+    b_is_needle: bool,
+) -> Run:
+    """Merge the needle run ``n`` into the stack run ``s``.
+
+    ``b_is_needle`` records which input was the right operand of the
+    original merge call so ``op``'s argument order and ``right_op``'s
+    target (b-exclusive values) stay correct under the internal swap
+    that always searches the smaller run into the larger.
+    """
+    ns = keys_s.size
+    idx = np.searchsorted(keys_s, keys_n)
+    # idx == ns means the needle exceeds every stack key, and then the
+    # clipped probe compares against the (strictly smaller) last stack
+    # key, so the clip cannot fabricate a match.
+    matched = keys_s[np.minimum(idx, ns - 1)] == keys_n
+    only = ~matched
+    idx_only = idx[only]
+    n_only = idx_only.size
+    out_n = ns + n_only
+    out_keys = np.empty(out_n, dtype=keys_s.dtype)
+    out_vals = np.empty(out_n, dtype=np.float64)
+    # Output position of stack element i: i stack elements precede it,
+    # plus every exclusive needle whose insertion point is <= i.
+    inserted_before = np.cumsum(np.bincount(idx_only, minlength=ns + 1))
+    pos_s = np.arange(ns, dtype=np.int64) + inserted_before[:ns]
+    # Output position of the j-th exclusive needle: its insertion point
+    # (stack elements before it) plus the j exclusive needles before it.
+    pos_n = idx_only + np.arange(n_only, dtype=np.int64)
+    out_keys[pos_s] = keys_s
+    out_vals[pos_s] = vals_s
+    out_keys[pos_n] = keys_n[only]
+    needle_exclusive = vals_n[only]
+    if right_op is not None and b_is_needle:
+        needle_exclusive = np.asarray(right_op(needle_exclusive), dtype=np.float64)
+    out_vals[pos_n] = needle_exclusive
+    if right_op is not None and not b_is_needle:
+        # The stack is the b operand: transform its exclusive values,
+        # i.e. every stack position no needle matched.
+        stack_exclusive = np.ones(ns, dtype=bool)
+        stack_exclusive[idx[matched]] = False
+        sx = pos_s[stack_exclusive]
+        out_vals[sx] = right_op(out_vals[sx])
+    mi = idx[matched]
+    if mi.size:
+        if b_is_needle:
+            out_vals[pos_s[mi]] = op(vals_s[mi], vals_n[matched])
+        else:
+            out_vals[pos_s[mi]] = op(vals_n[matched], vals_s[mi])
+    return out_keys, out_vals
+
+
+def merge_general(
+    keys_a: U64,
+    vals_a: F64,
+    keys_b: U64,
+    vals_b: F64,
+    op: np.ufunc,
+    right_op: Optional[ValueOp],
+) -> Run:
+    """Union-combine two non-empty canonical key runs.
+
+    Keys present in both runs get ``op(a_value, b_value)`` (operand
+    order preserved); keys exclusive to one run pass their value
+    through, with ``right_op`` applied to b-exclusive values when given.
+    Always searches the smaller run into the larger.
+    """
+    if keys_b.size <= keys_a.size:
+        return _merge_into(keys_a, vals_a, keys_b, vals_b, op, right_op, b_is_needle=True)
+    return _merge_into(keys_b, vals_b, keys_a, vals_a, op, right_op, b_is_needle=False)
+
+
+def merge_add(keys_a: U64, vals_a: F64, keys_b: U64, vals_b: F64) -> Run:
+    """:func:`merge_general` specialized to ``+`` — the accumulation merge."""
+    return merge_general(keys_a, vals_a, keys_b, vals_b, np.add, None)
+
+
+def merge_sub(keys_a: U64, vals_a: F64, keys_b: U64, vals_b: F64) -> Run:
+    """:func:`merge_general` specialized to ``a - b`` with b-only negated."""
+    return merge_general(keys_a, vals_a, keys_b, vals_b, np.subtract, np.negative)
+
+
+def intersect_sorted(keys_a: U64, keys_b: U64) -> Tuple[U64, IDX, IDX]:
+    """Intersection of two canonical key runs, with operand indices.
+
+    Returns ``(common, ia, ib)`` such that ``common == keys_a[ia] ==
+    keys_b[ib]`` in sorted order — the same contract as
+    ``np.intersect1d(..., assume_unique=True, return_indices=True)``
+    without its internal concatenate-and-argsort.
+    """
+    if keys_a.size == 0 or keys_b.size == 0:
+        empty_idx = np.zeros(0, dtype=np.intp)
+        return np.zeros(0, dtype=keys_a.dtype), empty_idx, empty_idx
+    if keys_b.size <= keys_a.size:
+        idx = np.searchsorted(keys_a, keys_b)
+        matched = keys_a[np.minimum(idx, keys_a.size - 1)] == keys_b
+        ib = np.flatnonzero(matched)
+        ia = idx[matched]
+    else:
+        idx = np.searchsorted(keys_b, keys_a)
+        matched = keys_b[np.minimum(idx, keys_b.size - 1)] == keys_a
+        ia = np.flatnonzero(matched)
+        ib = idx[matched]
+    return keys_a[ia], ia, ib
+
+
+def in_sorted(sorted_keys: U64, queries: U64) -> MASK:
+    """Boolean membership of ``queries`` in a canonical key run.
+
+    The ``np.isin`` replacement for sorted unique haystacks: one binary
+    search per query, no sorting.  ``queries`` may be in any order.
+    """
+    if sorted_keys.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    idx = np.searchsorted(sorted_keys, queries)
+    return sorted_keys[np.minimum(idx, sorted_keys.size - 1)] == queries

@@ -1,0 +1,12 @@
+"""Drifting backend fixture: missing kernel, drifted params/annotations."""
+
+import numpy as np
+
+from .contract import U64
+
+__all__ = ["pack_keys"]
+
+
+def pack_keys(rows: U64, columns: U64, ncols: np.uint64) -> U64:
+    """Pack with a drifted parameter name and a drifted annotation."""
+    return rows

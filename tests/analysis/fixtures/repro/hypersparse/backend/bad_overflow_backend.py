@@ -1,0 +1,19 @@
+"""Wrapping backend fixture: conforming signatures, out-of-width math."""
+
+import numpy as np
+
+from .contract import MASK, U64
+
+__all__ = ["pack_keys", "in_sorted"]
+
+
+def pack_keys(rows: U64, cols: U64, ncols: int) -> U64:
+    """Pack with a doubled row term whose range leaves uint64."""
+    ncols_u = np.uint64(ncols)
+    return rows * ncols_u * np.uint64(2) + cols
+
+
+def in_sorted(sorted_keys: U64, queries: U64) -> MASK:
+    """Membership probing through a shift that can wrap."""
+    probe = sorted_keys << np.uint64(40)
+    return np.isin(queries, probe)

@@ -1,0 +1,53 @@
+"""Backend kernel contract (fixture): pure-literal two-kernel table."""
+
+import numpy as np
+
+__all__ = ["U64", "MASK", "KernelSpec", "KERNEL_TABLE", "HELPER_DOMAIN"]
+
+U64 = np.ndarray
+MASK = np.ndarray
+
+
+class KernelSpec:
+    """Stand-in spec record; the rules read the table off the AST."""
+
+    def __init__(self, **kwargs):
+        """Store the declared fields."""
+        self.__dict__.update(kwargs)
+
+
+KERNEL_TABLE = (
+    KernelSpec(
+        name="pack_keys",
+        params=("rows", "cols", "ncols"),
+        annotations={
+            "rows": "U64",
+            "cols": "U64",
+            "ncols": "int",
+            "return": "U64",
+        },
+        domain={
+            "rows": (0, 2**32 - 1, "uint64"),
+            "cols": (0, 2**32 - 1, "uint64"),
+            "ncols": (1, 2**32, "int"),
+        },
+    ),
+    KernelSpec(
+        name="in_sorted",
+        params=("sorted_keys", "queries"),
+        annotations={
+            "sorted_keys": "U64",
+            "queries": "U64",
+            "return": "MASK",
+        },
+        domain={
+            "sorted_keys": (0, 2**64 - 1, "uint64"),
+            "queries": (0, 2**64 - 1, "uint64"),
+        },
+    ),
+)
+
+HELPER_DOMAIN = {
+    "shift": (0, 32, "int"),
+    "ncols_u": (1, 2**32, "uint64"),
+}

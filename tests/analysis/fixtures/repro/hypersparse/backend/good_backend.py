@@ -1,0 +1,23 @@
+"""Conforming backend fixture: complete table, provably in-width."""
+
+import numpy as np
+
+from .contract import MASK, U64
+
+__all__ = ["pack_keys", "in_sorted"]
+
+
+def pack_keys(rows: U64, cols: U64, ncols: int) -> U64:
+    """Pack (row, col) into uint64 keys on a 2^32-bounded grid."""
+    ncols_u = np.uint64(ncols)
+    return rows * ncols_u + cols
+
+
+def in_sorted(sorted_keys: U64, queries: U64) -> MASK:
+    """Membership of queries in a sorted unique run."""
+    return np.isin(queries, sorted_keys)
+
+
+def _pack_pow2(rows: U64, cols: U64, shift: np.uint64) -> U64:
+    """Shift-or pack helper, proved in-width via HELPER_DOMAIN's shift."""
+    return (rows << shift) | cols

@@ -1,0 +1,21 @@
+"""Dispatch-discipline violations fixture (RL022)."""
+
+from .backend import KERNELS as _K
+from .backend import resolve
+from .backend.reference import pack_keys
+
+__all__ = ["build", "rebind"]
+
+
+def build(rows, cols, ncols):
+    """Bare-name kernel call plus a per-call registry lookup."""
+    keys = pack_keys(rows, cols, ncols)
+    handle = resolve("numpy")
+    return handle.in_sorted(keys, keys)
+
+
+def rebind():
+    """Rebind and mutate the handle alias."""
+    global _K
+    _K = resolve("numpy")
+    _K.pack_keys = None

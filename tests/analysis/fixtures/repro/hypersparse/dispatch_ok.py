@@ -1,0 +1,11 @@
+"""Sanctioned dispatch fixture: handle bound once, attribute calls."""
+
+from .backend import KERNELS as _K
+from .backend.contract import U64
+
+__all__ = ["pack"]
+
+
+def pack(rows: U64, cols: U64, ncols: int) -> U64:
+    """Dispatch through the resolved handle."""
+    return _K.pack_keys(rows, cols, ncols)

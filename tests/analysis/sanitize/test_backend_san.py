@@ -1,0 +1,86 @@
+"""RS007 backend sanitizer: reference replay, tamper traps, selftest probe."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import fixtures
+from repro.analysis.sanitize.runtime import arm, disarm, take_traps
+from repro.hypersparse import backend as kb
+from repro.hypersparse import coo
+from repro.hypersparse.coo import HyperSparseMatrix
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """Every test starts and ends disarmed with an empty trap log."""
+    disarm()
+    take_traps()
+    yield
+    disarm()
+    take_traps()
+
+
+def small_matrix(seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 50, size=200, dtype=np.uint64)
+    cols = rng.integers(0, 50, size=200, dtype=np.uint64)
+    vals = rng.standard_normal(200)
+    return HyperSparseMatrix(rows, cols, vals, shape=(50, 50))
+
+
+class TestReplay:
+    def test_armed_handle_swaps_in_and_restores(self):
+        before = kb.KERNELS
+        arm(["backend"])
+        try:
+            assert kb.KERNELS is not before
+            assert coo._K is kb.KERNELS
+        finally:
+            disarm()
+        assert kb.KERNELS is before
+        assert coo._K is before
+
+    def test_clean_dispatch_records_nothing(self):
+        arm(["backend"])
+        a = small_matrix(1)
+        b = small_matrix(2)
+        (a + b).find()
+        a.transpose().find()
+        disarm()
+        assert take_traps() == []
+
+    def test_results_bit_identical_armed_vs_disarmed(self):
+        plain = (small_matrix(3) + small_matrix(4)).find()
+        arm(["backend"])
+        replayed = (small_matrix(3) + small_matrix(4)).find()
+        disarm()
+        for got, want in zip(replayed, plain):
+            assert np.asarray(got).tobytes() == np.asarray(want).tobytes()
+
+
+class TestTamperTrap:
+    def test_tampered_backend_traps_when_armed(self):
+        arm(["backend"])
+        fixtures.probe_backend()
+        disarm()
+        traps = [t for t in take_traps() if t.sanitizer == "backend"]
+        assert traps, "tampered dispatch went unnoticed"
+        assert traps[0].rule_id == "RS007"
+        assert "selftest-tampered" in traps[0].message
+        assert "pack_keys" in traps[0].message
+        assert "numpy reference" in traps[0].message
+
+    def test_tampered_backend_silent_when_disarmed(self):
+        fixtures.probe_backend()
+        assert take_traps() == []
+
+    def test_composes_with_overflow_without_double_trapping(self):
+        # Overflow arms first (canonical order): the replay wraps the
+        # overflow-checked kernel but replays on the raw reference, so a
+        # genuine wrap trips RS001 exactly — never a spurious RS007.
+        arm(["overflow", "backend"])
+        fixtures.probe_overflow()
+        disarm()
+        traps = take_traps()
+        assert any(t.sanitizer == "overflow" for t in traps)
+        assert not any(t.sanitizer == "backend" for t in traps)

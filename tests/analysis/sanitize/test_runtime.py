@@ -69,15 +69,18 @@ class TestTrapLog:
 
 class TestArming:
     def test_arm_disarm_roundtrip_restores_bindings(self):
+        from repro.hypersparse import backend as kb
         from repro.hypersparse import coo
 
-        before_pack = coo._pack_keys
+        before_handle = kb.KERNELS
         arm(["overflow"])
         assert armed() == ("overflow",)
-        assert coo._pack_keys is not before_pack  # patched in place
+        assert kb.KERNELS is not before_handle  # checked handle swapped in
+        assert coo._K is kb.KERNELS  # every binding follows
         disarm()
         assert armed() == ()
-        assert coo._pack_keys is before_pack  # fully restored
+        assert kb.KERNELS is before_handle  # fully restored
+        assert coo._K is before_handle
 
     def test_arm_is_idempotent(self):
         arm(["mutate"])
@@ -123,15 +126,22 @@ class TestBootstrap:
 
 class TestPatchEverywhere:
     def test_patches_direct_import_bindings_and_undoes(self):
-        # repro.hypersparse.merge imports names directly from coo-land;
-        # use this module's own globals as the observable consumer.
+        # repro.hypersparse modules bind the kernel handle directly
+        # (``from .backend import KERNELS as _K``); patching the handle
+        # must swap every such binding, not just the defining module's.
+        import repro.hypersparse.backend as kb
         import repro.hypersparse.coo as coo
+        import repro.hypersparse.merge as merge
 
-        original = coo._pack_keys
+        original = kb.KERNELS
         sentinel = object()
         undo = runtime.patch_everywhere(original, sentinel)
         try:
-            assert coo._pack_keys is sentinel
+            assert kb.KERNELS is sentinel
+            assert coo._K is sentinel
+            assert merge._K is sentinel
         finally:
             undo()
-        assert coo._pack_keys is original
+        assert kb.KERNELS is original
+        assert coo._K is original
+        assert merge._K is original

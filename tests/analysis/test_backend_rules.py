@@ -1,0 +1,176 @@
+"""RL021–RL023: backend conformance, dispatch discipline, overflow proofs."""
+
+from pathlib import Path
+
+from repro.analysis.backends import parse_contract
+from repro.analysis.engine import lint_paths
+from repro.analysis.rules import rule_by_id
+
+import ast
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BACKEND = FIXTURES / "repro" / "hypersparse" / "backend"
+HYPERSPARSE = FIXTURES / "repro" / "hypersparse"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def run(rule_id, *paths):
+    """Lint the given files with a single rule; returns the findings."""
+    result = lint_paths(list(paths), [rule_by_id(rule_id)])
+    assert not result.errors, result.errors
+    return result.findings
+
+
+class TestContractParsing:
+    def test_fixture_contract_const_evaluates(self):
+        tree = ast.parse((BACKEND / "contract.py").read_text())
+        specs, helpers = parse_contract(tree)
+        assert [s["name"] for s in specs] == ["pack_keys", "in_sorted"]
+        assert specs[0]["params"] == ("rows", "cols", "ncols")
+        assert specs[0]["annotations"]["return"] == "U64"
+        assert specs[0]["domain"]["rows"] == (0, 2**32 - 1, "uint64")
+        assert helpers["shift"] == (0, 32, "int")
+
+    def test_shipped_contract_const_evaluates(self):
+        shipped = SRC_REPRO / "hypersparse" / "backend" / "contract.py"
+        specs, helpers = parse_contract(ast.parse(shipped.read_text()))
+        assert len(specs) == 10
+        assert helpers["ncols_u"] == (1, 2**32, "uint64")
+
+    def test_computed_table_rejected(self):
+        tree = ast.parse("KERNEL_TABLE = make_table()\n")
+        try:
+            parse_contract(tree)
+        except ValueError as exc:
+            assert "pure literal" in str(exc)
+        else:  # pragma: no cover - the assertion above must fire
+            raise AssertionError("computed table parsed")
+
+    def test_missing_table_rejected(self):
+        try:
+            parse_contract(ast.parse("X = 1\n"))
+        except ValueError as exc:
+            assert "KERNEL_TABLE" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("missing table parsed")
+
+
+class TestBackendConformance:
+    def findings(self):
+        return run(
+            "RL021",
+            BACKEND / "contract.py",
+            BACKEND / "good_backend.py",
+            BACKEND / "bad_backend.py",
+        )
+
+    def test_missing_kernel_flagged(self):
+        assert any(
+            "does not export kernel 'in_sorted'" in f.message
+            for f in self.findings()
+        )
+
+    def test_parameter_drift_flagged(self):
+        [f] = [f for f in self.findings() if "parameters" in f.message]
+        assert "'columns'" in f.message and "'cols'" in f.message
+
+    def test_annotation_drift_flagged(self):
+        [f] = [f for f in self.findings() if "annotations drift" in f.message]
+        assert "np.uint64" in f.message
+
+    def test_conforming_backend_silent(self):
+        assert not any("good_backend" in f.path for f in self.findings())
+
+    def test_registry_module_exempt(self):
+        # __init__.py (the registry) and contract.py itself carry no kernels.
+        assert not any(
+            f.path.endswith(("__init__.py", "contract.py"))
+            for f in self.findings()
+        )
+
+    def test_malformed_contract_is_itself_a_finding(self, tmp_path):
+        backend_dir = tmp_path / "repro" / "hypersparse" / "backend"
+        backend_dir.mkdir(parents=True)
+        (backend_dir / "contract.py").write_text('"""Doc."""\nKERNEL_TABLE = make()\n')
+        (backend_dir / "impl.py").write_text('"""Doc."""\n')
+        findings = run("RL021", backend_dir)
+        assert len(findings) == 1
+        assert "not a readable pure literal" in findings[0].message
+
+    def test_directory_without_contract_ignored(self):
+        assert run("RL021", HYPERSPARSE / "dispatch_ok.py") == []
+
+    def test_real_tree_clean(self):
+        assert run("RL021", SRC_REPRO) == []
+
+
+class TestDispatchDiscipline:
+    def findings(self):
+        return run(
+            "RL022",
+            BACKEND / "contract.py",
+            HYPERSPARSE / "bad_dispatch.py",
+            HYPERSPARSE / "dispatch_ok.py",
+        )
+
+    def test_private_backend_import_flagged(self):
+        assert any(
+            "backend-private kernels" in f.message for f in self.findings()
+        )
+
+    def test_bare_name_kernel_call_flagged(self):
+        assert any(
+            "bare-name call to kernel 'pack_keys'" in f.message
+            for f in self.findings()
+        )
+
+    def test_per_call_registry_lookup_flagged(self):
+        lookups = [f for f in self.findings() if "per-call registry lookup" in f.message]
+        assert len(lookups) == 2  # one in build(), one in rebind()
+
+    def test_handle_rebinding_and_mutation_flagged(self):
+        msgs = [f.message for f in self.findings()]
+        assert any("rebinds the dispatch handle '_K'" in m for m in msgs)
+        assert any("mutates the dispatch handle" in m for m in msgs)
+
+    def test_sanctioned_dispatch_silent(self):
+        assert not any("dispatch_ok" in f.path for f in self.findings())
+
+    def test_backend_package_itself_exempt(self):
+        # The registry must call select_backend/register_backend; RL022
+        # patrols the consumers, not the registry.
+        assert run(
+            "RL022",
+            SRC_REPRO / "hypersparse" / "backend",
+        ) == []
+
+    def test_real_tree_clean(self):
+        assert run("RL022", SRC_REPRO) == []
+
+
+class TestBackendOverflow:
+    def test_wrapping_backend_flagged(self):
+        findings = run("RL023", BACKEND / "bad_overflow_backend.py")
+        assert len(findings) == 3
+        assert all(f.rule_id == "RL023" for f in findings)
+        assert any("'<<' at uint64 can wrap" in f.message for f in findings)
+
+    def test_contract_domains_prove_the_good_backend(self):
+        # The multiplicative pack peaks at exactly 2^64-1 and the shift
+        # helper relies on HELPER_DOMAIN's `shift` seed — both prove
+        # only because the rule reads the sibling contract's domains.
+        assert run("RL023", BACKEND / "good_backend.py") == []
+
+    def test_out_of_scope_module_ignored(self):
+        assert run("RL023", HYPERSPARSE / "overflow_proof_bad.py") == []
+
+    def test_rl013_stands_down_inside_backend_packages(self):
+        findings = run("RL013", BACKEND / "bad_overflow_backend.py")
+        assert findings == []
+
+    def test_rl011_stands_down_inside_backend_packages(self):
+        findings = run("RL011", BACKEND / "bad_overflow_backend.py")
+        assert findings == []
+
+    def test_real_tree_clean(self):
+        assert run("RL023", SRC_REPRO) == []

@@ -1,0 +1,237 @@
+"""Kernel-backend registry: validation, selection, fallback, identity."""
+
+import dataclasses
+import importlib.util
+import logging
+
+import numpy as np
+import pytest
+
+from repro.hypersparse import backend as kb
+from repro.hypersparse import coo, linalg, merge, ops
+from repro.hypersparse.backend import reference
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+def _backend_san_armed():
+    from repro.analysis.sanitize.runtime import armed
+
+    return "backend" in armed()
+
+
+# RS007 wraps resolve() so every lookup returns a fresh *checked* handle;
+# assertions about handle/kernel identity only hold on raw dispatch.
+identity_requires_raw_dispatch = pytest.mark.skipif(
+    _backend_san_armed(),
+    reason="RS007 armed: resolve() returns checked handles, identity is per-call",
+)
+
+
+def reference_kernels():
+    return {name: getattr(reference, name) for name in kb.kernel_names()}
+
+
+class TestRegistry:
+    def test_numpy_backend_registered_at_import(self):
+        assert "numpy" in kb.registered_backends()
+
+    def test_kernel_names_follow_table_order(self):
+        assert kb.kernel_names() == tuple(s.name for s in kb.KERNEL_TABLE)
+        assert len(kb.kernel_names()) == 10
+
+    @identity_requires_raw_dispatch
+    def test_register_resolve_round_trip(self):
+        kernels = reference_kernels()
+        handle = kb.register_backend("test-rt", kernels, allow_replace=True)
+        assert kb.resolve("test-rt") is handle
+        assert handle.backend_name == "test-rt"
+        for name in kb.kernel_names():
+            assert handle.kernel(name) is kernels[name]
+
+    def test_partial_backend_rejected_listing_every_gap(self):
+        with pytest.raises(TypeError) as exc:
+            kb.register_backend(
+                "test-partial",
+                {"pack_keys": reference.pack_keys},
+                allow_replace=True,
+            )
+        message = str(exc.value)
+        # all-or-nothing: every missing kernel named, not just the first
+        for name in kb.kernel_names():
+            if name != "pack_keys":
+                assert name in message
+
+    def test_annotation_drift_rejected(self):
+        def pack_keys(rows, cols, ncols):
+            """Pack without the contract's dtype annotations."""
+            return reference.pack_keys(rows, cols, ncols)
+
+        kernels = reference_kernels()
+        kernels["pack_keys"] = pack_keys
+        with pytest.raises(TypeError, match="annotations"):
+            kb.register_backend("test-drift", kernels, allow_replace=True)
+
+    def test_parameter_drift_rejected(self):
+        def in_sorted(haystack, needles):
+            """Membership with drifted parameter names."""
+            return reference.in_sorted(haystack, needles)
+
+        kernels = reference_kernels()
+        kernels["in_sorted"] = in_sorted
+        with pytest.raises(TypeError, match="parameters"):
+            kb.register_backend("test-params", kernels, allow_replace=True)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            kb.register_backend("numpy", reference)
+
+    def test_unknown_backend_lists_what_exists(self):
+        with pytest.raises(KeyError, match="numpy"):
+            kb.resolve("cython")
+
+
+class TestDispatchHandle:
+    def test_hot_modules_share_the_selected_handle(self):
+        assert coo._K is kb.KERNELS
+        assert merge._K is kb.KERNELS
+        assert ops._K is kb.KERNELS
+        assert linalg._K is kb.KERNELS
+
+    @identity_requires_raw_dispatch
+    def test_numpy_handle_binds_the_reference_kernels(self):
+        handle = kb.resolve("numpy")
+        for name in kb.kernel_names():
+            assert handle.kernel(name) is getattr(reference, name)
+
+    def test_handle_is_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            kb.KERNELS.pack_keys = None
+
+    @identity_requires_raw_dispatch
+    def test_replace_derives_a_new_handle(self):
+        handle = kb.resolve("numpy")
+
+        def pack_keys(rows, cols, ncols):
+            return reference.pack_keys(rows, cols, ncols)
+
+        swapped = handle.replace(pack_keys=pack_keys)
+        assert swapped is not handle
+        assert swapped.pack_keys is pack_keys
+        assert handle.pack_keys is reference.pack_keys
+
+    def test_kernel_lookup_rejects_non_kernel_fields(self):
+        with pytest.raises(KeyError, match="not a declared kernel"):
+            kb.KERNELS.kernel("backend_name")
+
+
+class TestSelection:
+    @identity_requires_raw_dispatch
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert kb.select_backend() is kb.resolve("numpy")
+
+    @identity_requires_raw_dispatch
+    def test_explicit_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kb.select_backend() is kb.resolve("numpy")
+
+    def test_bad_value_rejected_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "banana")
+        with pytest.raises(ValueError, match="numpy, numba, auto"):
+            kb.select_backend()
+
+    def test_knob_is_declared_in_the_registry(self):
+        from repro.analysis.knobs import KNOBS
+
+        [knob] = [k for k in KNOBS if k.name == "REPRO_BACKEND"]
+        assert knob.default == "numpy"
+        assert "repro/hypersparse/backend" in knob.owner
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba importable; fallback unreachable")
+    def test_auto_without_numba_falls_back_with_logged_note(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        with caplog.at_level(logging.INFO, logger="repro.hypersparse.backend"):
+            handle = kb.select_backend()
+        assert handle.backend_name == "numpy"
+        assert "numba backend unavailable" in caplog.text
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba importable; error unreachable")
+    def test_explicit_numba_without_numba_is_a_loud_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+        with pytest.raises(RuntimeError, match="REPRO_BACKEND=numba"):
+            kb.select_backend()
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaEquivalence:
+    """Bit-identity of the compiled backend against the reference."""
+
+    @pytest.fixture()
+    def numba_handle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+        return kb.select_backend()
+
+    @staticmethod
+    def assert_same(got, want):
+        if isinstance(want, tuple):
+            assert isinstance(got, tuple) and len(got) == len(want)
+            for g, w in zip(got, want):
+                TestNumbaEquivalence.assert_same(g, w)
+            return
+        got, want = np.asarray(got), np.asarray(want)
+        assert got.dtype == want.dtype
+        assert got.shape == want.shape
+        assert got.tobytes() == want.tobytes()
+
+    def test_pack_unpack_bit_identical(self, numba_handle):
+        rng = np.random.default_rng(20220101)
+        for ncols in (2**32, 1000, 1, 2**20):
+            rows = rng.integers(0, 2**32, size=257, dtype=np.uint64)
+            cols = rng.integers(0, min(ncols, 2**32), size=257, dtype=np.uint64)
+            keys = numba_handle.pack_keys(rows, cols, ncols)
+            self.assert_same(keys, reference.pack_keys(rows, cols, ncols))
+            self.assert_same(
+                numba_handle.unpack_keys(keys, ncols),
+                reference.unpack_keys(keys, ncols),
+            )
+
+    def test_combine_and_count_bit_identical(self, numba_handle):
+        rng = np.random.default_rng(7)
+        for size in (0, 1, 17, 1024):
+            keys = rng.integers(0, 50, size=size, dtype=np.uint64)
+            vals = rng.standard_normal(size)
+            self.assert_same(
+                numba_handle.combine_add(keys, vals),
+                reference.combine_add(keys, vals),
+            )
+            self.assert_same(
+                numba_handle.count_duplicates(keys),
+                reference.count_duplicates(keys),
+            )
+
+    def test_merges_bit_identical(self, numba_handle):
+        rng = np.random.default_rng(42)
+        for na, nb in ((0, 5), (5, 0), (64, 64), (3, 1000)):
+            keys_a = np.unique(rng.integers(0, 10_000, size=na, dtype=np.uint64))
+            keys_b = np.unique(rng.integers(0, 10_000, size=nb, dtype=np.uint64))
+            vals_a = rng.standard_normal(keys_a.size)
+            vals_b = rng.standard_normal(keys_b.size)
+            self.assert_same(
+                numba_handle.merge_add(keys_a, vals_a, keys_b, vals_b),
+                reference.merge_add(keys_a, vals_a, keys_b, vals_b),
+            )
+            self.assert_same(
+                numba_handle.merge_sub(keys_a, vals_a, keys_b, vals_b),
+                reference.merge_sub(keys_a, vals_a, keys_b, vals_b),
+            )
+            self.assert_same(
+                numba_handle.intersect_sorted(keys_a, keys_b),
+                reference.intersect_sorted(keys_a, keys_b),
+            )
+            self.assert_same(
+                numba_handle.in_sorted(keys_a, keys_b),
+                reference.in_sorted(keys_a, keys_b),
+            )
